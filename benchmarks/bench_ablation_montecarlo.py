@@ -1,0 +1,67 @@
+"""A1 (ablation) — Monte Carlo validation of the analytic critical-area
+model.
+
+The yield engine rests on the analytic critical-area integrals; this
+ablation injects tens of thousands of sampled defects and checks the
+empirical fault probability against ``weighted_critical_area / extent``
+on three structurally different workloads.
+
+Expected shape: agreement within ~10% everywhere (MC noise + the
+segment-estimator's junction conservatism).
+"""
+
+import numpy as np
+
+from repro.analysis import ExperimentRecord, Table
+from repro.designgen import comb_structure, line_grating
+from repro.geometry import Rect, Region
+from repro.yieldmodels import estimate_fault_probability, weighted_critical_area
+from repro.yieldmodels.dsd import DefectSizeDistribution
+
+from conftest import run_once
+
+N_DEFECTS = 20000
+
+
+def _workloads(tech):
+    w, s = tech.metal_width, tech.metal_space
+    return {
+        "parallel wires": Region([Rect(0, i * (w + s), 4000, i * (w + s) + w) for i in range(10)]),
+        "comb (2 nets)": comb_structure(w, s, 10, 2000),
+        "sparse pair": Region([Rect(0, 0, 3000, w), Rect(0, 6 * (w + s), 3000, 6 * (w + s) + w)]),
+    }
+
+
+def _experiment(tech):
+    dsd = DefectSizeDistribution(tech.defects.x0_nm, tech.defects.max_size_nm)
+    rows = []
+    for name, region in _workloads(tech).items():
+        extent = region.bbox.expanded(500)
+        p_mc = estimate_fault_probability(region, dsd, N_DEFECTS, seed=3, extent=extent)
+        ca = sum(weighted_critical_area(region, dsd, m, n_sizes=24) for m in ("shorts", "opens"))
+        p_analytic = ca / extent.area
+        rows.append((name, p_mc, p_analytic))
+    return rows
+
+
+def test_a1_montecarlo_validation(benchmark, tech45):
+    rows = run_once(benchmark, lambda: _experiment(tech45))
+
+    table = Table(
+        f"A1: Monte Carlo ({N_DEFECTS} defects) vs analytic critical area",
+        ["workload", "P(fault) MC", "P(fault) analytic", "ratio"],
+    )
+    ratios = []
+    for name, p_mc, p_analytic in rows:
+        ratio = p_mc / p_analytic if p_analytic else float("nan")
+        ratios.append(ratio)
+        table.add_row(name, p_mc, p_analytic, ratio)
+    print()
+    print(table.render())
+
+    record = ExperimentRecord("A1", "analytic CA matches Monte Carlo within ~10%")
+    record.record("worst_ratio_error", max(abs(r - 1.0) for r in ratios))
+    holds = all(abs(r - 1.0) < 0.12 for r in ratios)
+    record.conclude(holds)
+    print(record.render())
+    assert holds

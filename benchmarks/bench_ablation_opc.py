@@ -1,0 +1,69 @@
+"""A2 (ablation) — model-OPC knob sensitivity.
+
+Sweeps the two structural knobs DESIGN.md calls out — fragment length and
+iteration gain — on the standard elbow structure, reporting converged RMS
+EPE and runtime.
+
+Expected shape: gain has a sweet spot — too low fails to converge within
+the iteration budget, too high oscillates; fragment size is secondary on
+a simple elbow (sub-nm spread), mattering mainly for complex contexts.
+The defaults (gain 0.5, max_len 60) sit on the good part of both curves.
+"""
+
+import time
+
+from repro.analysis import ExperimentRecord, Table
+from repro.geometry import Rect, Region
+from repro.opc import ModelOpcSettings, apply_model_opc
+
+from conftest import run_once
+
+
+def _elbow(tech):
+    w = tech.metal_width
+    return Region([Rect(0, 0, w, 900), Rect(0, 900 - w, 600, 900), Rect(0, 1000, w, 1900)])
+
+
+def _experiment(tech, model):
+    drawn = _elbow(tech)
+    rows = []
+    for max_len in (200, 120, 60, 30):
+        settings = ModelOpcSettings(max_len=max_len, corner_len=min(40, max_len), iterations=8, gain=0.5)
+        t0 = time.perf_counter()
+        result = apply_model_opc(drawn, model, settings=settings)
+        rows.append(("frag", max_len, result.final_rms_epe, time.perf_counter() - t0))
+    for gain in (0.25, 0.5, 0.8, 1.2):
+        settings = ModelOpcSettings(max_len=60, iterations=8, gain=gain)
+        t0 = time.perf_counter()
+        result = apply_model_opc(drawn, model, settings=settings)
+        rows.append(("gain", gain, result.final_rms_epe, time.perf_counter() - t0))
+    return rows
+
+
+def test_a2_opc_knobs(benchmark, tech45, litho45):
+    rows = run_once(benchmark, lambda: _experiment(tech45, litho45))
+
+    table = Table("A2: model-OPC knob ablation (elbow structure)",
+                  ["knob", "value", "final rms EPE (nm)", "time (s)"])
+    for knob, value, epe, seconds in rows:
+        table.add_row(knob, float(value), epe, seconds)
+    print()
+    print(table.render())
+
+    frag = {value: epe for knob, value, epe, _ in rows if knob == "frag"}
+    gain = {value: epe for knob, value, epe, _ in rows if knob == "gain"}
+    record = ExperimentRecord(
+        "A2", "gain has a sweet spot; fragment size is secondary on simple structures"
+    )
+    record.record("frag_epe_spread", max(frag.values()) - min(frag.values()))
+    record.record("epe_gain0.25", gain[0.25])
+    record.record("epe_gain0.5", gain[0.5])
+    record.record("epe_gain1.2", gain[1.2])
+    holds = (
+        gain[0.5] < gain[0.25]            # too little gain: not converged
+        and gain[0.5] <= gain[1.2]        # too much gain: oscillation
+        and max(frag.values()) - min(frag.values()) < 0.5  # frag size secondary
+    )
+    record.conclude(holds)
+    print(record.render())
+    assert holds

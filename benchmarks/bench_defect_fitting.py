@@ -1,0 +1,79 @@
+"""A6 (extension) — defect-model fitting from test-structure yields.
+
+The fab half of yield learning: synthesize comb/serpentine monitor fail
+counts from a known defect model (D0 = 2.5/cm², x0 = 45 nm), then fit the
+model back from the observations alone.
+
+Expected shape: D0 recovered within ~15% when x0 is known; the joint
+(D0, x0) fit lands within one grid step of the true peak (the ridge is
+shallow — identifiability requires a sub-peak monitor, which the suite
+includes); the fitted model's predictions match observed fail fractions.
+"""
+
+import numpy as np
+
+from repro.analysis import ExperimentRecord, Table
+from repro.designgen import comb_structure, serpentine
+from repro.yieldmodels import (
+    MonitorObservation,
+    fit_d0,
+    fit_defect_model,
+    predict_fail_fraction,
+)
+from repro.yieldmodels.dsd import DefectSizeDistribution
+
+from conftest import run_once
+
+TRUE_D0 = 2.5
+TRUE_X0 = 45.0
+REPLICAS = 200_000
+DIES = 20_000
+GRID = [30.0, 38.0, 45.0, 55.0, 70.0]
+
+
+def _experiment():
+    rng = np.random.default_rng(5)
+    dsd_true = DefectSizeDistribution(TRUE_X0, 1800)
+    monitors = {
+        "comb 25/25": comb_structure(25, 25, 40, 6000),
+        "comb 45/45": comb_structure(45, 45, 30, 6000),
+        "comb 90/90": comb_structure(90, 90, 20, 6000),
+        "serpentine 45/90": serpentine(45, 90, 30, 6000),
+    }
+    observations = []
+    rows = []
+    for name, region in monitors.items():
+        p_true = predict_fail_fraction(region, dsd_true, TRUE_D0, REPLICAS)
+        fails = int(rng.binomial(DIES, p_true))
+        observations.append(MonitorObservation(name, region, DIES, fails, REPLICAS))
+        rows.append((name, p_true, fails / DIES))
+    d0_known_x0 = fit_d0(observations, dsd_true)
+    joint = fit_defect_model(observations, x0_grid_nm=GRID, x_max_nm=1800)
+    return rows, d0_known_x0, joint
+
+
+def test_a6_defect_fitting(benchmark):
+    rows, d0_hat, joint = run_once(benchmark, _experiment)
+
+    table = Table(
+        f"A6: monitor fail fractions (true D0={TRUE_D0}, x0={TRUE_X0})",
+        ["monitor", "model P(fail)", "observed"],
+    )
+    for name, p_true, observed in rows:
+        table.add_row(name, p_true, observed)
+    print()
+    print(table.render())
+    print(f"fitted D0 (x0 known): {d0_hat:.3f} /cm^2")
+    print(f"joint fit: D0 {joint.d0_per_cm2:.3f} /cm^2, x0 {joint.x0_nm:g} nm")
+
+    record = ExperimentRecord(
+        "A6", "the defect model is recoverable from monitor yields"
+    )
+    record.record("d0_hat_known_x0", d0_hat)
+    record.record("d0_hat_joint", joint.d0_per_cm2)
+    record.record("x0_hat_joint", joint.x0_nm)
+    idx_err = abs(GRID.index(joint.x0_nm) - GRID.index(TRUE_X0))
+    holds = abs(d0_hat - TRUE_D0) / TRUE_D0 < 0.15 and idx_err <= 1
+    record.conclude(holds)
+    print(record.render())
+    assert holds

@@ -1,0 +1,71 @@
+"""F4 — DPT readiness vs pitch scaling.
+
+Decompose a brick-wall metal pattern at shrinking pitch with a fixed
+same-mask spacing limit (what the illumination can resolve on one mask).
+
+Expected shape: at relaxed pitch the layout is trivially decomposable
+(no conflict edges); as pitch shrinks below the same-mask limit the
+conflict graph densifies — stitches appear, then genuinely unfixable
+odd cycles — and the DPT score degrades monotonically-ish.
+"""
+
+from repro.analysis import ExperimentRecord, Table
+from repro.designgen import dpt_torture
+from repro.dpt import build_conflict_graph, decompose_with_stitches, score_decomposition
+
+from conftest import run_once
+
+SAME_MASK_SPACE = 100  # nm: single-exposure spacing resolution on one mask
+
+
+def _experiment():
+    rows = []
+    for pitch in (260, 220, 180, 140, 100, 80, 60):
+        width = pitch // 2
+        layout = dpt_torture(pitch, width, rows=8)
+        graph = build_conflict_graph(layout, SAME_MASK_SPACE)
+        result, stitches = decompose_with_stitches(layout, SAME_MASK_SPACE)
+        score = score_decomposition(result, stitches)
+        rows.append(
+            (
+                pitch,
+                graph.num_conflict_edges,
+                len(stitches),
+                result.num_conflicts,
+                score.composite,
+            )
+        )
+    return rows
+
+
+def test_f4_dpt_pitch_scaling(benchmark):
+    rows = run_once(benchmark, _experiment)
+
+    table = Table(
+        "F4: DPT decomposition vs pitch (same-mask space 100 nm)",
+        ["pitch", "conflict edges", "stitches", "odd cycles left", "score"],
+    )
+    for pitch, edges, stitches, conflicts, score in rows:
+        table.add_row(float(pitch), float(edges), float(stitches), float(conflicts), score)
+    print()
+    print(table.render())
+
+    record = ExperimentRecord(
+        "F4", "conflicts appear and scores fall as pitch shrinks below the mask limit"
+    )
+    edges = [r[1] for r in rows]
+    scores = [r[4] for r in rows]
+    record.record("edges_at_relaxed_pitch", edges[0])
+    record.record("edges_at_tight_pitch", edges[-1])
+    record.record("score_at_relaxed_pitch", scores[0])
+    record.record("score_at_tight_pitch", scores[-1])
+    trouble = [r[2] + r[3] for r in rows]  # stitches + unfixable cycles
+    holds = (
+        edges[0] == 0
+        and edges[-1] > 0
+        and scores[-1] < scores[0]
+        and trouble[-1] > trouble[0]
+    )
+    record.conclude(holds)
+    print(record.render())
+    assert holds

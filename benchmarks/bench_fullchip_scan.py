@@ -1,0 +1,51 @@
+"""A3 (ablation/validation) — tiled full-chip scanning.
+
+The full-chip scan must report the same hotspot population regardless of
+the tiling, and its cost must track simulated area.
+
+Expected shape: tile sizes 2, 3, and 6 um agree on the hotspot count to
+within seam-merge jitter (a couple of markers), and runtime per simulated
+area stays flat.
+"""
+
+import time
+
+from repro.analysis import ExperimentRecord, Table
+from repro.litho import LithoModel, scan_full_chip
+
+from conftest import run_once
+
+
+def _experiment(tech, block):
+    model = LithoModel(tech.litho)
+    m1 = block.top.region(tech.layers.metal1)
+    rows = []
+    for tile in (6000, 3000, 2000):
+        t0 = time.perf_counter()
+        report = scan_full_chip(
+            model, m1, tile_nm=tile, pinch_limit=tech.metal_width // 2
+        )
+        rows.append((tile, report, time.perf_counter() - t0))
+    return rows
+
+
+def test_a3_fullchip_tiling(benchmark, tech45, bench_block):
+    rows = run_once(benchmark, lambda: _experiment(tech45, bench_block))
+
+    table = Table(
+        "A3: full-chip scan vs tile size",
+        ["tile (nm)", "tiles", "hotspots", "time (s)"],
+    )
+    for tile, report, seconds in rows:
+        table.add_row(float(tile), float(report.tiles), float(len(report.hotspots)), seconds)
+    print()
+    print(table.render())
+
+    counts = [len(report.hotspots) for _, report, _ in rows]
+    record = ExperimentRecord("A3", "hotspot population is tiling-invariant")
+    record.record("max_count", max(counts))
+    record.record("min_count", min(counts))
+    holds = max(counts) - min(counts) <= max(3, int(0.05 * max(counts)))
+    record.conclude(holds)
+    print(record.render())
+    assert holds

@@ -1,0 +1,81 @@
+"""F7 — hotspot classification: clustering compression and cross-design
+pattern recall.
+
+Find litho hotspots on one design, cluster their snippets, build a
+pattern library from every member of the discovered classes, and measure
+how much of a *different* (same-style) design's hotspot population the
+library flags.
+
+Expected shape: the cluster count is much smaller than the hotspot count
+(the classes are few), and the library carries over to the unseen design
+with high recall — the mechanism that lets yield learning move from test
+chips to products.
+"""
+
+from repro.analysis import ExperimentRecord, Table
+from repro.designgen import LogicBlockSpec, generate_logic_block
+from repro.geometry import Rect
+from repro.litho import LithoModel, find_hotspots
+from repro.patterns import PatternMatcher, cluster_snippets, extract_snippets
+
+from conftest import run_once
+
+RADIUS = 120
+
+
+def _hotspot_anchors(tech, block):
+    model = LithoModel(tech.litho)
+    bb = block.top.bbox
+    m1 = block.top.region(tech.layers.metal1)
+    hotspots = find_hotspots(
+        model, m1, Rect(bb.x0, bb.y0, bb.x1, bb.y1), pinch_limit=tech.metal_width // 2
+    )
+    return [h.marker.center for h in hotspots]
+
+
+def _experiment(tech, stdlib):
+    train = generate_logic_block(
+        tech, LogicBlockSpec(rows=2, row_width_nm=6000, net_count=8, seed=21, weak_spots=8), stdlib
+    )
+    test = generate_logic_block(
+        tech, LogicBlockSpec(rows=2, row_width_nm=6000, net_count=8, seed=22, weak_spots=8), stdlib
+    )
+    L = tech.layers
+
+    train_anchors = _hotspot_anchors(tech, train)
+    train_snippets = extract_snippets(train.top, [L.metal1], train_anchors, RADIUS)
+    clusters = cluster_snippets(train_snippets, threshold=0.6)
+
+    matcher = PatternMatcher(radius=RADIUS)
+    for snippet in train_snippets:
+        matcher.add_snippet(snippet)
+
+    test_anchors = _hotspot_anchors(tech, test)
+    matches = matcher.scan(test.top, [L.metal1], test_anchors)
+    recall = len({m.anchor for m in matches}) / max(len(test_anchors), 1)
+    return len(train_anchors), len(clusters), len(test_anchors), recall
+
+
+def test_f7_hotspot_clustering(benchmark, tech45, stdlib45):
+    n_train, n_clusters, n_test, recall = run_once(
+        benchmark, lambda: _experiment(tech45, stdlib45)
+    )
+
+    table = Table("F7: hotspot clustering and cross-design recall", ["metric", "value"])
+    table.add_row("training hotspots", float(n_train))
+    table.add_row("clusters (classes)", float(n_clusters))
+    table.add_row("compression ratio", n_train / max(n_clusters, 1))
+    table.add_row("unseen-design hotspots", float(n_test))
+    table.add_row("library recall on unseen design", recall)
+    print()
+    print(table.render())
+
+    record = ExperimentRecord(
+        "F7", "few hotspot classes; the library generalizes to unseen same-style designs"
+    )
+    record.record("compression", n_train / max(n_clusters, 1))
+    record.record("recall", recall)
+    holds = n_clusters * 3 <= n_train and recall > 0.7
+    record.conclude(holds)
+    print(record.render())
+    assert holds

@@ -1,0 +1,74 @@
+"""T3 — redundant-via insertion: coverage, yield gain, area cost.
+
+Expected shape: high coverage (>= 60-90% of single-via sites get a second
+cut), via-failure lambda drops quadratically at covered sites, and the
+metal cost is a fraction of a percent of the block area.
+"""
+
+from repro.analysis import ExperimentRecord, Table
+from repro.core import DesignContext, measure_design
+from repro.designgen import LogicBlockSpec, generate_logic_block
+from repro.yieldmodels import insert_redundant_vias
+
+from conftest import run_once
+
+
+def _experiment(tech, stdlib):
+    rows = []
+    for seed in (3, 4, 5):
+        spec = LogicBlockSpec(rows=3, row_width_nm=8000, net_count=24, seed=seed)
+        block = generate_logic_block(tech, spec, stdlib)
+        ctx = DesignContext.from_cell(block.top, tech)
+        base = measure_design(ctx, d0_per_cm2=0.1)
+        work = ctx.copy()
+        report = insert_redundant_vias(work.cell, tech, via_layer=tech.layers.via1)
+        report2 = insert_redundant_vias(work.cell, tech, via_layer=tech.layers.via2)
+        report.total_vias += report2.total_vias
+        report.already_redundant += report2.already_redundant
+        report.inserted += report2.inserted
+        report.unfixable += report2.unfixable
+        report.added_metal_area += report2.added_metal_area
+        work.invalidate()
+        after = measure_design(work, d0_per_cm2=0.1)
+        rows.append((seed, report, base, after))
+    return rows
+
+
+def test_t3_redundant_via(benchmark, tech45, stdlib45):
+    rows = run_once(benchmark, lambda: _experiment(tech45, stdlib45))
+
+    table = Table(
+        "T3: redundant-via insertion (metal adds are in free space, not die growth)",
+        ["seed", "sites", "coverage", "lam_via before", "lam_via after", "added metal %"],
+    )
+    for seed, report, base, after in rows:
+        table.add_row(
+            str(seed),
+            float(report.total_vias),
+            report.coverage,
+            base.lambda_vias,
+            after.lambda_vias,
+            100.0 * report.added_metal_area / base.area_nm2,
+        )
+    print()
+    print(table.render())
+
+    record = ExperimentRecord(
+        "T3", "coverage 60-100%, quadratic via-lambda drop, small metal cost"
+    )
+    coverages = [report.coverage for _, report, _, _ in rows]
+    record.record("min_coverage", min(coverages))
+    drops = [
+        (base.lambda_vias - after.lambda_vias) / base.lambda_vias
+        for _, _, base, after in rows
+        if base.lambda_vias > 0
+    ]
+    record.record("min_lambda_drop", min(drops))
+    area_costs = [
+        100.0 * report.added_metal_area / base.area_nm2 for _, report, base, _ in rows
+    ]
+    record.record("max_area_cost_pct", max(area_costs))
+    holds = min(coverages) >= 0.6 and min(drops) > 0.5 and max(area_costs) < 4.0
+    record.conclude(holds)
+    print(record.render())
+    assert holds

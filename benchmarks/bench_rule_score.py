@@ -1,0 +1,71 @@
+"""F6 — validating the DFM scoring model: compliance score vs yield proxy.
+
+Generate a family of serpentine/grating layouts sweeping from
+minimum-rule to fully recommended-rule dimensions, score each against the
+recommended deck, and measure its defect-limited yield proxy.
+
+Expected shape: the composite DFM score rises monotonically along the
+sweep, and so does the yield proxy — score is a cheap static predictor of
+the expensive simulated metric (the scoring-model methodology's central
+claim).
+"""
+
+import numpy as np
+
+from repro.analysis import ExperimentRecord, Table
+from repro.designgen import line_grating
+from repro.drc import score_recommended_rules
+from repro.layout import Cell
+from repro.tech.technology import DefectModel
+from repro.yieldmodels import yield_negative_binomial
+from repro.yieldmodels.yield_model import layer_defect_lambda
+
+from conftest import run_once
+
+DIE_SCALE_AREA = 2.0e13  # extrapolate the pattern to a fraction of a die
+
+
+def _experiment(tech):
+    L = tech.layers
+    rows = []
+    # sweep width/space together from min-rule to recommended and beyond
+    for factor in (1.0, 1.1, 1.25, 1.4, 1.6):
+        w = int(tech.metal_width * factor)
+        s = int(tech.metal_space * factor)
+        region = line_grating(w, w + s, 20, 12000)
+        cell = Cell(f"G{int(factor * 100)}")
+        cell.add_region(L.metal1, region)
+        score = score_recommended_rules(cell, tech.rules)
+        lam = layer_defect_lambda(region, tech.defects, d0_per_cm2=1.0)
+        lam *= DIE_SCALE_AREA / region.bbox.area
+        yield_proxy = yield_negative_binomial(lam, 2.0)
+        rows.append((factor, score.composite, yield_proxy))
+    return rows
+
+
+def test_f6_rule_score_vs_yield(benchmark, tech45):
+    rows = run_once(benchmark, lambda: _experiment(tech45))
+
+    table = Table(
+        "F6: recommended-rule compliance score vs yield proxy",
+        ["dimension factor", "DFM score", "yield proxy"],
+    )
+    for factor, score, y in rows:
+        table.add_row(factor, score, y)
+    print()
+    print(table.render())
+
+    scores = [r[1] for r in rows]
+    yields = [r[2] for r in rows]
+    corr = float(np.corrcoef(scores, yields)[0, 1])
+
+    record = ExperimentRecord("F6", "DFM score correlates monotonically with yield proxy")
+    record.record("score_range", scores[-1] - scores[0])
+    record.record("yield_range", yields[-1] - yields[0])
+    record.record("pearson_r", corr)
+    monotone_score = all(b >= a - 1e-9 for a, b in zip(scores, scores[1:]))
+    monotone_yield = all(b >= a - 1e-9 for a, b in zip(yields, yields[1:]))
+    holds = monotone_score and monotone_yield and corr > 0.8
+    record.conclude(holds)
+    print(record.render())
+    assert holds

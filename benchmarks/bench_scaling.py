@@ -1,0 +1,101 @@
+"""T5 — engine throughput vs design size.
+
+Each engine (DRC, pattern extraction, critical area, litho hotspot scan)
+runs on logic blocks of growing size; the table reports wall time and the
+scaling exponent.
+
+Expected shape: DRC, pattern extraction, and CAA stay near-linear in
+shape count (sub-quadratic exponent); the litho scan cost is dominated by
+the simulated window area rather than the shape count.
+"""
+
+import math
+import time
+
+from repro.analysis import ExperimentRecord, Table
+from repro.designgen import LogicBlockSpec, generate_logic_block
+from repro.drc import run_drc
+from repro.geometry import Rect
+from repro.litho import LithoModel, find_hotspots
+from repro.patterns import extract_patterns, via_anchors
+from repro.yieldmodels import critical_area_shorts
+
+from conftest import run_once
+
+WIDTHS = [3000, 6000, 12000, 24000]
+
+
+def _experiment(tech, stdlib):
+    L = tech.layers
+    rows = []
+    for width in WIDTHS:
+        spec = LogicBlockSpec(rows=2, row_width_nm=width, net_count=width // 500, seed=9)
+        block = generate_logic_block(tech, spec, stdlib)
+        shapes = block.top.shape_count(recursive=True)
+        timings = {}
+
+        t0 = time.perf_counter()
+        run_drc(block.top, tech.rules.minimum().for_layer(L.metal1))
+        timings["drc"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        extract_patterns(block.top, [L.via1, L.metal2], via_anchors(block.top, L.via1), 150)
+        timings["patterns"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        critical_area_shorts(block.top.region(L.metal1), 2 * tech.metal_space)
+        timings["critical-area"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        model = LithoModel(tech.litho)
+        bb = block.top.bbox
+        window = Rect(bb.x0, bb.y0, bb.x0 + 2000, bb.y1)
+        find_hotspots(model, block.top.region(L.metal1), window,
+                      pinch_limit=tech.metal_width // 2)
+        timings["litho-scan"] = time.perf_counter() - t0
+
+        rows.append((width, shapes, timings))
+    return rows
+
+
+def _exponent(xs, ys):
+    """Least-squares slope in log-log space."""
+    n = len(xs)
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1e-6)) for y in ys]
+    mx, my = sum(lx) / n, sum(ly) / n
+    num = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    den = sum((a - mx) ** 2 for a in lx)
+    return num / den
+
+
+def test_t5_scaling(benchmark, tech45, stdlib45):
+    rows = run_once(benchmark, lambda: _experiment(tech45, stdlib45))
+
+    engines = ["drc", "patterns", "critical-area", "litho-scan"]
+    table = Table(
+        "T5: engine wall time (s) vs design size",
+        ["width (nm)", "shapes"] + engines,
+    )
+    for width, shapes, timings in rows:
+        table.add_row(float(width), float(shapes), *(timings[e] for e in engines))
+    print()
+    print(table.render())
+
+    shapes = [r[1] for r in rows]
+    record = ExperimentRecord(
+        "T5", "geometric engines scale sub-quadratically in shape count"
+    )
+    holds = True
+    for engine in ("drc", "patterns", "critical-area"):
+        exp = _exponent(shapes, [r[2][engine] for r in rows])
+        record.record(f"exponent:{engine}", exp)
+        holds = holds and exp < 2.0
+    litho_exp = _exponent(shapes, [r[2]["litho-scan"] for r in rows])
+    record.record("exponent:litho-scan", litho_exp)
+    # the litho window is fixed-height: cost should grow far slower than
+    # the design (it tracks window area, not shapes)
+    holds = holds and litho_exp < 1.0
+    record.conclude(holds)
+    print(record.render())
+    assert holds

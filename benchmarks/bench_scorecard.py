@@ -1,0 +1,47 @@
+"""T1 — the headline Hit-or-Hype scorecard.
+
+Reproduces the panel's central table: per DFM technique, the measured
+benefit (yield points, hotspots removed), the cost (area, mask complexity,
+runtime), and the verdict.
+
+Expected shape: litho-targeted techniques (OPC flavours, pattern checking)
+and redundant vias come out HIT; blanket recommended rules pay area for
+little measurable benefit on an already-legal block (the panel's 'hype'
+suspicion); wire spreading and dummy fill are marginal on a small sparse
+block and shine only on dense designs (see F1/F5).
+"""
+
+from repro.analysis import ExperimentRecord
+from repro.core import Verdict, evaluate_techniques
+
+from conftest import run_once
+
+
+def test_t1_scorecard(benchmark, bench_block, tech45):
+    card = run_once(
+        benchmark,
+        lambda: evaluate_techniques(bench_block.top, tech45, d0_per_cm2=1.0),
+    )
+    print()
+    print(card.render())
+
+    record = ExperimentRecord(
+        "T1",
+        "litho-targeted techniques are hits; redundant vias pay their way "
+        "(B/C >= 1); blanket recommended rules do not",
+    )
+    verdicts = {row.technique: row.verdict for row in card.rows}
+    ratios = {row.technique: row.ratio for row in card.rows}
+    for row in card.rows:
+        record.record(f"benefit:{row.technique}", row.benefit)
+        record.record(f"cost:{row.technique}", row.cost)
+    litho_hits = all(
+        verdicts[name] is Verdict.HIT
+        for name in ("rule-opc", "pattern-check", "model-opc")
+    )
+    vias_pay = ratios["redundant-via"] >= 1.0
+    rules_hype = verdicts["recommended-rules"] is not Verdict.HIT
+    holds = litho_hits and vias_pay and rules_hype
+    record.conclude(holds)
+    print(record.render())
+    assert holds

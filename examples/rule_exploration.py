@@ -1,0 +1,79 @@
+"""Fab-facing flows: design-rule exploration and defect-model fitting.
+
+Two loops close between design and fab:
+
+* **rule exploration** — which design rules actually cost area?  Sweep
+  rule knobs, regenerate the standard cells, measure.  Rules with zero
+  area sensitivity can be relaxed toward their recommended values for
+  free yield.
+* **defect-model fitting** — given comb/serpentine monitor fail counts
+  from the line, fit (D0, x0) and predict the fail rate of a *new*
+  monitor geometry before it is built.
+
+Run:  python examples/rule_exploration.py
+"""
+
+import numpy as np
+
+from repro import make_node
+from repro.analysis import Table
+from repro.designgen import comb_structure, serpentine
+from repro.ruleopt import rule_area_sensitivity, sweep_rule_values
+from repro.yieldmodels import (
+    MonitorObservation,
+    fit_defect_model,
+    predict_fail_fraction,
+)
+from repro.yieldmodels.dsd import DefectSizeDistribution
+
+
+def main() -> None:
+    tech = make_node(45)
+
+    # --- rule exploration ------------------------------------------------
+    table = Table("rule area sensitivity (one-at-a-time DOE)", ["knob", "area %"])
+    for knob, value in sorted(rule_area_sensitivity(tech).items(), key=lambda kv: -kv[1]):
+        table.add_row(knob, value)
+    print(table.render())
+
+    sweep = sweep_rule_values(tech, "poly_pitch", [160, 180, 200, 220], litho_check=True)
+    sweep_table = Table("poly-pitch sweep", ["pitch", "area um2", "DRC", "hotspots"])
+    for point in sweep:
+        sweep_table.add_row(
+            float(point.overrides["poly_pitch"]),
+            point.cell_area_um2,
+            "clean" if point.drc_clean else "FAIL",
+            float(point.hotspots),
+        )
+    print()
+    print(sweep_table.render())
+
+    # --- defect-model fitting ---------------------------------------------
+    rng = np.random.default_rng(5)
+    true_d0, true_x0, replicas, dies = 2.5, 45.0, 200_000, 20_000
+    dsd_true = DefectSizeDistribution(true_x0, 1800)
+    monitors = {
+        "comb 25/25": comb_structure(25, 25, 40, 6000),
+        "comb 45/45": comb_structure(45, 45, 30, 6000),
+        "comb 90/90": comb_structure(90, 90, 20, 6000),
+        "serp 45/90": serpentine(45, 90, 30, 6000),
+    }
+    observations = []
+    for name, region in monitors.items():
+        p = predict_fail_fraction(region, dsd_true, true_d0, replicas)
+        fails = int(rng.binomial(dies, p))
+        observations.append(MonitorObservation(name, region, dies, fails, replicas))
+    fitted = fit_defect_model(observations, x0_grid_nm=[30, 38, 45, 55, 70], x_max_nm=1800)
+    print(f"\nfitted defect model: D0 = {fitted.d0_per_cm2:.2f}/cm^2, x0 = {fitted.x0_nm:g} nm "
+          f"(truth: {true_d0}, {true_x0})")
+
+    # predict an unbuilt monitor
+    new_monitor = comb_structure(65, 65, 24, 6000)
+    dsd_fit = DefectSizeDistribution(fitted.x0_nm, 1800)
+    predicted = predict_fail_fraction(new_monitor, dsd_fit, fitted.d0_per_cm2, replicas)
+    actual = predict_fail_fraction(new_monitor, dsd_true, true_d0, replicas)
+    print(f"unbuilt 65/65 comb: predicted fail {predicted:.3%} vs true-model {actual:.3%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Yield learning across design generations: the pattern database story.
+
+The flow foundries built around pattern databases:
+
+1. extract the via-enclosure pattern catalog of each design generation,
+2. persist it (pattern identity survives across chips),
+3. track lifecycle — which categories are new, recurring, or designed
+   out — and attach yield tags that carry forward,
+4. triage the current design's litho hotspots *electrically* so the
+   report counts killer defects, not raw markers,
+5. quantify the timing margin corner signoff wastes vs statistics.
+
+Run:  python examples/yield_learning.py
+"""
+
+from repro import LogicBlockSpec, generate_logic_block, make_node
+from repro.analysis import Table
+from repro.extract import electrical_hotspot_impact, extract_nets
+from repro.litho import LithoModel, scan_full_chip
+from repro.patterns import PatternDatabase, via_enclosure_catalog
+from repro.timing import Stage, TimingPath
+from repro.variation import statistical_path_delays
+
+
+def main() -> None:
+    tech = make_node(45)
+    L = tech.layers
+
+    # --- 1-3: catalogs across three design generations -----------------
+    pdb = PatternDatabase("yield-learning")
+    for label, seed, nets in (("testchip", 1, 10), ("productA", 2, 16), ("productB", 3, 24)):
+        block = generate_logic_block(
+            tech, LogicBlockSpec(rows=2, row_width_nm=6000, net_count=nets, seed=seed)
+        )
+        catalog = via_enclosure_catalog(block.top, L.via1, L.metal2, radius=100)
+        pdb.add_generation(label, catalog)
+    print(pdb.summary())
+    table = Table("pattern lifecycle", ["category", "counts by generation", "status"])
+    for record in pdb.lifecycles()[:8]:
+        table.add_row(
+            str(record.category_id),
+            "/".join(str(c) for c in record.counts),
+            record.status,
+        )
+    print(table.render())
+
+    # --- 4: electrical triage of the newest design's hotspots ----------
+    block = generate_logic_block(
+        tech, LogicBlockSpec(rows=2, row_width_nm=6000, net_count=24, seed=3, weak_spots=6)
+    )
+    model = LithoModel(tech.litho)
+    scan = scan_full_chip(
+        model, block.top.region(L.metal1), tile_nm=4000, pinch_limit=tech.metal_width // 2
+    )
+    netlist = extract_nets(block.top.flattened(), tech)
+    counts = electrical_hotspot_impact(netlist, scan.hotspots, L.metal1)
+    print(f"\n{scan.summary()}")
+    print("electrical triage:", counts)
+
+    # --- 5: the statistical timing argument -----------------------------
+    path = TimingPath("critical", [Stage(f"g{i}", 180, 35.0, wire_length_nm=300) for i in range(16)])
+    result = statistical_path_delays(path, length_sigma_nm=5 / 3, worst_length_nm=40.0, n_samples=600)
+    print(
+        f"\n16-stage path: nominal {result.nominal_ps:.1f} ps, "
+        f"corner {result.corner_ps:.1f} ps, sampled p99.9 {result.quantile_ps(0.999):.1f} ps "
+        f"-> corner wastes {result.corner_margin_percent:.1f}% margin"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Reporting utilities: ASCII tables, series, and experiment records."""
+
+from repro.analysis.tables import Table, format_float
+from repro.analysis.experiments import ExperimentRecord, Series
+
+__all__ = ["Table", "format_float", "ExperimentRecord", "Series"]

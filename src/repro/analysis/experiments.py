@@ -1,0 +1,52 @@
+"""Experiment records: the structured results the benches produce and
+EXPERIMENTS.md summarizes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Series:
+    """A named (x, y) series — one curve of a figure."""
+
+    name: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def render(self, x_label: str = "x", y_label: str = "y") -> str:
+        lines = [f"series {self.name} ({x_label} -> {y_label}):"]
+        for x, y in zip(self.xs, self.ys):
+            lines.append(f"  {x:>12g}  {y:>12g}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ExperimentRecord:
+    """One table/figure reproduction: id, claim, and measured outcome."""
+
+    experiment_id: str
+    claim: str
+    measured: dict[str, float] = field(default_factory=dict)
+    holds: bool | None = None
+    notes: str = ""
+
+    def record(self, name: str, value: float) -> None:
+        self.measured[name] = value
+
+    def conclude(self, holds: bool, notes: str = "") -> None:
+        self.holds = holds
+        self.notes = notes
+
+    def render(self) -> str:
+        status = {True: "HOLDS", False: "DOES NOT HOLD", None: "UNEVALUATED"}[self.holds]
+        lines = [f"[{self.experiment_id}] {self.claim} -> {status}"]
+        for name, value in self.measured.items():
+            lines.append(f"    {name} = {value:g}")
+        if self.notes:
+            lines.append(f"    note: {self.notes}")
+        return "\n".join(lines)

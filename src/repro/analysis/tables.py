@@ -1,0 +1,50 @@
+"""Minimal ASCII table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Compact float formatting: trims trailing zeros, keeps magnitude."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 10 ** (digits + 2) or abs(value) < 10 ** (-digits):
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}f}".rstrip("0").rstrip(".")
+
+
+@dataclass
+class Table:
+    """A titled table with string/number cells."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        text_rows = [
+            [c if isinstance(c, str) else format_float(float(c)) for c in row]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title]
+        header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in text_rows:
+            lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

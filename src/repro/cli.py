@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate``  — write a synthetic logic block to GDSII
+* ``info``      — summarize a GDSII library
+* ``drc``       — run minimum-rule DRC on a GDSII cell
+* ``scan``      — tiled full-chip litho hotspot scan
+* ``dpt``       — double-patterning decomposition of one layer
+* ``scorecard`` — the hit-or-hype evaluation on a generated block
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import Table
+from repro.designgen import LogicBlockSpec, generate_logic_block
+from repro.dpt import decompose_with_stitches, score_decomposition
+from repro.drc import run_drc
+from repro.gdsii import read_gds, write_gds
+from repro.layout import Layer
+from repro.litho import LithoModel, scan_full_chip
+from repro.tech import make_node
+
+
+def _add_node(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--node", type=int, default=45, help="process node in nm (default 45)")
+
+
+def _resolve_cell(layout, name: str | None):
+    if name:
+        return layout.cell(name)
+    return layout.top_cell()
+
+
+def _resolve_layer(tech, name: str) -> Layer:
+    from dataclasses import fields
+
+    for f in fields(tech.layers):
+        layer = getattr(tech.layers, f.name)
+        if isinstance(layer, Layer) and layer.name == name:
+            return layer
+    raise SystemExit(f"unknown layer {name!r} (try M1, M2, M3, V1, V2, POLY, ...)")
+
+
+def cmd_generate(args) -> int:
+    tech = make_node(args.node)
+    spec = LogicBlockSpec(
+        rows=args.rows,
+        row_width_nm=args.width,
+        net_count=args.nets,
+        seed=args.seed,
+        weak_spots=args.weak_spots,
+    )
+    block = generate_logic_block(tech, spec)
+    write_gds(block.layout, args.out)
+    print(
+        f"wrote {args.out}: {block.cell_count} cells, {block.net_count} nets, "
+        f"bbox {block.top.bbox.as_tuple()}"
+    )
+    return 0
+
+
+def cmd_info(args) -> int:
+    layout = read_gds(args.gds)
+    print(f"library {layout.name!r}: {len(layout)} cells, dbu {layout.dbu_nm:g} nm")
+    table = Table("cells", ["name", "shapes", "refs", "layers"])
+    for cell in layout:
+        table.add_row(
+            cell.name,
+            float(cell.shape_count()),
+            float(len(cell.references)),
+            float(len({(l.gds_layer, l.gds_datatype) for l in cell.layers})),
+        )
+    print(table.render())
+    tops = [c.name for c in layout.top_cells()]
+    print(f"top cells: {', '.join(tops) or '(none)'}")
+    return 0
+
+
+def cmd_drc(args) -> int:
+    tech = make_node(args.node)
+    layout = read_gds(args.gds)
+    cell = _resolve_cell(layout, args.cell)
+    deck = tech.rules.minimum()
+    report = run_drc(cell, deck)
+    print(report.summary())
+    return 0 if report.is_clean else 1
+
+
+def cmd_scan(args) -> int:
+    tech = make_node(args.node)
+    layout = read_gds(args.gds)
+    cell = _resolve_cell(layout, args.cell)
+    layer = _resolve_layer(tech, args.layer)
+    model = LithoModel(tech.litho)
+    region = cell.region(layer)
+    report = scan_full_chip(
+        model, region, tile_nm=args.tile, pinch_limit=tech.metal_width // 2
+    )
+    print(report.summary())
+    for hotspot in report.hotspots[: args.limit]:
+        print(f"  {hotspot}")
+    if len(report.hotspots) > args.limit:
+        print(f"  ... and {len(report.hotspots) - args.limit} more")
+    return 0 if not report.hotspots else 1
+
+
+def cmd_dpt(args) -> int:
+    tech = make_node(args.node)
+    layout = read_gds(args.gds)
+    cell = _resolve_cell(layout, args.cell)
+    layer = _resolve_layer(tech, args.layer)
+    region = cell.region(layer)
+    result, stitches = decompose_with_stitches(region, args.space)
+    score = score_decomposition(result, stitches)
+    print(result.summary())
+    print(f"stitches: {len(stitches)}")
+    print(score.summary())
+    if args.out:
+        from repro.layout import Layout
+
+        out = Layout(f"DPT_{cell.name}")
+        top = out.new_cell("TOP")
+        top.add_region(layer.with_datatype(1), result.mask_a)
+        top.add_region(layer.with_datatype(2), result.mask_b)
+        write_gds(out, args.out)
+        print(f"wrote masks to {args.out}")
+    return 0 if result.is_clean else 1
+
+
+def cmd_scorecard(args) -> int:
+    from repro.core import evaluate_techniques
+
+    tech = make_node(args.node)
+    spec = LogicBlockSpec(
+        rows=args.rows,
+        row_width_nm=args.width,
+        net_count=args.nets,
+        seed=args.seed,
+        weak_spots=args.weak_spots,
+    )
+    block = generate_logic_block(tech, spec)
+    card = evaluate_techniques(block.top, tech, d0_per_cm2=args.d0)
+    print(card.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DFM in practice: hit or hype? - CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic logic block to GDSII")
+    _add_node(p)
+    p.add_argument("--rows", type=int, default=3)
+    p.add_argument("--width", type=int, default=8000)
+    p.add_argument("--nets", type=int, default=16)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--weak-spots", type=int, default=0)
+    p.add_argument("--out", default="block.gds")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("info", help="summarize a GDSII library")
+    p.add_argument("gds")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("drc", help="run minimum-rule DRC on a cell")
+    _add_node(p)
+    p.add_argument("gds")
+    p.add_argument("--cell")
+    p.set_defaults(func=cmd_drc)
+
+    p = sub.add_parser("scan", help="tiled full-chip litho hotspot scan")
+    _add_node(p)
+    p.add_argument("gds")
+    p.add_argument("--cell")
+    p.add_argument("--layer", default="M1")
+    p.add_argument("--tile", type=int, default=4000)
+    p.add_argument("--limit", type=int, default=10)
+    p.set_defaults(func=cmd_scan)
+
+    p = sub.add_parser("dpt", help="double-patterning decomposition of one layer")
+    _add_node(p)
+    p.add_argument("gds")
+    p.add_argument("--cell")
+    p.add_argument("--layer", default="M1")
+    p.add_argument("--space", type=int, required=True, help="same-mask spacing limit (nm)")
+    p.add_argument("--out", help="write the two masks to this GDSII file")
+    p.set_defaults(func=cmd_dpt)
+
+    p = sub.add_parser("scorecard", help="hit-or-hype evaluation on a generated block")
+    _add_node(p)
+    p.add_argument("--rows", type=int, default=3)
+    p.add_argument("--width", type=int, default=8000)
+    p.add_argument("--nets", type=int, default=16)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--weak-spots", type=int, default=12)
+    p.add_argument("--d0", type=float, default=1.0)
+    p.set_defaults(func=cmd_scorecard)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

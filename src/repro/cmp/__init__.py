@@ -1,0 +1,19 @@
+"""CMP density management: window density maps, dummy fill, and the
+density-driven post-polish thickness model."""
+
+from repro.cmp.density import DensityMap, density_map
+from repro.cmp.fill import dummy_fill, FillReport
+from repro.cmp.model import thickness_map, ThicknessStats
+from repro.cmp.smartfill import smart_fill, coupling_proxy, CouplingReport
+
+__all__ = [
+    "DensityMap",
+    "density_map",
+    "dummy_fill",
+    "FillReport",
+    "thickness_map",
+    "ThicknessStats",
+    "smart_fill",
+    "coupling_proxy",
+    "CouplingReport",
+]

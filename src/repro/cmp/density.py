@@ -1,0 +1,73 @@
+"""Window density analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Rect, Region
+
+
+@dataclass
+class DensityMap:
+    """Per-tile fill fractions over an extent."""
+
+    extent: Rect
+    window: int
+    step: int
+    values: np.ndarray  # shape (ny, nx), row 0 at the bottom
+
+    @property
+    def min(self) -> float:
+        return float(self.values.min())
+
+    @property
+    def max(self) -> float:
+        return float(self.values.max())
+
+    @property
+    def range(self) -> float:
+        return self.max - self.min
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.values.std())
+
+    def tiles_outside(self, lo: float, hi: float) -> int:
+        return int(np.sum((self.values < lo) | (self.values > hi)))
+
+    def tile_rect(self, i: int, j: int) -> Rect:
+        x0 = self.extent.x0 + i * self.step
+        y0 = self.extent.y0 + j * self.step
+        return Rect(x0, y0, min(x0 + self.window, self.extent.x1), min(y0 + self.window, self.extent.y1))
+
+    def summary(self) -> str:
+        return (
+            f"density: mean {self.mean:.3f}, min {self.min:.3f}, "
+            f"max {self.max:.3f}, range {self.range:.3f}, std {self.std:.3f}"
+        )
+
+
+def density_map(region: Region, extent: Rect, window: int, step: int | None = None) -> DensityMap:
+    """Sweep a ``window`` square across ``extent`` at ``step`` (default
+    half-window) and record fill fraction per tile."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    step = step or max(window // 2, 1)
+    nx = max(1, -(-(extent.x1 - extent.x0 - window) // step) + 1) if extent.x1 - extent.x0 > window else 1
+    ny = max(1, -(-(extent.y1 - extent.y0 - window) // step) + 1) if extent.y1 - extent.y0 > window else 1
+    values = np.zeros((ny, nx))
+    clipped = region & Region(extent)
+    for j in range(ny):
+        for i in range(nx):
+            x0 = extent.x0 + i * step
+            y0 = extent.y0 + j * step
+            tile = Rect(x0, y0, min(x0 + window, extent.x1), min(y0 + window, extent.y1))
+            if tile.area > 0:
+                values[j, i] = (clipped & Region(tile)).area / tile.area
+    return DensityMap(extent=extent, window=window, step=step, values=values)

@@ -1,0 +1,114 @@
+"""Dummy-fill insertion.
+
+Classic rule-based fill: tile the extent, and in every tile below the
+target density drop fill squares on a staggered grid wherever they clear
+the signal geometry by the fill-to-signal spacing.  Fill shapes land on
+the same GDS layer with a distinct datatype so extraction can tell them
+apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Rect, Region
+from repro.tech.technology import CmpSettings
+
+
+@dataclass
+class FillReport:
+    tiles_filled: int = 0
+    shapes_added: int = 0
+    fill_area: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"dummy fill: {self.shapes_added} shapes ({self.fill_area} nm^2) "
+            f"across {self.tiles_filled} tiles"
+        )
+
+
+def dummy_fill(
+    signal: Region,
+    extent: Rect,
+    settings: CmpSettings,
+    fill_size: int = 400,
+    fill_space: int = 200,
+    keepout: int = 200,
+    extra_blocked: Region | None = None,
+) -> tuple[Region, FillReport]:
+    """Fill low-density tiles up to the target density.
+
+    Returns (fill_region, report).  Deterministic: tiles are visited in
+    raster order, candidate sites on a fixed grid.  ``extra_blocked``
+    adds keep-clear area that contributes nothing to density (smart-fill
+    keepouts around critical nets).
+    """
+    report = FillReport()
+    window = settings.window_nm
+    # fill on NON-overlapping tiles: overlapping tiles would lay down
+    # interleaved, mutually-blocking fill grids (the analysis window in
+    # density_map may still overlap — that is a measurement choice)
+    step = window
+    target = settings.target_density
+    blocked = signal.grown(keepout)
+    if extra_blocked is not None:
+        blocked = blocked | extra_blocked
+    fill_rects: list[Rect] = []
+    fill_region = Region()
+
+    y = extent.y0
+    while y < extent.y1:
+        x = extent.x0
+        while x < extent.x1:
+            tile = Rect(x, y, min(x + window, extent.x1), min(y + window, extent.y1))
+            if tile.area == 0:
+                x += step
+                continue
+            tile_region = Region(tile)
+            have = (signal & tile_region).area + (fill_region & tile_region).area
+            need = int(target * tile.area) - have
+            if need > 0:
+                added = _fill_tile(
+                    tile, blocked, fill_region, fill_size, fill_space, need
+                )
+                if added:
+                    report.tiles_filled += 1
+                    for rect in added:
+                        fill_rects.append(rect)
+                        report.shapes_added += 1
+                        report.fill_area += rect.area
+                    fill_region = fill_region | Region(added)
+            x += step
+        y += step
+    return fill_region, report
+
+
+def _fill_tile(
+    tile: Rect,
+    blocked: Region,
+    existing_fill: Region,
+    size: int,
+    space: int,
+    need: int,
+) -> list[Rect]:
+    pitch = size + space
+    added: list[Rect] = []
+    got = 0
+    y = tile.y0 + space // 2
+    while y + size <= tile.y1 and got < need:
+        x = tile.x0 + space // 2
+        while x + size <= tile.x1 and got < need:
+            cand = Rect(x, y, x + size, y + size)
+            cand_halo = Region(cand.expanded(space))
+            if not blocked.overlaps(Region(cand)) and not existing_fill.overlaps(cand_halo) and not _collides(added, cand, space):
+                added.append(cand)
+                got += cand.area
+            x += pitch
+        y += pitch
+    return added
+
+
+def _collides(added: list[Rect], cand: Rect, space: int) -> bool:
+    grown = cand.expanded(space)
+    return any(grown.overlaps(a) for a in added)

@@ -1,0 +1,52 @@
+"""Density-driven CMP thickness model.
+
+First-order behaviour of oxide/copper polish: post-CMP thickness deviates
+from nominal proportionally to the local pattern-density deviation from
+the process target.  The model is deliberately linear — what matters for
+the DFM evaluation is the *range* of thickness across the die, which
+dummy fill reduces by flattening the density map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cmp.density import DensityMap
+from repro.tech.technology import CmpSettings
+
+
+@dataclass
+class ThicknessStats:
+    nominal_nm: float
+    values: np.ndarray
+
+    @property
+    def min(self) -> float:
+        return float(self.values.min())
+
+    @property
+    def max(self) -> float:
+        return float(self.values.max())
+
+    @property
+    def range(self) -> float:
+        return self.max - self.min
+
+    @property
+    def std(self) -> float:
+        return float(self.values.std())
+
+    def summary(self) -> str:
+        return (
+            f"thickness: nominal {self.nominal_nm:g} nm, range {self.range:.2f} nm, "
+            f"std {self.std:.2f} nm"
+        )
+
+
+def thickness_map(density: DensityMap, settings: CmpSettings) -> ThicknessStats:
+    """Post-polish thickness per tile from the density map."""
+    deviation = density.values - settings.target_density
+    thickness = settings.nominal_thickness_nm - settings.thickness_per_density_nm * deviation
+    return ThicknessStats(nominal_nm=settings.nominal_thickness_nm, values=thickness)

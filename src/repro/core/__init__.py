@@ -1,0 +1,42 @@
+"""The paper's contribution, made executable: a quantitative evaluation
+harness that measures, for each DFM technique of the 2008 era, the benefit
+it delivers and the cost it charges — and renders the hit-or-hype verdict
+the panel could only argue about.
+"""
+
+from repro.core.context import DesignContext
+from repro.core.metrics import DesignMetrics, measure_design
+from repro.core.techniques import (
+    DFMTechnique,
+    TechniqueOutcome,
+    RecommendedRulesTechnique,
+    PatternCheckTechnique,
+    RuleOpcTechnique,
+    ModelOpcTechnique,
+    RedundantViaTechnique,
+    WireSpreadTechnique,
+    DummyFillTechnique,
+    default_techniques,
+)
+from repro.core.scorecard import Scorecard, ScorecardRow, Verdict
+from repro.core.harness import evaluate_techniques
+
+__all__ = [
+    "DesignContext",
+    "DesignMetrics",
+    "measure_design",
+    "DFMTechnique",
+    "TechniqueOutcome",
+    "RecommendedRulesTechnique",
+    "PatternCheckTechnique",
+    "RuleOpcTechnique",
+    "ModelOpcTechnique",
+    "RedundantViaTechnique",
+    "WireSpreadTechnique",
+    "DummyFillTechnique",
+    "default_techniques",
+    "Scorecard",
+    "ScorecardRow",
+    "Verdict",
+    "evaluate_techniques",
+]

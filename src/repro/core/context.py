@@ -1,0 +1,68 @@
+"""The design context a technique operates on."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Rect, Region
+from repro.layout import Cell, Layer
+from repro.tech.technology import Technology
+
+
+@dataclass
+class DesignContext:
+    """A flattened design plus its technology.
+
+    Techniques mutate the context's cell (or replace layer regions); the
+    harness hands each technique a fresh copy so measurements stay
+    independent.
+    """
+
+    tech: Technology
+    cell: Cell
+    mask_overrides: dict[Layer, Region] = field(default_factory=dict)
+    _region_cache: dict[Layer, Region] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_cell(cls, cell: Cell, tech: Technology) -> "DesignContext":
+        return cls(tech=tech, cell=cell.flattened(f"{cell.name}_ctx"))
+
+    def copy(self, suffix: str = "_mod") -> "DesignContext":
+        return DesignContext(
+            tech=self.tech,
+            cell=self.cell.copy(self.cell.name + suffix),
+            mask_overrides=dict(self.mask_overrides),
+        )
+
+    def set_mask(self, layer: Layer, mask: Region) -> None:
+        """Record an OPC'd mask for a layer.  The drawn geometry stays the
+        design intent; litho simulation exposes the mask instead."""
+        self.mask_overrides[layer] = mask
+
+    def mask_for(self, layer: Layer) -> Region:
+        return self.mask_overrides.get(layer, self.region(layer))
+
+    def region(self, layer: Layer) -> Region:
+        if layer not in self._region_cache:
+            self._region_cache[layer] = self.cell.region(layer)
+        return self._region_cache[layer]
+
+    def replace_layer(self, layer: Layer, region: Region) -> None:
+        """Swap a layer's geometry (e.g. after wire spreading)."""
+        self.cell._shapes[layer] = list(region.rects())
+        self._region_cache.pop(layer, None)
+
+    def invalidate(self, layer: Layer | None = None) -> None:
+        if layer is None:
+            self._region_cache.clear()
+        else:
+            self._region_cache.pop(layer, None)
+
+    @property
+    def extent(self) -> Rect:
+        bb = self.cell.bbox
+        return bb if bb is not None else Rect(0, 0, 1, 1)
+
+    @property
+    def area_nm2(self) -> int:
+        return self.extent.area

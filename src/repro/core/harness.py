@@ -1,0 +1,53 @@
+"""The evaluation harness: baseline, apply, re-measure, verdict."""
+
+from __future__ import annotations
+
+from repro.core.context import DesignContext
+from repro.core.metrics import DesignMetrics, measure_design
+from repro.core.scorecard import Scorecard, ScorecardRow
+from repro.core.techniques import DFMTechnique, default_techniques
+from repro.geometry import Rect
+from repro.layout import Cell
+from repro.tech.technology import Technology
+
+
+def evaluate_techniques(
+    cell: Cell,
+    tech: Technology,
+    techniques: list[DFMTechnique] | None = None,
+    d0_per_cm2: float | None = None,
+    hotspot_window: Rect | None = None,
+) -> Scorecard:
+    """Run the full hit-or-hype evaluation on a design.
+
+    Every technique starts from the same flattened baseline; benefits are
+    deltas against the shared baseline measurement, so techniques can be
+    compared directly.
+    """
+    techniques = techniques if techniques is not None else default_techniques()
+    base_ctx = DesignContext.from_cell(cell, tech)
+    baseline = measure_design(base_ctx, d0_per_cm2, hotspot_window)
+    card = Scorecard(design=cell.name, node=tech.name, baseline=baseline)
+    for technique in techniques:
+        outcome = technique.apply(base_ctx)
+        after = measure_design(outcome.ctx, d0_per_cm2, hotspot_window)
+        area_pct = (
+            100.0 * outcome.area_delta_nm2 / baseline.area_nm2
+            if baseline.area_nm2
+            else 0.0
+        )
+        card.add(
+            ScorecardRow(
+                technique=technique.name,
+                category=technique.category,
+                yield_before=baseline.yield_proxy,
+                yield_after=after.yield_proxy,
+                hotspots_before=baseline.hotspot_count,
+                hotspots_after=after.hotspot_count,
+                area_percent=area_pct,
+                mask_vertex_factor=outcome.mask_vertex_factor,
+                runtime_s=outcome.runtime_s,
+                notes=outcome.notes,
+            )
+        )
+    return card

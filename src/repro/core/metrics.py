@@ -1,0 +1,206 @@
+"""Design-quality metrics: the common yardstick every technique is
+measured against.
+
+The yield proxy combines the three dominant loss mechanisms of the era:
+
+* random-defect faults on the routing layers (critical-area lambda),
+* via failures (single vs. redundant cuts),
+* systematic litho faults (hotspots found in a sampled window, each
+  assigned a fault probability).
+
+All three become lambdas and multiply into a negative-binomial yield.
+Costs are measured separately (area, added shapes, runtime) by the
+harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.context import DesignContext
+from repro.geometry import GridIndex, Rect, Region
+from repro.litho.hotspots import find_hotspots
+from repro.litho.model import LithoModel
+from repro.yieldmodels.critical_area import weighted_critical_area
+from repro.yieldmodels.dsd import DefectSizeDistribution
+from repro.yieldmodels.via_yield import via_failure_lambda
+from repro.yieldmodels.yield_model import (
+    NM2_PER_CM2,
+    yield_negative_binomial,
+)
+
+# Per-instance failure probability of a marginal (hotspot) site: the site
+# prints, but process fluctuation occasionally kills one occurrence.  With
+# die-level extrapolation a single hotspot class costs a few yield points.
+HOTSPOT_FAULT_PROB = 1e-8
+
+# Parametric-yield proxy for CMP: fault rate per nm of across-die
+# post-polish thickness range (thickness excursions break timing or etch).
+CMP_FAULT_PER_NM = 0.002
+
+
+@dataclass
+class DesignMetrics:
+    area_nm2: int = 0
+    lambda_defects: float = 0.0
+    lambda_vias: float = 0.0
+    lambda_hotspots: float = 0.0
+    lambda_cmp: float = 0.0
+    thickness_range_nm: float = 0.0
+    hotspot_count: int = 0
+    via_sites: int = 0
+    redundant_via_sites: int = 0
+    drawn_shape_count: int = 0
+    measure_seconds: float = 0.0
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_lambda(self) -> float:
+        return (
+            self.lambda_defects
+            + self.lambda_vias
+            + self.lambda_hotspots
+            + self.lambda_cmp
+        )
+
+    @property
+    def yield_proxy(self) -> float:
+        return yield_negative_binomial(self.total_lambda, alpha=2.0)
+
+    def summary(self) -> str:
+        return (
+            f"metrics: yield proxy {self.yield_proxy:.4f} "
+            f"(defects {self.lambda_defects:.4g}, vias {self.lambda_vias:.4g}, "
+            f"hotspots {self.lambda_hotspots:.4g}), "
+            f"{self.hotspot_count} hotspots, area {self.area_nm2 / 1e6:.2f} um^2"
+        )
+
+
+def count_via_sites(region: Region, pitch: int) -> tuple[int, int]:
+    """(sites, redundant_sites): cuts within one pitch form one site."""
+    vias = list(region.rects())
+    if not vias:
+        return 0, 0
+    index: GridIndex[int] = GridIndex(cell_size=max(8 * pitch, 256))
+    for i, rect in enumerate(vias):
+        index.insert(rect, i)
+    parent = list(range(len(vias)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for i, j in index.query_pairs(pitch):
+        if vias[i].distance(vias[j]) <= pitch:
+            parent[find(j)] = find(i)
+    sizes: dict[int, int] = {}
+    for i in range(len(vias)):
+        root = find(i)
+        sizes[root] = sizes.get(root, 0) + 1
+    sites = len(sizes)
+    redundant = sum(1 for s in sizes.values() if s >= 2)
+    return sites, redundant
+
+
+def measure_design(
+    ctx: DesignContext,
+    d0_per_cm2: float | None = None,
+    hotspot_window: Rect | None = None,
+    die_area_cm2: float | None = 0.25,
+) -> DesignMetrics:
+    """Measure a design context.
+
+    Hotspot detection simulates a sample window (default: a centred clip
+    of roughly a quarter of the extent's short side) using the layer's
+    *mask* (OPC'd if the context carries one) against the drawn intent.
+
+    ``die_area_cm2`` extrapolates every lambda from the measured block to
+    a full die of that area, treating the block as representative tiling
+    — the standard way block-level statistics become die yields.  Pass
+    ``None`` to keep raw block-level lambdas.
+    """
+    t0 = time.perf_counter()
+    tech = ctx.tech
+    L = tech.layers
+    defects = tech.defects
+    d0 = defects.d0_per_cm2 if d0_per_cm2 is None else d0_per_cm2
+    dsd = DefectSizeDistribution(x0_nm=defects.x0_nm, x_max_nm=defects.max_size_nm)
+
+    metrics = DesignMetrics(area_nm2=ctx.area_nm2)
+    metrics.drawn_shape_count = ctx.cell.shape_count()
+    die_scale = 1.0
+    if die_area_cm2 is not None and ctx.area_nm2 > 0:
+        die_scale = die_area_cm2 * NM2_PER_CM2 / ctx.area_nm2
+
+    # random-defect lambda over the routing layers
+    for layer in (L.metal1, L.metal2, L.metal3):
+        region = ctx.region(layer)
+        if region.is_empty:
+            continue
+        ca_s = weighted_critical_area(region, dsd, "shorts")
+        ca_o = weighted_critical_area(region, dsd, "opens")
+        lam = die_scale * d0 * (ca_s + ca_o) / NM2_PER_CM2
+        metrics.lambda_defects += lam
+        metrics.breakdown[f"defects:{layer.name}"] = lam
+
+    # via failures
+    pitch = tech.via_size + int(1.2 * tech.via_size)
+    for layer in (L.via1, L.via2):
+        sites, redundant = count_via_sites(ctx.region(layer), pitch)
+        metrics.via_sites += sites
+        metrics.redundant_via_sites += redundant
+        lam = die_scale * via_failure_lambda(
+            sites - redundant, redundant, defects.via_fail_prob
+        )
+        metrics.lambda_vias += lam
+        metrics.breakdown[f"vias:{layer.name}"] = lam
+
+    # litho hotspots in a sample window on M1: expose the mask, judge
+    # against the drawn intent
+    window = hotspot_window or _default_window(ctx)
+    m1 = ctx.region(L.metal1)
+    if not m1.is_empty:
+        model = LithoModel(tech.litho)
+        mask = ctx.mask_for(L.metal1)
+        # fixed pinch limit: detection sensitivity must not depend on the
+        # technique under test
+        hotspots = find_hotspots(
+            model, m1, window, mask=mask, pinch_limit=tech.metal_width // 2
+        )
+        metrics.hotspot_count = len(hotspots)
+        window_scale = (ctx.area_nm2 / window.area) if window.area else 1.0
+        lam = die_scale * window_scale * len(hotspots) * HOTSPOT_FAULT_PROB
+        metrics.lambda_hotspots = lam
+        metrics.breakdown["hotspots:M1"] = lam
+
+    # CMP thickness variability on M1 (including any dummy fill, which
+    # lands on datatype 20 of the same GDS layer)
+    extent = ctx.extent
+    fill = ctx.region(L.metal1.with_datatype(20))
+    m1_full = m1 | fill
+    if not m1_full.is_empty:
+        from repro.cmp.density import density_map
+        from repro.cmp.model import thickness_map
+
+        window_nm = min(tech.cmp.window_nm, max(min(extent.width, extent.height) // 2, 1000))
+        dmap = density_map(m1_full, extent, window_nm)
+        thickness = thickness_map(dmap, tech.cmp)
+        metrics.thickness_range_nm = thickness.range
+        lam = CMP_FAULT_PER_NM * thickness.range
+        metrics.lambda_cmp = lam
+        metrics.breakdown["cmp:M1"] = lam
+
+    metrics.measure_seconds = time.perf_counter() - t0
+    return metrics
+
+
+def _default_window(ctx: DesignContext) -> Rect:
+    """A full-height vertical band around the extent centre — sees every
+    row of the block (and any weak-spot strip) with bounded sim cost."""
+    extent = ctx.extent
+    band = max(extent.width // 8, 2000)
+    cx = extent.center.x
+    return Rect(cx - band // 2, extent.y0, cx + band // 2, extent.y1)

@@ -1,0 +1,38 @@
+"""Synthetic design generators.
+
+Every experiment needs layouts; since production designs are proprietary,
+these generators produce seeded, reproducible stand-ins: a parametric
+standard-cell library, routed random-logic blocks, SRAM-like arrays, and
+the classic litho/yield test structures.
+"""
+
+from repro.designgen.stdcells import StdCellLibrary, make_stdcell_library, make_filler_cell
+from repro.designgen.logic import generate_logic_block, insert_fillers, LogicBlockSpec
+from repro.designgen.arrays import make_sram_bitcell, generate_sram_array
+from repro.designgen.teststructures import (
+    line_grating,
+    isolated_line,
+    comb_structure,
+    serpentine,
+    via_chain,
+    dpt_torture,
+    line_end_pairs,
+)
+
+__all__ = [
+    "StdCellLibrary",
+    "make_stdcell_library",
+    "make_filler_cell",
+    "generate_logic_block",
+    "insert_fillers",
+    "LogicBlockSpec",
+    "make_sram_bitcell",
+    "generate_sram_array",
+    "line_grating",
+    "isolated_line",
+    "comb_structure",
+    "serpentine",
+    "via_chain",
+    "dpt_torture",
+    "line_end_pairs",
+]

@@ -1,0 +1,56 @@
+"""SRAM-like arrays: a dense bitcell replicated with AREF.
+
+The bitcell is a caricature of a 6T cell — tight poly/active/contact/M1
+geometry at minimum rules — dense and regular, the opposite design style
+from random logic, which is exactly what the pattern-catalog KL-divergence
+experiment needs.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Rect, Transform
+from repro.layout import Cell, Layout
+from repro.tech.technology import Technology
+
+
+def make_sram_bitcell(tech: Technology) -> Cell:
+    n = tech.node_nm
+    L = tech.layers
+    v = tech.via_size
+    enc = tech.via_enclosure
+    poly_w = tech.poly_width
+    # a tight cell: 10n x 8n
+    w, h = 10 * n, 8 * n
+    cell = Cell("SRAM_BIT")
+    # two horizontal active strips
+    cell.add_rect(L.active, Rect(n, n, w - n, 3 * n))
+    cell.add_rect(L.active, Rect(n, h - 3 * n, w - n, h - n))
+    # two vertical poly gates crossing both
+    for gx in (3 * n, 7 * n):
+        cell.add_rect(L.poly, Rect(gx, 0, gx + poly_w, h))
+    # bitline contacts + stubs
+    for cx in (int(1.2 * n), w - int(1.2 * n) - v):
+        for cy in (2 * n - v // 2, h - 2 * n - v // 2):
+            cell.add_rect(L.contact, Rect(cx, cy, cx + v, cy + v))
+            cell.add_rect(L.metal1, Rect(cx - enc, cy - enc, cx + v + enc, cy + v + enc))
+    # wordline in M1 across the middle
+    cell.add_rect(L.metal1, Rect(0, h // 2 - n // 2, w, h // 2 + n - n // 2))
+    return cell
+
+
+def generate_sram_array(
+    tech: Technology, rows: int = 16, cols: int = 16, name: str = "SRAM"
+) -> Layout:
+    layout = Layout(name)
+    bit = make_sram_bitcell(tech)
+    layout.add_cell(bit)
+    top = layout.new_cell(name)
+    bb = bit.bbox
+    top.add_ref(bit, Transform(0, 0), columns=cols, rows=rows, dx=bb.width, dy=bb.height)
+    # bitlines in M2 over the columns
+    L = tech.layers
+    wire_w = tech.via_size + 2 * tech.via_enclosure
+    for c in range(cols):
+        x = c * bb.width + bb.width // 2
+        top.add_rect(L.metal2, Rect(x - wire_w // 2, 0, x + wire_w - wire_w // 2, rows * bb.height))
+    return layout

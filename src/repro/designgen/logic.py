@@ -1,0 +1,294 @@
+"""Random-logic block generator: placed standard-cell rows plus a
+deterministic track router over M2/M3.
+
+The router is intentionally simple — each net owns private vertical (M2)
+and horizontal (M3) tracks, so generated blocks are correct by
+construction — but the resulting geometry has everything the DFM engines
+need: multi-layer wires, single vias to make redundant, line ends, bends,
+and density gradients.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, Rect, Region, Transform
+from repro.layout import Cell, Layout
+from repro.designgen.stdcells import StdCellLibrary, make_stdcell_library
+from repro.tech.technology import Technology
+
+
+@dataclass
+class LogicBlockSpec:
+    """Knobs for the generator; defaults give a laptop-scale block.
+
+    ``weak_spots`` sprinkles marginal-but-legal configurations (facing
+    line-end pairs at tight tip gaps, minimum-pitch jog pairs) into free
+    M1 area — the legacy-IP weak spots DFM techniques exist to catch.
+    ``congested`` packs the routing tracks at minimum pitch so wire
+    spreading has actual slack to exploit.
+    """
+
+    rows: int = 4
+    row_width_nm: int = 20000
+    net_count: int = 24
+    utilization: float = 0.8
+    seed: int = 1
+    name: str = "LOGIC"
+    weak_spots: int = 0
+    congested: bool = True
+
+
+@dataclass
+class PlacedPin:
+    net_hint: str
+    at: Point  # pin centre in block coordinates
+    is_output: bool
+
+
+@dataclass
+class LogicBlock:
+    """The generated block plus bookkeeping the experiments use."""
+
+    layout: Layout
+    top: Cell
+    spec: LogicBlockSpec
+    cell_count: int = 0
+    net_count: int = 0
+    pins: list[PlacedPin] = field(default_factory=list)
+    routed_nets: list[tuple[PlacedPin, PlacedPin]] = field(default_factory=list)
+    gaps: list[Rect] = field(default_factory=list)  # unfilled placement area
+
+
+def generate_logic_block(
+    tech: Technology,
+    spec: LogicBlockSpec | None = None,
+    library: StdCellLibrary | None = None,
+) -> LogicBlock:
+    spec = spec or LogicBlockSpec()
+    library = library or make_stdcell_library(tech)
+    rng = random.Random(spec.seed)
+    layout = Layout(spec.name)
+    top = layout.new_cell(spec.name)
+
+    row_h = tech.cell_height
+    names = library.names()
+    weights = [3 if "INV" in n or "NAND" in n else 1 for n in names]
+
+    outputs: list[PlacedPin] = []
+    inputs: list[PlacedPin] = []
+    block_gaps: list[Rect] = []
+    cell_count = 0
+    for row in range(spec.rows):
+        x = 0
+        y = row * row_h
+        while x < spec.row_width_nm:
+            if rng.random() > spec.utilization:
+                gap_w = tech.poly_pitch * 2  # placement gap
+                block_gaps.append(Rect(x, y, x + gap_w, y + row_h))
+                x += gap_w
+                continue
+            name = rng.choices(names, weights)[0]
+            std = library[name]
+            if x + std.width_nm > spec.row_width_nm:
+                block_gaps.append(Rect(x, y, spec.row_width_nm, y + row_h))
+                break
+            t = Transform(x, y)
+            top.add_ref(std.cell, t)
+            cell_count += 1
+            for pin in std.pins.values():
+                centre = t.apply_rect(pin.rect).center
+                placed = PlacedPin(net_hint=pin.name, at=centre, is_output=(pin.name == "Z"))
+                (outputs if placed.is_output else inputs).append(placed)
+            x += std.width_nm
+    layout.add_cell(top)  # pulls the referenced library cells into the library
+
+    block = LogicBlock(layout=layout, top=top, spec=spec, cell_count=cell_count)
+    block.gaps = block_gaps
+    block.pins = outputs + inputs
+    if outputs and inputs:
+        _route_nets(tech, top, outputs, inputs, spec, rng, block)
+    if spec.weak_spots > 0:
+        _seed_weak_spots(tech, top, spec, rng)
+    return block
+
+
+def _seed_weak_spots(tech: Technology, top: Cell, spec: LogicBlockSpec, rng: random.Random) -> None:
+    """Drop marginal M1 configurations into the free strip above the rows.
+
+    Each weak spot is a facing line-end pair at exactly the minimum tip
+    gap — DRC-legal, litho-marginal (pullback necking at both tips): the
+    population DRC-Plus pattern checks and litho verification find.
+    """
+    L = tech.layers
+    w = tech.metal_width
+    tight_gap = tech.metal_space  # exactly at the limit: legal, marginal
+    strip_y = spec.rows * tech.cell_height + 4 * tech.metal_space
+    length = 8 * w
+    pitch = 6 * (w + tech.metal_space)
+    for k in range(spec.weak_spots):
+        x = (k * pitch) % max(spec.row_width_nm - 2 * w, pitch)
+        lane = (k * pitch) // max(spec.row_width_nm - 2 * w, pitch)
+        y = strip_y + lane * (2 * length + tight_gap + 6 * tech.metal_space)
+        top.add_rect(L.metal1, Rect(x, y, x + w, y + length))
+        top.add_rect(L.metal1, Rect(x, y + length + tight_gap, x + w, y + 2 * length + tight_gap))
+
+
+def _route_nets(
+    tech: Technology,
+    top: Cell,
+    outputs: list[PlacedPin],
+    inputs: list[PlacedPin],
+    spec: LogicBlockSpec,
+    rng: random.Random,
+    block: LogicBlock,
+) -> None:
+    """Pin-aligned routing, correct by construction.
+
+    Each net drops a via directly on its pins (no M1 modification at
+    all), runs min-width M2 verticals at the pin x positions, and joins
+    them with a min-width M3 horizontal on a private track.  Two-sided
+    via enclosure makes min-width landings legal; an explicit spacing
+    check between M2 verticals rejects nets whose pins sit too close to
+    already-routed columns.
+    """
+    L = tech.layers
+    v = tech.via_size
+    wire_w = tech.metal_width
+    s = tech.metal_space
+    m3_pitch = wire_w + s if spec.congested else 2 * (wire_w + s)
+
+    block_h = spec.rows * tech.cell_height
+    n_m3 = max((block_h - 2 * wire_w) // m3_pitch, 1)
+
+    used_m3: set[int] = set()
+    m2_columns: list[Rect] = []
+    via_cuts: list[Rect] = []
+    via_space = int(1.2 * v)
+    routed = 0
+    attempts = 0
+    while routed < spec.net_count and attempts < spec.net_count * 8:
+        attempts += 1
+        src = rng.choice(outputs)
+        dst = rng.choice(inputs)
+        if src.at.x == dst.at.x:
+            continue
+        m3_t = _pick_track(rng, n_m3, used_m3)
+        if m3_t is None:
+            break
+        ym3 = wire_w + m3_t * m3_pitch
+        columns = [_m2_column(pin.at, ym3, wire_w, v, tech.via_enclosure) for pin in (src, dst)]
+        if any(_column_conflicts(col, m2_columns, s) for col in columns):
+            continue
+        if columns[0].expanded(s).overlaps(columns[1]):
+            continue
+        cuts = []
+        for pin in (src, dst):
+            for yy in (pin.at.y, ym3):
+                cuts.append(Rect(pin.at.x - v // 2, yy - v // 2,
+                                 pin.at.x - v // 2 + v, yy - v // 2 + v))
+        if any(
+            old.distance(new) < via_space for old in via_cuts for new in cuts
+        ):
+            continue
+        # cut spacing is net-independent: the net's own cut pairs (e.g.
+        # the two V2s on the M3 track) must clear it too
+        if any(
+            cuts[i].distance(cuts[j]) < via_space and cuts[i] != cuts[j]
+            for i in range(len(cuts))
+            for j in range(i + 1, len(cuts))
+        ):
+            continue
+        used_m3.add(m3_t)
+        m2_columns.extend(columns)
+        via_cuts.extend(cuts)
+        _draw_net(tech, top, src.at, dst.at, ym3, wire_w)
+        block.routed_nets.append((src, dst))
+        routed += 1
+    block.net_count = routed
+
+
+def _m2_column(pin: Point, ym3: int, wire_w: int, v: int, enc: int) -> Rect:
+    lo = wire_w // 2
+    hi = wire_w - lo
+    ext = (v - v // 2) + enc  # past the via centre line: half a cut + enclosure
+    y0, y1 = sorted((pin.y, ym3))
+    column = Rect(pin.x - lo, y0 - ext, pin.x + hi, y1 + ext)
+    # keep the column long enough for the minimum-area rule
+    min_h = 3 * wire_w
+    if column.height < min_h:
+        pad = (min_h - column.height + 1) // 2
+        column = Rect(column.x0, column.y0 - pad, column.x1, column.y1 + pad)
+    return column
+
+
+def _column_conflicts(column: Rect, existing: list[Rect], s: int) -> bool:
+    halo = column.expanded(s)
+    return any(halo.overlaps(other) for other in existing)
+
+
+def _pick_track(rng: random.Random, n: int, used: set[int]) -> int | None:
+    free = [i for i in range(n) if i not in used]
+    if not free:
+        return None
+    return rng.choice(free)
+
+
+def _draw_net(
+    tech: Technology,
+    top: Cell,
+    src: Point,
+    dst: Point,
+    ym3: int,
+    wire_w: int,
+) -> None:
+    """One net: V1 on each pin -> M2 verticals -> V2 -> M3 horizontal."""
+    L = tech.layers
+    v = tech.via_size
+    enc = tech.via_enclosure
+    lo = wire_w // 2
+    hi = wire_w - lo
+
+    for pin in (src, dst):
+        # via1 directly on the pin's M1 landing
+        top.add_rect(L.via1, Rect(pin.x - v // 2, pin.y - v // 2,
+                                  pin.x - v // 2 + v, pin.y - v // 2 + v))
+        # M2 vertical from the pin to the M3 track, extended past both
+        # vias by the (two-sided) enclosure
+        top.add_rect(L.metal2, _m2_column(pin, ym3, wire_w, v, enc))
+        # via2 at the M3 junction
+        top.add_rect(L.via2, Rect(pin.x - v // 2, ym3 - v // 2,
+                                  pin.x - v // 2 + v, ym3 - v // 2 + v))
+    # M3 span, extended past the end vias by the enclosure
+    hx0, hx1 = sorted((src.x, dst.x))
+    end_ext = (v - v // 2) + enc
+    top.add_rect(L.metal3, Rect(hx0 - end_ext, ym3 - lo, hx1 + end_ext, ym3 + hi))
+
+
+def insert_fillers(tech: Technology, block: LogicBlock) -> int:
+    """Drop filler cells into the recorded placement gaps, in place.
+
+    Returns the number of fillers placed.  Gaps are tiled with the widest
+    filler that fits (pitch granularity), keeping rails and well
+    continuity across each row — what placement legalization does after
+    detail placement.
+    """
+    from repro.designgen.stdcells import make_filler_cell
+
+    pitch = tech.poly_pitch
+    fillers: dict[int, Cell] = {}
+    placed = 0
+    for gap in block.gaps:
+        x = gap.x0
+        while gap.x1 - x >= pitch:
+            n_pitches = min((gap.x1 - x) // pitch, 8)
+            cell = fillers.get(n_pitches)
+            if cell is None:
+                cell = make_filler_cell(tech, n_pitches)
+                fillers[n_pitches] = cell
+                block.layout.add_cell(cell)
+            block.top.add_ref(cell, Transform(x, gap.y0))
+            placed += 1
+            x += n_pitches * pitch
+    return placed

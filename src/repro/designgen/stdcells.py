@@ -1,0 +1,186 @@
+"""Parametric standard-cell library.
+
+Cells follow the classic horizontal-rail template: NMOS active strip at
+the bottom, PMOS strip at the top, vertical poly gates on the poly pitch,
+contacted source/drain diffusion, M1 power rails, and M1 pin stubs.  The
+geometry scales with the technology node so the same generator serves the
+65/45/32 nm experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Rect
+from repro.layout import Cell, Layer
+from repro.tech.technology import Technology
+
+
+@dataclass
+class PinInfo:
+    """A logical pin and where to hook a router to it."""
+
+    name: str
+    layer: Layer
+    rect: Rect
+
+
+@dataclass
+class StdCell:
+    """A generated cell plus its pin map and drive parameters."""
+
+    cell: Cell
+    pins: dict[str, PinInfo] = field(default_factory=dict)
+    width_nm: int = 0
+    n_gates: int = 0
+    drive_width_nm: int = 0
+    logical_effort: float = 1.0
+    parasitic: float = 1.0
+
+
+@dataclass
+class StdCellLibrary:
+    tech: Technology
+    cells: dict[str, StdCell] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> StdCell:
+        return self.cells[name]
+
+    def names(self) -> list[str]:
+        return sorted(self.cells)
+
+
+def make_filler_cell(tech: Technology, n_pitches: int = 1) -> Cell:
+    """A filler: rails, well, and implants only — drops into placement
+    gaps so the rows stay continuous and M1 density stays uniform."""
+    if n_pitches < 1:
+        raise ValueError("filler needs at least one pitch")
+    n = tech.node_nm
+    L = tech.layers
+    height = tech.cell_height
+    width = n_pitches * tech.poly_pitch
+    rail_h = 2 * n
+    cell = Cell(f"FILL_X{n_pitches}")
+    cell.add_rect(L.metal1, Rect(0, 0, width, rail_h))
+    cell.add_rect(L.metal1, Rect(0, height - rail_h, width, height))
+    cell.add_rect(L.nwell, Rect(0, height // 2, width, height))
+    cell.add_rect(L.implant_n, Rect(0, rail_h, width, height // 2))
+    cell.add_rect(L.implant_p, Rect(0, height // 2, width, height - rail_h))
+    return cell
+
+
+def make_stdcell_library(tech: Technology) -> StdCellLibrary:
+    """Build the standard set: INV_X1, INV_X2, BUF_X1, NAND2_X1, NOR2_X1,
+    AOI21_X1, and DFF_X1 (a composite block)."""
+    lib = StdCellLibrary(tech=tech)
+    lib.cells["INV_X1"] = _simple_cell(tech, "INV_X1", n_gates=1, drive=1, g=1.0, p=1.0)
+    lib.cells["INV_X2"] = _simple_cell(tech, "INV_X2", n_gates=2, drive=2, g=1.0, p=1.0)
+    lib.cells["BUF_X1"] = _simple_cell(tech, "BUF_X1", n_gates=2, drive=1, g=1.0, p=2.0)
+    lib.cells["NAND2_X1"] = _simple_cell(tech, "NAND2_X1", n_gates=2, drive=1, g=4.0 / 3.0, p=2.0)
+    lib.cells["NOR2_X1"] = _simple_cell(tech, "NOR2_X1", n_gates=2, drive=1, g=5.0 / 3.0, p=2.0)
+    lib.cells["AOI21_X1"] = _simple_cell(tech, "AOI21_X1", n_gates=3, drive=1, g=2.0, p=3.0)
+    lib.cells["DFF_X1"] = _simple_cell(tech, "DFF_X1", n_gates=6, drive=1, g=1.0, p=4.0)
+    return lib
+
+
+def _simple_cell(
+    tech: Technology, name: str, n_gates: int, drive: int, g: float, p: float
+) -> StdCell:
+    """The shared physical template, parameterized by gate count."""
+    n = tech.node_nm
+    L = tech.layers
+    height = tech.cell_height              # 14n
+    pitch = tech.poly_pitch                # 4n
+    poly_w = tech.poly_width
+    v = tech.via_size
+    enc = tech.via_enclosure
+    width = (n_gates + 1) * pitch
+
+    cell = Cell(name)
+    rail_h = 2 * n
+    enc_ct = max(enc // 2, 2)  # active/poly enclosure of contacts
+    # power rails (M1)
+    cell.add_rect(L.metal1, Rect(0, 0, width, rail_h))
+    cell.add_rect(L.metal1, Rect(0, height - rail_h, width, height))
+    # diffusion strips (3n tall each, 2n apart so N and P stay separate)
+    nact_y0, nact_y1 = rail_h + n, rail_h + 4 * n
+    pact_y0, pact_y1 = height - rail_h - 4 * n, height - rail_h - n
+    # active must enclose the outermost contact columns
+    act_margin = pitch // 2 - v // 2 - enc_ct - 1  # -1: odd via sizes round asymmetrically
+    cell.add_rect(L.active, Rect(act_margin, nact_y0, width - act_margin, nact_y1))
+    cell.add_rect(L.active, Rect(act_margin, pact_y0, width - act_margin, pact_y1))
+    cell.add_rect(L.nwell, Rect(0, (nact_y1 + pact_y0) // 2, width, height))
+    cell.add_rect(L.implant_n, Rect(0, rail_h, width, nact_y1 + n))
+    cell.add_rect(L.implant_p, Rect(0, pact_y0 - n, width, height - rail_h))
+
+    ext = int(1.3 * n) + 2  # poly endcap beyond active
+    gate_xs = []
+    for i in range(n_gates):
+        gx = (i + 1) * pitch - poly_w // 2
+        gate_xs.append(gx)
+        cell.add_rect(L.poly, Rect(gx, nact_y0 - ext, gx + poly_w, nact_y1 + ext))
+        cell.add_rect(L.poly, Rect(gx, pact_y0 - ext, gx + poly_w, pact_y1 + ext))
+
+    # source/drain contacts between gates, tied to rails alternately.
+    # M1 columns are drawn at contact width (two-sided enclosure style:
+    # the metal encloses each cut vertically only) so adjacent columns at
+    # the half-pitch keep legal spacing.
+    pins: dict[str, PinInfo] = {}
+    for i in range(n_gates + 1):
+        cx = i * pitch + pitch // 2 - v // 2
+        if i == 0 or i == n_gates or i % 2 == 0:
+            # rail-side contact columns with M1 straps to the rails
+            for (ay0, ay1, rail_y0, rail_y1) in (
+                (nact_y0, nact_y1, 0, rail_h),
+                (pact_y0, pact_y1, height - rail_h, height),
+            ):
+                cy = (ay0 + ay1) // 2 - v // 2
+                contact = Rect(cx, cy, cx + v, cy + v)
+                if i == 0 or i == n_gates:
+                    cell.add_rect(L.contact, contact)
+                    if rail_y0 == 0:
+                        cell.add_rect(L.metal1, Rect(cx, 0, cx + v, cy + v + enc))
+                    else:
+                        cell.add_rect(L.metal1, Rect(cx, cy - enc, cx + v, height))
+        else:
+            # internal/output node contact with an M1 stub (the pin)
+            cy = (nact_y0 + nact_y1) // 2 - v // 2
+            cy_p = (pact_y0 + pact_y1) // 2 - v // 2
+            cell.add_rect(L.contact, Rect(cx, cy, cx + v, cy + v))
+            cell.add_rect(L.contact, Rect(cx, cy_p, cx + v, cy_p + v))
+            stub = Rect(cx, cy - enc, cx + v, cy_p + v + enc)
+            cell.add_rect(L.metal1, stub)
+            pin_name = "Z" if "Z" not in pins else f"N{i}"
+            pins[pin_name] = PinInfo(pin_name, L.metal1, stub)
+
+    # input pins: poly landing with contact in the mid-track
+    mid_y = height // 2 - v // 2
+    for k, gx in enumerate(gate_xs):
+        pad_w = v + 2 * enc_ct
+        px0 = gx + poly_w // 2 - pad_w // 2
+        pad = Rect(px0, mid_y - enc_ct, px0 + pad_w, mid_y + v + enc_ct)
+        cell.add_rect(L.poly, pad)
+        cell.add_rect(L.contact, Rect(px0 + enc_ct, mid_y, px0 + enc_ct + v, mid_y + v))
+        m1pad = Rect(px0 + enc_ct, mid_y - enc, px0 + enc_ct + v, mid_y + v + enc)
+        cell.add_rect(L.metal1, m1pad)
+        pins[f"A{k}"] = PinInfo(f"A{k}", L.metal1, m1pad)
+
+    if "Z" not in pins:  # single-gate cells: output at the right contact column
+        cx = n_gates * pitch + pitch // 2 - v // 2
+        cy = (nact_y0 + nact_y1) // 2 - v // 2
+        cy_p = (pact_y0 + pact_y1) // 2 - v // 2
+        stub = Rect(cx, cy - enc, cx + v, cy_p + v + enc)
+        cell.add_rect(L.contact, Rect(cx, cy, cx + v, cy + v))
+        cell.add_rect(L.contact, Rect(cx, cy_p, cx + v, cy_p + v))
+        cell.add_rect(L.metal1, stub)
+        pins["Z"] = PinInfo("Z", L.metal1, stub)
+
+    return StdCell(
+        cell=cell,
+        pins=pins,
+        width_nm=width,
+        n_gates=n_gates,
+        drive_width_nm=drive * 4 * n,
+        logical_effort=g,
+        parasitic=p,
+    )

@@ -1,0 +1,130 @@
+"""Classic test structures: gratings, combs, serpentines, via chains, and
+DPT torture patterns — the calibration workloads of every DFM experiment."""
+
+from __future__ import annotations
+
+from repro.geometry import Point, Rect, Region
+from repro.layout import Cell, Layer
+from repro.tech.technology import Technology
+
+
+def line_grating(
+    width: int, pitch: int, n_lines: int, length: int, origin: Point = Point(0, 0)
+) -> Region:
+    """``n_lines`` vertical lines of ``width`` at ``pitch``."""
+    if width <= 0 or pitch <= width or n_lines < 1:
+        raise ValueError("need 0 < width < pitch and n_lines >= 1")
+    return Region(
+        [
+            Rect(origin.x + i * pitch, origin.y, origin.x + i * pitch + width, origin.y + length)
+            for i in range(n_lines)
+        ]
+    )
+
+
+def isolated_line(width: int, length: int, origin: Point = Point(0, 0)) -> Region:
+    return Region(Rect(origin.x, origin.y, origin.x + width, origin.y + length))
+
+
+def comb_structure(
+    finger_width: int,
+    finger_space: int,
+    n_fingers: int,
+    finger_length: int,
+    origin: Point = Point(0, 0),
+) -> Region:
+    """Two interdigitated combs — the canonical shorts monitor.
+
+    Fingers alternate between a bottom spine and a top spine; any bridge
+    between adjacent fingers shorts the combs.
+    """
+    pitch = finger_width + finger_space
+    spine = finger_width * 2
+    total_w = n_fingers * pitch + finger_width
+    rects = [
+        # bottom and top spines
+        Rect(origin.x, origin.y, origin.x + total_w, origin.y + spine),
+        Rect(origin.x, origin.y + spine + finger_length + 2 * finger_space,
+             origin.x + total_w, origin.y + 2 * spine + finger_length + 2 * finger_space),
+    ]
+    for i in range(n_fingers):
+        x = origin.x + i * pitch + finger_width
+        if i % 2 == 0:  # bottom comb finger
+            rects.append(Rect(x, origin.y + spine, x + finger_width,
+                              origin.y + spine + finger_length + finger_space))
+        else:  # top comb finger
+            rects.append(Rect(x, origin.y + spine + finger_space, x + finger_width,
+                              origin.y + spine + finger_length + 2 * finger_space))
+    return Region(rects)
+
+
+def serpentine(
+    wire_width: int,
+    wire_space: int,
+    n_turns: int,
+    leg_length: int,
+    origin: Point = Point(0, 0),
+) -> Region:
+    """A single snaking wire — the canonical opens monitor."""
+    pitch = wire_width + wire_space
+    rects = []
+    for i in range(n_turns):
+        x = origin.x + i * pitch
+        rects.append(Rect(x, origin.y, x + wire_width, origin.y + leg_length))
+        # connector alternating top/bottom
+        if i < n_turns - 1:
+            if i % 2 == 0:
+                rects.append(Rect(x, origin.y + leg_length - wire_width,
+                                  x + pitch + wire_width, origin.y + leg_length))
+            else:
+                rects.append(Rect(x, origin.y, x + pitch + wire_width, origin.y + wire_width))
+    return Region(rects)
+
+
+def via_chain(tech: Technology, n_links: int, origin: Point = Point(0, 0)) -> Cell:
+    """A daisy chain alternating M1 and M2 links joined by single vias."""
+    L = tech.layers
+    v = tech.via_size
+    enc = tech.via_enclosure
+    link_w = v + 2 * enc
+    link_len = 4 * v + 4 * enc
+    step = link_len - (v + 2 * enc)
+    cell = Cell(f"VIACHAIN_{n_links}")
+    x, y = origin.x, origin.y
+    for i in range(n_links):
+        layer = L.metal1 if i % 2 == 0 else L.metal2
+        cell.add_rect(layer, Rect(x, y, x + link_len, y + link_w))
+        via_x = x + link_len - enc - v
+        cell.add_rect(L.via1, Rect(via_x, y + enc, via_x + v, y + enc + v))
+        x += step
+    # final landing pad so the last via is enclosed on both layers
+    layer = L.metal1 if n_links % 2 == 0 else L.metal2
+    cell.add_rect(layer, Rect(x, y, x + link_len, y + link_w))
+    return cell
+
+
+def dpt_torture(pitch: int, width: int, rows: int, origin: Point = Point(0, 0)) -> Region:
+    """A brick-wall pattern whose staggered row offsets create dense
+    conflict graphs at tight pitch — the DPT stress workload."""
+    brick_len = 6 * pitch
+    rects = []
+    for j in range(rows):
+        y = origin.y + j * pitch
+        offset = (j % 3) * (brick_len // 3)
+        for k in range(4):
+            x = origin.x + offset + k * (brick_len + pitch)
+            rects.append(Rect(x, y, x + brick_len, y + width))
+    return Region(rects)
+
+
+def line_end_pairs(
+    width: int, gap: int, n_pairs: int, length: int, pitch: int, origin: Point = Point(0, 0)
+) -> Region:
+    """Facing line-end pairs at a given tip-to-tip gap — the classic
+    pullback/bridge monitor for DRC-Plus pattern studies."""
+    rects = []
+    for i in range(n_pairs):
+        x = origin.x + i * pitch
+        rects.append(Rect(x, origin.y, x + width, origin.y + length))
+        rects.append(Rect(x, origin.y + length + gap, x + width, origin.y + 2 * length + gap))
+    return Region(rects)

@@ -1,0 +1,26 @@
+"""Double-patterning technology (DPT): layout decomposition onto two
+exposure masks, stitch insertion, and compliance scoring."""
+
+from repro.dpt.decompose import (
+    ConflictGraph,
+    DecompositionResult,
+    build_conflict_graph,
+    decompose_dpt,
+)
+from repro.dpt.stitch import Stitch, decompose_with_stitches
+from repro.dpt.score import DptScore, score_decomposition
+from repro.dpt.psm import PhaseAssignment, assign_phases, critical_gates
+
+__all__ = [
+    "ConflictGraph",
+    "DecompositionResult",
+    "build_conflict_graph",
+    "decompose_dpt",
+    "Stitch",
+    "decompose_with_stitches",
+    "DptScore",
+    "score_decomposition",
+    "PhaseAssignment",
+    "assign_phases",
+    "critical_gates",
+]

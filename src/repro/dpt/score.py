@@ -1,0 +1,72 @@
+"""DPT-compliance scoring.
+
+The 2012 scoring methodology abstracts decomposition quality to [0, 1]
+metrics so layouts can be compared and optimized before tape-out:
+
+* ``balance``  — density balance between the two exposures (equal mask
+  loading images best).
+* ``stitch_score`` — few stitches per feature.
+* ``overlay_score`` — stitch overlaps large enough to tolerate mask
+  misalignment.
+* ``conflict_score`` — fraction of features free of odd-cycle conflicts.
+
+The composite is the weighted mean; the paper's example improves a layout
+from 0.66 to 0.78 by rebalancing masks — the bench reproduces that kind of
+delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dpt.decompose import DecompositionResult
+from repro.dpt.stitch import Stitch
+
+
+@dataclass(frozen=True, slots=True)
+class DptScore:
+    balance: float
+    stitch_score: float
+    overlay_score: float
+    conflict_score: float
+
+    @property
+    def composite(self) -> float:
+        return (
+            0.3 * self.balance
+            + 0.2 * self.stitch_score
+            + 0.2 * self.overlay_score
+            + 0.3 * self.conflict_score
+        )
+
+    def summary(self) -> str:
+        return (
+            f"DPT score {self.composite:.2f} "
+            f"(balance {self.balance:.2f}, stitches {self.stitch_score:.2f}, "
+            f"overlay {self.overlay_score:.2f}, conflicts {self.conflict_score:.2f})"
+        )
+
+
+def score_decomposition(
+    result: DecompositionResult,
+    stitches: list[Stitch] | None = None,
+    min_overlap_area: int = 400,
+) -> DptScore:
+    """Score a decomposition (with optional stitch list)."""
+    stitches = stitches or []
+    area_a = result.mask_a.area
+    area_b = result.mask_b.area
+    total = area_a + area_b
+    balance = 1.0 - abs(area_a - area_b) / total if total else 1.0
+
+    n_features = max(len(result.features), 1)
+    stitch_score = max(0.0, 1.0 - len(stitches) / n_features)
+
+    if stitches:
+        good = sum(1 for s in stitches if s.overlap_area >= min_overlap_area)
+        overlay_score = good / len(stitches)
+    else:
+        overlay_score = 1.0
+
+    conflict_score = 1.0 - len(result.conflict_features) / n_features
+    return DptScore(balance, stitch_score, overlay_score, conflict_score)

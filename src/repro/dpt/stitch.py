@@ -1,0 +1,188 @@
+"""Stitch insertion: splitting features to break odd cycles.
+
+When a feature participates in an odd cycle, cutting it in two lets the
+halves take different colors; the cut becomes a *stitch* where the two
+exposures must overlap.  Stitches cost overlay sensitivity, so good flows
+minimize them and standardize their geometry (the 20 nm stitch-library
+paper) — the scorer in :mod:`repro.dpt.score` measures exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.geometry import Rect, Region
+from repro.dpt.decompose import DecompositionResult, build_conflict_graph, decompose_dpt
+
+
+@dataclass(frozen=True, slots=True)
+class Stitch:
+    """One stitch: the overlap box where both masks print the feature."""
+
+    feature_index: int
+    overlap: Rect
+    horizontal_cut: bool
+
+    @property
+    def overlap_area(self) -> int:
+        return self.overlap.area
+
+
+def decompose_with_stitches(
+    region: Region,
+    same_mask_space: int,
+    stitch_overlap: int = 20,
+    max_rounds: int = 4,
+) -> tuple[DecompositionResult, list[Stitch]]:
+    """Decompose with stitch insertion on conflicted components.
+
+    Each round splits, in every odd cycle, the feature with the highest
+    conflict degree at the midpoint of its longest extent; the two halves
+    overlap by ``stitch_overlap``.  Rounds repeat until the graph is
+    bipartite or ``max_rounds`` is exhausted (some conflicts — e.g. a
+    triangle of minimum-size squares — are genuinely unfixable).
+    """
+    stitches: list[Stitch] = []
+    working = region
+    split_boxes: list[tuple[Rect, bool, int]] = []  # (overlap, horizontal, orig index)
+    for _ in range(max_rounds):
+        result = decompose_dpt(working, same_mask_space)
+        if result.is_clean:
+            break
+        new_cuts: list[tuple[Region, Rect, bool]] = []
+        handled: set[int] = set()
+        for cycle in result.conflict_cycles:
+            cut_found = None
+            # pick the cycle member whose two cycle-neighbours project
+            # farthest apart along its long axis: cutting between their
+            # attachment points moves them onto different halves, which
+            # flips the cycle parity
+            order = sorted(
+                range(len(cycle)),
+                key=lambda k: -_neighbor_gap(result.features, cycle, k),
+            )
+            for k in order:
+                victim = cycle[k]
+                if victim in handled:
+                    continue
+                prev_f = result.features[cycle[k - 1]]
+                next_f = result.features[cycle[(k + 1) % len(cycle)]]
+                cut = _cut_feature(
+                    result.features[victim], stitch_overlap, prev_f, next_f,
+                    same_mask_space,
+                )
+                if cut is not None:
+                    cut_found = (result.features[victim],) + cut
+                    handled.add(victim)
+                    break
+            if cut_found is not None:
+                feature, overlap, horizontal = cut_found
+                new_cuts.append((feature, overlap, horizontal))
+        if not new_cuts:
+            break
+        for feature, overlap, horizontal in new_cuts:
+            split_boxes.append((overlap, horizontal, -1))
+            working = _apply_cut(working, feature, overlap, horizontal)
+    result = decompose_dpt(working, same_mask_space)
+    # reconstruct stitch records against the final feature list
+    for overlap, horizontal, _ in split_boxes:
+        idx = next(
+            (i for i, f in enumerate(result.features) if f.overlaps(Region(overlap))),
+            -1,
+        )
+        stitches.append(Stitch(idx, overlap, horizontal))
+    # the overlap belongs on BOTH masks
+    for stitch in stitches:
+        patch = region & Region(stitch.overlap)
+        result.mask_a = result.mask_a | patch
+        result.mask_b = result.mask_b | patch
+    return result, stitches
+
+
+def _neighbor_gap(features: list[Region], cycle: list[int], k: int) -> int:
+    """How far apart (along the victim's long axis) the two cycle
+    neighbours of cycle[k] attach — the cut budget."""
+    victim = features[cycle[k]].bbox
+    prev_c = features[cycle[k - 1]].bbox.center
+    next_c = features[cycle[(k + 1) % len(cycle)]].bbox.center
+    if victim.width >= victim.height:
+        return abs(prev_c.x - next_c.x)
+    return abs(prev_c.y - next_c.y)
+
+
+def _region_distance(a: Region, b: Region) -> int:
+    best = None
+    for ra in a.rects():
+        for rb in b.rects():
+            d = ra.distance(rb)
+            if best is None or d < best:
+                best = d
+                if best == 0:
+                    return 0
+    return best if best is not None else 1 << 40
+
+
+def _cut_feature(
+    feature: Region,
+    stitch_overlap: int,
+    prev_f: Region,
+    next_f: Region,
+    same_mask_space: int,
+):
+    """Split a feature so its two cycle neighbours land on opposite
+    halves *with legal same-mask spacing to the far half*.
+
+    Scans candidate cut positions along the long axis; a position is valid
+    when one neighbour clears the right half and the other clears the left
+    half by the same-mask spacing.  Returns (overlap_box, horizontal_cut)
+    or None when no such position exists (genuinely unfixable conflict).
+    """
+    bb = feature.bbox
+    if bb is None:
+        return None
+    horizontal = bb.width >= bb.height  # cut across the long axis
+    span = bb.width if horizontal else bb.height
+    if span < 3 * stitch_overlap:
+        return None
+    margin = max(stitch_overlap, 2)
+    lo = (bb.x0 if horizontal else bb.y0) + margin
+    hi = (bb.x1 if horizontal else bb.y1) - margin
+    step = max(stitch_overlap // 2, 5)
+    for c in range(lo, hi + 1, step):
+        if horizontal:
+            left = feature & Region(Rect(bb.x0, bb.y0, c + stitch_overlap // 2, bb.y1))
+            right = feature & Region(Rect(c - stitch_overlap // 2, bb.y0, bb.x1, bb.y1))
+        else:
+            left = feature & Region(Rect(bb.x0, bb.y0, bb.x1, c + stitch_overlap // 2))
+            right = feature & Region(Rect(bb.x0, c - stitch_overlap // 2, bb.x1, bb.y1))
+        if left.is_empty or right.is_empty:
+            continue
+        ok_forward = (
+            _region_distance(prev_f, right) >= same_mask_space
+            and _region_distance(next_f, left) >= same_mask_space
+        )
+        ok_backward = (
+            _region_distance(prev_f, left) >= same_mask_space
+            and _region_distance(next_f, right) >= same_mask_space
+        )
+        if ok_forward or ok_backward:
+            overlap_region = left & right
+            if not overlap_region.is_empty:
+                return overlap_region.bbox, horizontal
+    return None
+
+
+def _apply_cut(working: Region, feature: Region, overlap: Rect, horizontal: bool) -> Region:
+    """Separate the two halves in the working layout by removing a
+    1-nm-wide slit at the centre of the overlap (so the conflict graph
+    sees two features); the slit is healed when the overlap patch is added
+    back to both masks."""
+    if horizontal:
+        mid = (overlap.x0 + overlap.x1) // 2
+        slit = Rect(mid, overlap.y0, mid + 1, overlap.y1)
+    else:
+        mid = (overlap.y0 + overlap.y1) // 2
+        slit = Rect(overlap.x0, mid, overlap.x1, mid + 1)
+    return working - (Region(slit) & feature)

@@ -1,0 +1,31 @@
+"""Design-rule checking: geometric checks, rule-deck runner, violation
+reports, and the recommended-rule (DFM) compliance scoring model."""
+
+from repro.drc.violations import Violation, DrcReport
+from repro.drc.engine import run_drc, run_drc_regions
+from repro.drc.checks import (
+    check_width,
+    check_spacing,
+    check_layer_spacing,
+    check_enclosure,
+    check_area,
+    check_density,
+    check_extension,
+)
+from repro.drc.scoring import DfmScore, score_recommended_rules
+
+__all__ = [
+    "Violation",
+    "DrcReport",
+    "run_drc",
+    "run_drc_regions",
+    "check_width",
+    "check_spacing",
+    "check_layer_spacing",
+    "check_enclosure",
+    "check_area",
+    "check_density",
+    "check_extension",
+    "DfmScore",
+    "score_recommended_rules",
+]

@@ -1,0 +1,73 @@
+"""The rule-deck runner."""
+
+from __future__ import annotations
+
+from repro.drc import checks
+from repro.drc.violations import DrcReport
+from repro.geometry import Rect, Region
+from repro.layout import Cell, Layer
+from repro.tech.rules import (
+    AreaRule,
+    DensityRule,
+    EnclosureRule,
+    ExtensionRule,
+    RuleDeck,
+    SpacingRule,
+    WidthRule,
+)
+
+
+def run_drc(cell: Cell, deck: RuleDeck, window: Rect | None = None) -> DrcReport:
+    """Flatten ``cell`` per layer and run every rule in ``deck``.
+
+    ``window`` restricts checking (and flattening) to a clip region, the
+    standard way to DRC a block out of a larger chip.
+    """
+    layers_needed: set[Layer] = set()
+    for rule in deck:
+        for attr in ("layer", "other", "inner", "outer"):
+            layer = getattr(rule, attr, None)
+            if layer is not None:
+                layers_needed.add(layer)
+    regions = {layer: cell.region(layer, window) for layer in layers_needed}
+    extent = window or cell.bbox or Rect(0, 0, 1, 1)
+    report = run_drc_regions(regions, deck, extent)
+    report.cell_name = cell.name
+    return report
+
+
+def run_drc_regions(
+    regions: dict[Layer, Region], deck: RuleDeck, extent: Rect
+) -> DrcReport:
+    """Run a deck against pre-extracted per-layer regions."""
+    report = DrcReport(rules_run=len(deck))
+    empty = Region()
+
+    def get(layer: Layer) -> Region:
+        return regions.get(layer, empty)
+
+    for rule in deck:
+        if isinstance(rule, WidthRule):
+            report.extend(checks.check_width(get(rule.layer), rule))
+        elif isinstance(rule, SpacingRule):
+            if rule.other is None:
+                report.extend(checks.check_spacing(get(rule.layer), rule))
+            else:
+                report.extend(
+                    checks.check_layer_spacing(get(rule.layer), get(rule.other), rule)
+                )
+        elif isinstance(rule, EnclosureRule):
+            report.extend(
+                checks.check_enclosure(get(rule.inner), get(rule.outer), rule)
+            )
+        elif isinstance(rule, AreaRule):
+            report.extend(checks.check_area(get(rule.layer), rule))
+        elif isinstance(rule, DensityRule):
+            report.extend(checks.check_density(get(rule.layer), rule, extent))
+        elif isinstance(rule, ExtensionRule):
+            report.extend(
+                checks.check_extension(get(rule.layer), get(rule.other), rule)
+            )
+        else:  # pragma: no cover - future rule kinds
+            raise TypeError(f"no check implemented for {type(rule).__name__}")
+    return report

@@ -1,0 +1,27 @@
+"""Connectivity extraction and LVS-lite comparison.
+
+Builds electrical nets from layout geometry (metal components joined by
+cut layers, diffusion split by gates), names them via probe points, and
+checks them against expected connectivity — the substrate that gives
+hotspots and critical-area numbers electrical meaning.
+"""
+
+from repro.extract.connectivity import (
+    ExtractedNetlist,
+    NetNode,
+    extract_nets,
+)
+from repro.extract.compare import (
+    ConnectivityReport,
+    check_connectivity,
+    electrical_hotspot_impact,
+)
+
+__all__ = [
+    "ExtractedNetlist",
+    "NetNode",
+    "extract_nets",
+    "ConnectivityReport",
+    "check_connectivity",
+    "electrical_hotspot_impact",
+]

@@ -1,0 +1,243 @@
+"""GDSII stream reader and writer for :class:`repro.layout.Layout`.
+
+Supported content: BOUNDARY elements (rects and rectilinear polygons),
+SREF/AREF references with the eight lattice orientations, and axis-parallel
+array steps.  Magnification and non-90-degree angles are rejected — this
+database is integer-lattice Manhattan by design.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.geometry import Orientation, Point, Polygon, Rect, Transform
+from repro.gdsii import records as rec
+from repro.gdsii.records import GdsFormatError, Record
+from repro.layout import Cell, Layer, Layout
+
+# GDSII ANGLE is CCW rotation applied after the (optional) x-axis mirror —
+# exactly our Orientation convention.
+_ORIENT_TO_GDS: dict[Orientation, tuple[bool, float]] = {
+    Orientation.R0: (False, 0.0),
+    Orientation.R90: (False, 90.0),
+    Orientation.R180: (False, 180.0),
+    Orientation.R270: (False, 270.0),
+    Orientation.MX: (True, 0.0),
+    Orientation.MX90: (True, 90.0),
+    Orientation.MX180: (True, 180.0),
+    Orientation.MX270: (True, 270.0),
+}
+_GDS_TO_ORIENT = {v: k for k, v in _ORIENT_TO_GDS.items()}
+
+_EPOCH = [1970, 1, 1, 0, 0, 0]  # fixed timestamps keep output deterministic
+
+
+def write_gds(layout: Layout, path: str | os.PathLike) -> None:
+    """Serialize a layout library to a GDSII stream file."""
+    chunks: list[bytes] = [
+        rec.rec_int2(rec.HEADER, [600]),
+        rec.rec_int2(rec.BGNLIB, _EPOCH + _EPOCH),
+        rec.rec_ascii(rec.LIBNAME, layout.name),
+        # UNITS: dbu in user units (um), dbu in metres
+        rec.rec_real8(rec.UNITS, [layout.dbu_nm * 1e-3, layout.dbu_nm * 1e-9]),
+    ]
+    for cell in _bottom_up(layout):
+        chunks.append(rec.rec_int2(rec.BGNSTR, _EPOCH + _EPOCH))
+        chunks.append(rec.rec_ascii(rec.STRNAME, cell.name))
+        for layer in sorted(cell.layers, key=lambda l: (l.gds_layer, l.gds_datatype)):
+            for shape in cell.shapes(layer):
+                poly = Polygon.from_rect(shape) if isinstance(shape, Rect) else shape
+                chunks.append(_boundary(layer, poly))
+        for ref in cell.references:
+            chunks.append(_reference(ref))
+        chunks.append(rec.rec_empty(rec.ENDSTR))
+    chunks.append(rec.rec_empty(rec.ENDLIB))
+    with open(path, "wb") as f:
+        f.write(b"".join(chunks))
+
+
+def _bottom_up(layout: Layout) -> list[Cell]:
+    """Cells ordered so children precede parents (GDSII convention)."""
+    order: list[Cell] = []
+    seen: set[str] = set()
+
+    def visit(cell: Cell) -> None:
+        if cell.name in seen:
+            return
+        seen.add(cell.name)
+        for ref in cell.references:
+            visit(ref.cell)
+        order.append(cell)
+
+    for cell in layout:
+        visit(cell)
+    return order
+
+
+def _boundary(layer: Layer, poly: Polygon) -> bytes:
+    pts = list(poly.points) + [poly.points[0]]
+    coords: list[int] = []
+    for p in pts:
+        coords.extend((p.x, p.y))
+    return b"".join(
+        [
+            rec.rec_empty(rec.BOUNDARY),
+            rec.rec_int2(rec.LAYER, [layer.gds_layer]),
+            rec.rec_int2(rec.DATATYPE, [layer.gds_datatype]),
+            rec.rec_int4(rec.XY, coords),
+            rec.rec_empty(rec.ENDEL),
+        ]
+    )
+
+
+def _reference(ref) -> bytes:
+    mirrored, angle = _ORIENT_TO_GDS[ref.transform.orientation]
+    chunks: list[bytes] = [rec.rec_empty(rec.AREF if ref.is_array else rec.SREF)]
+    chunks.append(rec.rec_ascii(rec.SNAME, ref.cell.name))
+    if mirrored or angle:
+        chunks.append(rec.make_record(rec.STRANS, rec.DT_BITARRAY, (0x8000 if mirrored else 0).to_bytes(2, "big")))
+        if angle:
+            chunks.append(rec.rec_real8(rec.ANGLE, [angle]))
+    x0, y0 = ref.transform.dx, ref.transform.dy
+    if ref.is_array:
+        chunks.append(rec.rec_int2(rec.COLROW, [ref.columns, ref.rows]))
+        coords = [
+            x0, y0,
+            x0 + ref.columns * ref.dx, y0,
+            x0, y0 + ref.rows * ref.dy,
+        ]
+    else:
+        coords = [x0, y0]
+    chunks.append(rec.rec_int4(rec.XY, coords))
+    chunks.append(rec.rec_empty(rec.ENDEL))
+    return b"".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+# reading
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _PendingRef:
+    parent: str
+    child: str
+    transform: Transform
+    columns: int = 1
+    rows: int = 1
+    dx: int = 0
+    dy: int = 0
+
+
+@dataclass
+class _ElementState:
+    kind: str = ""
+    layer: int = 0
+    datatype: int = 0
+    sname: str = ""
+    mirrored: bool = False
+    angle: float = 0.0
+    colrow: tuple[int, int] = (1, 1)
+    xy: list[int] = field(default_factory=list)
+
+
+def read_gds(path: str | os.PathLike, layer_names: dict[tuple[int, int], str] | None = None) -> Layout:
+    """Parse a GDSII stream file into a layout library.
+
+    ``layer_names`` optionally maps (layer, datatype) to human names.
+    """
+    with open(path, "rb") as f:
+        data = f.read()
+    layer_names = layer_names or {}
+    layout: Layout | None = None
+    current: Cell | None = None
+    element: _ElementState | None = None
+    pending: list[_PendingRef] = []
+    cells: dict[str, Cell] = {}
+
+    for record in rec.iter_records(data):
+        t = record.rtype
+        if t == rec.HEADER or t == rec.BGNLIB or t == rec.BGNSTR:
+            continue
+        if t == rec.LIBNAME:
+            layout = Layout(record.ascii())
+        elif t == rec.UNITS:
+            user_per_dbu, metres_per_dbu = record.real8()
+            if layout is None:
+                raise GdsFormatError("UNITS before LIBNAME")
+            layout.dbu_nm = metres_per_dbu * 1e9
+        elif t == rec.STRNAME:
+            current = Cell(record.ascii())
+            cells[current.name] = current
+        elif t == rec.ENDSTR:
+            current = None
+        elif t in (rec.BOUNDARY, rec.SREF, rec.AREF):
+            element = _ElementState(kind=record.name)
+        elif element is not None and t == rec.LAYER:
+            element.layer = record.int2()[0]
+        elif element is not None and t == rec.DATATYPE:
+            element.datatype = record.int2()[0]
+        elif element is not None and t == rec.SNAME:
+            element.sname = record.ascii()
+        elif element is not None and t == rec.STRANS:
+            element.mirrored = bool(record.data[0] & 0x80)
+        elif element is not None and t == rec.ANGLE:
+            element.angle = record.real8()[0]
+        elif element is not None and t == rec.COLROW:
+            cols, rows = record.int2()
+            element.colrow = (cols, rows)
+        elif element is not None and t == rec.XY:
+            element.xy = record.int4()
+        elif t == rec.ENDEL:
+            if current is None or element is None:
+                raise GdsFormatError("element outside structure")
+            _finish_element(current, element, pending, layer_names)
+            element = None
+        elif t == rec.ENDLIB:
+            break
+
+    if layout is None:
+        raise GdsFormatError("missing LIBNAME")
+    for name, cell in cells.items():
+        layout.add_cell(cell)
+    for p in pending:
+        if p.child not in cells:
+            raise GdsFormatError(f"reference to unknown cell {p.child!r}")
+        cells[p.parent].add_ref(cells[p.child], p.transform, p.columns, p.rows, p.dx, p.dy)
+    return layout
+
+
+def _finish_element(
+    cell: Cell,
+    el: _ElementState,
+    pending: list[_PendingRef],
+    layer_names: dict[tuple[int, int], str],
+) -> None:
+    if el.kind == "BOUNDARY":
+        pts = [Point(el.xy[i], el.xy[i + 1]) for i in range(0, len(el.xy), 2)]
+        layer = Layer(el.layer, el.datatype, layer_names.get((el.layer, el.datatype), ""))
+        poly = Polygon(pts)
+        if poly.is_rect:
+            cell.add_rect(layer, poly.bbox)
+        else:
+            cell.add_polygon(layer, poly)
+        return
+
+    key = (el.mirrored, el.angle % 360.0)
+    if key not in _GDS_TO_ORIENT:
+        raise GdsFormatError(f"unsupported angle {el.angle} (Manhattan database)")
+    orient = _GDS_TO_ORIENT[key]
+    if el.kind == "SREF":
+        x, y = el.xy[0], el.xy[1]
+        pending.append(_PendingRef(cell.name, el.sname, Transform(x, y, orient)))
+        return
+
+    # AREF
+    cols, rows = el.colrow
+    x0, y0, xc, yc, xr, yr = el.xy[:6]
+    if yc != y0 or xr != x0:
+        raise GdsFormatError("only axis-parallel AREF steps are supported")
+    dx = (xc - x0) // cols if cols else 0
+    dy = (yr - y0) // rows if rows else 0
+    pending.append(_PendingRef(cell.name, el.sname, Transform(x0, y0, orient), cols, rows, dx, dy))

@@ -1,0 +1,83 @@
+"""JSON interchange for layouts — a debuggable sibling of the GDSII stream.
+
+The schema is intentionally flat::
+
+    {
+      "name": "LIB", "dbu_nm": 1.0,
+      "cells": {
+        "CELLNAME": {
+          "shapes": [{"layer": [l, dt, "name"], "rect": [x0,y0,x1,y1]},
+                      {"layer": [...], "polygon": [[x,y], ...]}],
+          "refs": [{"cell": "CHILD", "origin": [x,y], "orientation": "R90",
+                     "columns": 1, "rows": 1, "dx": 0, "dy": 0}]
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.geometry import Orientation, Point, Polygon, Rect, Transform
+from repro.layout import Cell, Layer, Layout
+
+
+def write_json(layout: Layout, path: str | os.PathLike) -> None:
+    doc: dict = {"name": layout.name, "dbu_nm": layout.dbu_nm, "cells": {}}
+    for cell in layout:
+        shapes = []
+        for layer in sorted(cell.layers, key=lambda l: (l.gds_layer, l.gds_datatype)):
+            for shape in cell.shapes(layer):
+                entry: dict = {"layer": [layer.gds_layer, layer.gds_datatype, layer.name]}
+                if isinstance(shape, Rect):
+                    entry["rect"] = list(shape.as_tuple())
+                else:
+                    entry["polygon"] = [[p.x, p.y] for p in shape.points]
+                shapes.append(entry)
+        refs = [
+            {
+                "cell": ref.cell.name,
+                "origin": [ref.transform.dx, ref.transform.dy],
+                "orientation": ref.transform.orientation.value,
+                "columns": ref.columns,
+                "rows": ref.rows,
+                "dx": ref.dx,
+                "dy": ref.dy,
+            }
+            for ref in cell.references
+        ]
+        doc["cells"][cell.name] = {"shapes": shapes, "refs": refs}
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+
+
+def read_json(path: str | os.PathLike) -> Layout:
+    with open(path) as f:
+        doc = json.load(f)
+    layout = Layout(doc["name"], doc.get("dbu_nm", 1.0))
+    cells: dict[str, Cell] = {}
+    for name, body in doc["cells"].items():
+        cell = Cell(name)
+        cells[name] = cell
+        for entry in body.get("shapes", ()):
+            l, dt, lname = entry["layer"]
+            layer = Layer(l, dt, lname)
+            if "rect" in entry:
+                cell.add_rect(layer, Rect(*entry["rect"]))
+            else:
+                cell.add_polygon(layer, Polygon([Point(x, y) for x, y in entry["polygon"]]))
+    for name, body in doc["cells"].items():
+        for ref in body.get("refs", ()):
+            cells[name].add_ref(
+                cells[ref["cell"]],
+                Transform(ref["origin"][0], ref["origin"][1], Orientation(ref["orientation"])),
+                ref.get("columns", 1),
+                ref.get("rows", 1),
+                ref.get("dx", 0),
+                ref.get("dy", 0),
+            )
+    for cell in cells.values():
+        layout.add_cell(cell)
+    return layout

@@ -1,0 +1,154 @@
+"""Low-level GDSII record encoding/decoding."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+# record types
+HEADER = 0x00
+BGNLIB = 0x01
+LIBNAME = 0x02
+UNITS = 0x03
+ENDLIB = 0x04
+BGNSTR = 0x05
+STRNAME = 0x06
+ENDSTR = 0x07
+BOUNDARY = 0x08
+SREF = 0x0A
+AREF = 0x0B
+LAYER = 0x0D
+DATATYPE = 0x0E
+XY = 0x10
+ENDEL = 0x11
+SNAME = 0x12
+COLROW = 0x13
+STRANS = 0x1A
+MAG = 0x1B
+ANGLE = 0x1C
+
+# data types
+DT_NONE = 0x00
+DT_BITARRAY = 0x01
+DT_INT2 = 0x02
+DT_INT4 = 0x03
+DT_REAL8 = 0x05
+DT_ASCII = 0x06
+
+RECORD_NAMES = {
+    HEADER: "HEADER", BGNLIB: "BGNLIB", LIBNAME: "LIBNAME", UNITS: "UNITS",
+    ENDLIB: "ENDLIB", BGNSTR: "BGNSTR", STRNAME: "STRNAME", ENDSTR: "ENDSTR",
+    BOUNDARY: "BOUNDARY", SREF: "SREF", AREF: "AREF", LAYER: "LAYER",
+    DATATYPE: "DATATYPE", XY: "XY", ENDEL: "ENDEL", SNAME: "SNAME",
+    COLROW: "COLROW", STRANS: "STRANS", MAG: "MAG", ANGLE: "ANGLE",
+}
+
+
+class GdsFormatError(ValueError):
+    """Raised on malformed GDSII streams."""
+
+
+def encode_real8(value: float) -> bytes:
+    """Encode a float as a GDSII 8-byte excess-64 base-16 real."""
+    if value == 0.0:
+        return b"\x00" * 8
+    sign = 0
+    if value < 0:
+        sign = 0x80
+        value = -value
+    exponent = 64
+    # normalize mantissa into [1/16, 1)
+    while value >= 1.0:
+        value /= 16.0
+        exponent += 1
+    while value < 1.0 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    if mantissa >= 1 << 56:  # float rounding pushed us to the next hexade
+        mantissa >>= 4
+        exponent += 1
+    if not (0 <= exponent <= 127):
+        raise GdsFormatError(f"real8 exponent out of range: {exponent}")
+    return bytes([sign | exponent]) + struct.pack(">Q", mantissa)[1:]
+
+
+def decode_real8(data: bytes) -> float:
+    """Decode a GDSII 8-byte real."""
+    if len(data) != 8:
+        raise GdsFormatError("real8 must be 8 bytes")
+    first = data[0]
+    sign = -1.0 if first & 0x80 else 1.0
+    exponent = (first & 0x7F) - 64
+    mantissa = int.from_bytes(b"\x00" + data[1:], "big")
+    return sign * (mantissa / float(1 << 56)) * (16.0 ** exponent)
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    rtype: int
+    dtype: int
+    data: bytes
+
+    @property
+    def name(self) -> str:
+        return RECORD_NAMES.get(self.rtype, f"0x{self.rtype:02X}")
+
+    # -- payload decoding -----------------------------------------------
+    def int2(self) -> list[int]:
+        return list(struct.unpack(f">{len(self.data) // 2}h", self.data))
+
+    def int4(self) -> list[int]:
+        return list(struct.unpack(f">{len(self.data) // 4}i", self.data))
+
+    def real8(self) -> list[float]:
+        return [decode_real8(self.data[i : i + 8]) for i in range(0, len(self.data), 8)]
+
+    def ascii(self) -> str:
+        return self.data.rstrip(b"\x00").decode("ascii")
+
+
+def make_record(rtype: int, dtype: int, payload: bytes = b"") -> bytes:
+    if len(payload) % 2:
+        payload += b"\x00"
+    total = 4 + len(payload)
+    if total > 0xFFFF:
+        raise GdsFormatError(f"record too long: {total} bytes")
+    return struct.pack(">HBB", total, rtype, dtype) + payload
+
+
+def rec_int2(rtype: int, values: list[int]) -> bytes:
+    return make_record(rtype, DT_INT2, struct.pack(f">{len(values)}h", *values))
+
+
+def rec_int4(rtype: int, values: list[int]) -> bytes:
+    return make_record(rtype, DT_INT4, struct.pack(f">{len(values)}i", *values))
+
+
+def rec_real8(rtype: int, values: list[float]) -> bytes:
+    return make_record(rtype, DT_REAL8, b"".join(encode_real8(v) for v in values))
+
+
+def rec_ascii(rtype: int, text: str) -> bytes:
+    return make_record(rtype, DT_ASCII, text.encode("ascii"))
+
+
+def rec_empty(rtype: int) -> bytes:
+    return make_record(rtype, DT_NONE)
+
+
+def iter_records(data: bytes) -> Iterator[Record]:
+    """Parse a byte stream into records; stops at ENDLIB or end of data."""
+    pos = 0
+    n = len(data)
+    while pos + 4 <= n:
+        length, rtype, dtype = struct.unpack(">HBB", data[pos : pos + 4])
+        if length < 4 or pos + length > n:
+            raise GdsFormatError(f"bad record length {length} at offset {pos}")
+        yield Record(rtype, dtype, data[pos + 4 : pos + length])
+        pos += length
+        if rtype == ENDLIB:
+            return
+    if pos != n:
+        raise GdsFormatError("trailing bytes after last record")

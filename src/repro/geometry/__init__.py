@@ -1,0 +1,36 @@
+"""Manhattan geometry kernel on integer-nanometre coordinates.
+
+This package is the foundation of the DFM platform: points, rectangles,
+rectilinear polygons, canonical rectangle-set regions with boolean algebra
+and morphological sizing, coordinate transforms, and a grid spatial index.
+
+All coordinates are integers in database units (1 dbu = 1 nm by
+convention).  Geometry is restricted to axis-parallel ("Manhattan") shapes,
+which makes every boolean operation exactly representable — the standard
+trade-off for 2008-era metal/poly/via layers.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.polygon import Polygon
+from repro.geometry.region import Region
+from repro.geometry.transform import Orientation, Transform
+from repro.geometry.index import GridIndex
+from repro.geometry.intervals import (
+    merge_intervals,
+    intersect_intervals,
+    subtract_intervals,
+)
+
+__all__ = [
+    "Point",
+    "Rect",
+    "Polygon",
+    "Region",
+    "Orientation",
+    "Transform",
+    "GridIndex",
+    "merge_intervals",
+    "intersect_intervals",
+    "subtract_intervals",
+]

@@ -1,0 +1,76 @@
+"""Uniform-grid spatial index for bbox queries.
+
+The geometric engines (DRC spacing, pattern matching, via analysis) need
+"all shapes near this window" queries.  A uniform grid of buckets is simple
+and fast for IC layouts, whose shapes are small relative to the die and
+roughly uniformly distributed.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, Iterator, TypeVar
+
+from repro.geometry.rect import Rect
+
+T = TypeVar("T")
+
+
+class GridIndex(Generic[T]):
+    """Maps items with bounding boxes into uniform grid buckets."""
+
+    def __init__(self, cell_size: int = 2000):
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = cell_size
+        self._buckets: dict[tuple[int, int], list[tuple[Rect, T]]] = {}
+        self._items: list[tuple[Rect, T]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def _cells(self, bbox: Rect) -> Iterator[tuple[int, int]]:
+        cs = self.cell_size
+        for gx in range(bbox.x0 // cs, bbox.x1 // cs + 1):
+            for gy in range(bbox.y0 // cs, bbox.y1 // cs + 1):
+                yield (gx, gy)
+
+    def insert(self, bbox: Rect, item: T) -> None:
+        for cell in self._cells(bbox):
+            self._buckets.setdefault(cell, []).append((bbox, item))
+        self._items.append((bbox, item))
+
+    def items(self) -> list[tuple[Rect, T]]:
+        """All (bbox, item) pairs in insertion order."""
+        return list(self._items)
+
+    def extend(self, items: Iterable[tuple[Rect, T]]) -> None:
+        for bbox, item in items:
+            self.insert(bbox, item)
+
+    def query(self, window: Rect) -> list[T]:
+        """Items whose bbox *touches* the window (closed intersection).
+
+        Results are deduplicated by identity and returned in insertion-
+        stable order within each bucket.
+        """
+        seen: set[int] = set()
+        out: list[T] = []
+        for cell in self._cells(window):
+            for bbox, item in self._buckets.get(cell, ()):
+                if id(item) not in seen and bbox.touches(window):
+                    seen.add(id(item))
+                    out.append(item)
+        return out
+
+    def query_pairs(self, separation: int) -> Iterator[tuple[T, T]]:
+        """All unordered item pairs whose bboxes come within ``separation``.
+
+        Used for spacing-style checks; each pair is yielded once, in the
+        order the first member was inserted.
+        """
+        order = {id(item): k for k, (_, item) in enumerate(self._items)}
+        for k, (bbox, item) in enumerate(self._items):
+            window = bbox.expanded(separation)
+            for other in self.query(window):
+                if order[id(other)] > k:
+                    yield (item, other)

@@ -1,0 +1,54 @@
+"""Integer lattice points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point on the integer nanometre lattice.
+
+    Points are immutable and hashable; arithmetic returns new points.
+    """
+
+    x: int
+    y: int
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def __mul__(self, k: int) -> "Point":
+        return Point(self.x * k, self.y * k)
+
+    __rmul__ = __mul__
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def manhattan(self, other: "Point") -> int:
+        """Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def chebyshev(self, other: "Point") -> int:
+        """Chebyshev (L-infinity) distance to ``other``."""
+        return max(abs(self.x - other.x), abs(self.y - other.y))
+
+    def euclidean2(self, other: "Point") -> int:
+        """Squared Euclidean distance (exact in integers)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.x, self.y)

@@ -1,0 +1,183 @@
+"""Rectilinear polygons with exact integer vertices."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.geometry.intervals import merge_intervals
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.region import Region
+
+
+class Polygon:
+    """A simple rectilinear polygon (axis-parallel edges, no holes).
+
+    Vertices are stored counter-clockwise with collinear runs collapsed.
+    Conversion to a :class:`Region` (``to_region``) is the workhorse used
+    by the layout database; most downstream algorithms operate on regions.
+    """
+
+    __slots__ = ("_points",)
+
+    def __init__(self, points: Iterable[Point | tuple[int, int]]):
+        pts = [p if isinstance(p, Point) else Point(*p) for p in points]
+        if len(pts) < 4:
+            raise ValueError("a rectilinear polygon needs at least 4 vertices")
+        if pts[0] == pts[-1]:
+            pts = pts[:-1]
+        pts = _collapse_collinear(pts)
+        _validate_rectilinear(pts)
+        if _signed_area2(pts) < 0:
+            pts.reverse()
+        # rotate so the lexicographically smallest vertex is first, making
+        # the representation canonical
+        k = min(range(len(pts)), key=lambda i: (pts[i].x, pts[i].y))
+        self._points = tuple(pts[k:] + pts[:k])
+
+    # -- constructors ------------------------------------------------------
+    @staticmethod
+    def from_rect(rect: Rect) -> "Polygon":
+        return Polygon(rect.corners())
+
+    @staticmethod
+    def l_shape(width: int, height: int, notch_w: int, notch_h: int, origin: Point = Point(0, 0)) -> "Polygon":
+        """An L: a ``width x height`` rect with the top-right ``notch_w x
+        notch_h`` corner removed."""
+        if not (0 < notch_w < width and 0 < notch_h < height):
+            raise ValueError("notch must be strictly inside the bounding rect")
+        ox, oy = origin.x, origin.y
+        return Polygon(
+            [
+                (ox, oy),
+                (ox + width, oy),
+                (ox + width, oy + height - notch_h),
+                (ox + width - notch_w, oy + height - notch_h),
+                (ox + width - notch_w, oy + height),
+                (ox, oy + height),
+            ]
+        )
+
+    # -- properties -----------------------------------------------------------
+    @property
+    def points(self) -> tuple[Point, ...]:
+        return self._points
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._points)
+
+    @property
+    def bbox(self) -> Rect:
+        xs = [p.x for p in self._points]
+        ys = [p.y for p in self._points]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def area(self) -> int:
+        return _signed_area2(list(self._points)) // 2
+
+    @property
+    def is_rect(self) -> bool:
+        return len(self._points) == 4
+
+    def edges(self) -> list[tuple[Point, Point]]:
+        pts = self._points
+        return [(pts[i], pts[(i + 1) % len(pts)]) for i in range(len(pts))]
+
+    def perimeter(self) -> int:
+        return sum(a.manhattan(b) for a, b in self.edges())
+
+    # -- predicates --------------------------------------------------------
+    def contains_point(self, p: Point) -> bool:
+        """Closed point-in-polygon test via crossing count on half-integer ray."""
+        # cast a ray to +x at height p.y + 0.5 to avoid vertex degeneracies,
+        # but first handle boundary membership exactly
+        for a, b in self.edges():
+            if a.x == b.x == p.x and min(a.y, b.y) <= p.y <= max(a.y, b.y):
+                return True
+            if a.y == b.y == p.y and min(a.x, b.x) <= p.x <= max(a.x, b.x):
+                return True
+        crossings = 0
+        for a, b in self.edges():
+            if a.x == b.x:  # vertical edge
+                ylo, yhi = min(a.y, b.y), max(a.y, b.y)
+                if ylo <= p.y < yhi and a.x > p.x:
+                    crossings += 1
+        return crossings % 2 == 1
+
+    # -- conversions --------------------------------------------------------------
+    def to_region(self) -> Region:
+        """Decompose into a canonical Region via horizontal scanline."""
+        pts = self._points
+        n = len(pts)
+        vedges = []
+        for i in range(n):
+            a, b = pts[i], pts[(i + 1) % n]
+            if a.x == b.x:
+                vedges.append((a.x, min(a.y, b.y), max(a.y, b.y)))
+        ys = sorted({p.y for p in pts})
+        rects: list[Rect] = []
+        for ya, yb in zip(ys, ys[1:]):
+            # x positions of vertical edges spanning this y-slab
+            xs = sorted(x for x, y0, y1 in vedges if y0 <= ya and y1 >= yb)
+            spans = merge_intervals([(xs[i], xs[i + 1]) for i in range(0, len(xs) - 1, 2)])
+            for x0, x1 in spans:
+                rects.append(Rect(x0, ya, x1, yb))
+        return Region(rects)
+
+    def translated(self, dx: int, dy: int) -> "Polygon":
+        return Polygon([p.translated(dx, dy) for p in self._points])
+
+    def scaled(self, k: int) -> "Polygon":
+        return Polygon([Point(p.x * k, p.y * k) for p in self._points])
+
+    # -- dunder ---------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Polygon):
+            return NotImplemented
+        return self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    def __repr__(self) -> str:
+        return f"Polygon({len(self._points)} vertices, bbox={self.bbox.as_tuple()})"
+
+
+def _collapse_collinear(pts: Sequence[Point]) -> list[Point]:
+    """Drop vertices that lie on a straight run between neighbours."""
+    out: list[Point] = []
+    n = len(pts)
+    for i in range(n):
+        prev_pt = pts[(i - 1) % n]
+        cur = pts[i]
+        nxt = pts[(i + 1) % n]
+        if (prev_pt.x == cur.x == nxt.x) or (prev_pt.y == cur.y == nxt.y):
+            continue
+        if cur == nxt:
+            continue
+        out.append(cur)
+    return out
+
+
+def _validate_rectilinear(pts: Sequence[Point]) -> None:
+    n = len(pts)
+    if n % 2 != 0:
+        raise ValueError("rectilinear polygons have an even number of vertices")
+    for i in range(n):
+        a, b = pts[i], pts[(i + 1) % n]
+        if a.x != b.x and a.y != b.y:
+            raise ValueError(f"edge {a}-{b} is not axis-parallel")
+        if a == b:
+            raise ValueError("degenerate zero-length edge")
+
+
+def _signed_area2(pts: Sequence[Point]) -> int:
+    """Twice the signed (shoelace) area; positive for CCW."""
+    total = 0
+    n = len(pts)
+    for i in range(n):
+        a, b = pts[i], pts[(i + 1) % n]
+        total += a.x * b.y - b.x * a.y
+    return total

@@ -1,0 +1,159 @@
+"""Axis-aligned integer rectangles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[x0, x1] x [y0, y1]``.
+
+    Stored normalized (``x0 <= x1`` and ``y0 <= y1``).  A rect with zero
+    width or height is *degenerate*; degenerate rects are permitted as
+    values (e.g. cutlines) but regions drop them.
+    """
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    def __post_init__(self):
+        if self.x0 > self.x1 or self.y0 > self.y1:
+            x0, x1 = sorted((self.x0, self.x1))
+            y0, y1 = sorted((self.y0, self.y1))
+            object.__setattr__(self, "x0", x0)
+            object.__setattr__(self, "x1", x1)
+            object.__setattr__(self, "y0", y0)
+            object.__setattr__(self, "y1", y1)
+
+    # -- constructors -------------------------------------------------
+    @staticmethod
+    def from_points(p0: Point, p1: Point) -> "Rect":
+        return Rect(min(p0.x, p1.x), min(p0.y, p1.y), max(p0.x, p1.x), max(p0.y, p1.y))
+
+    @staticmethod
+    def from_center(cx: int, cy: int, width: int, height: int) -> "Rect":
+        """Rectangle centered at (cx, cy); width/height must be even to
+        stay on the integer lattice."""
+        if width % 2 or height % 2:
+            raise ValueError("width and height must be even for a centered rect")
+        return Rect(cx - width // 2, cy - height // 2, cx + width // 2, cy + height // 2)
+
+    # -- basic properties ---------------------------------------------
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x0 + self.x1) // 2, (self.y0 + self.y1) // 2)
+
+    @property
+    def is_degenerate(self) -> bool:
+        return self.x0 == self.x1 or self.y0 == self.y1
+
+    def corners(self) -> list[Point]:
+        """Corners in counter-clockwise order starting at lower-left."""
+        return [
+            Point(self.x0, self.y0),
+            Point(self.x1, self.y0),
+            Point(self.x1, self.y1),
+            Point(self.x0, self.y1),
+        ]
+
+    # -- predicates ----------------------------------------------------
+    def contains_point(self, p: Point, strict: bool = False) -> bool:
+        if strict:
+            return self.x0 < p.x < self.x1 and self.y0 < p.y < self.y1
+        return self.x0 <= p.x <= self.x1 and self.y0 <= p.y <= self.y1
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and other.x1 <= self.x1
+            and other.y1 <= self.y1
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True if interiors intersect (touching edges do not count)."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def touches(self, other: "Rect") -> bool:
+        """True if closures intersect (shared edge or corner counts)."""
+        return (
+            self.x0 <= other.x1
+            and other.x0 <= self.x1
+            and self.y0 <= other.y1
+            and other.y0 <= self.y1
+        )
+
+    # -- operations ----------------------------------------------------
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Intersection rect, or ``None`` when interiors are disjoint."""
+        x0 = max(self.x0, other.x0)
+        y0 = max(self.y0, other.y0)
+        x1 = min(self.x1, other.x1)
+        y1 = min(self.y1, other.y1)
+        if x0 >= x1 or y0 >= y1:
+            return None
+        return Rect(x0, y0, x1, y1)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.x0, other.x0),
+            min(self.y0, other.y0),
+            max(self.x1, other.x1),
+            max(self.y1, other.y1),
+        )
+
+    def expanded(self, d: int, dy: int | None = None) -> "Rect":
+        """Grow by ``d`` on every side (shrink when negative).
+
+        A separate vertical amount ``dy`` may be given.  Raises
+        ``ValueError`` if shrinking would invert the rect.
+        """
+        if dy is None:
+            dy = d
+        x0, y0, x1, y1 = self.x0 - d, self.y0 - dy, self.x1 + d, self.y1 + dy
+        if x0 > x1 or y0 > y1:
+            raise ValueError(f"shrink by ({d},{dy}) inverts {self}")
+        return Rect(x0, y0, x1, y1)
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def scaled(self, k: int) -> "Rect":
+        return Rect(self.x0 * k, self.y0 * k, self.x1 * k, self.y1 * k)
+
+    def distance(self, other: "Rect") -> int:
+        """Chebyshev separation between closures; 0 when touching."""
+        dx = max(self.x0 - other.x1, other.x0 - self.x1, 0)
+        dy = max(self.y0 - other.y1, other.y0 - self.y1, 0)
+        return max(dx, dy)
+
+    def euclidean_distance2(self, other: "Rect") -> int:
+        """Squared Euclidean separation between closures."""
+        dx = max(self.x0 - other.x1, other.x0 - self.x1, 0)
+        dy = max(self.y0 - other.y1, other.y0 - self.y1, 0)
+        return dx * dx + dy * dy
+
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        return (self.x0, self.y0, self.x1, self.y1)

@@ -1,0 +1,114 @@
+"""Lattice-preserving coordinate transforms (the 8 square symmetries +
+translation), as used by cell references in the layout database."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class Orientation(Enum):
+    """The dihedral group D4: rotations by multiples of 90 degrees, with or
+    without a mirror about the x axis (applied before the rotation)."""
+
+    R0 = "R0"
+    R90 = "R90"
+    R180 = "R180"
+    R270 = "R270"
+    MX = "MX"      # mirror about x axis (y -> -y)
+    MX90 = "MX90"  # mirror then rotate 90
+    MX180 = "MX180"
+    MX270 = "MX270"
+
+    @property
+    def mirrored(self) -> bool:
+        return self.value.startswith("MX")
+
+    @property
+    def rotation(self) -> int:
+        """Rotation in degrees applied after the optional mirror."""
+        suffix = self.value[2:] if self.mirrored else self.value[1:]
+        return int(suffix) if suffix else 0
+
+
+# (a, b, c, d) with x' = a*x + b*y, y' = c*x + d*y
+_MATRICES: dict[Orientation, tuple[int, int, int, int]] = {
+    Orientation.R0: (1, 0, 0, 1),
+    Orientation.R90: (0, -1, 1, 0),
+    Orientation.R180: (-1, 0, 0, -1),
+    Orientation.R270: (0, 1, -1, 0),
+    Orientation.MX: (1, 0, 0, -1),
+    Orientation.MX90: (0, 1, 1, 0),
+    Orientation.MX180: (-1, 0, 0, 1),
+    Orientation.MX270: (0, -1, -1, 0),
+}
+
+_COMPOSE: dict[tuple[Orientation, Orientation], Orientation] = {}
+
+
+def _compose_orientations(first: Orientation, second: Orientation) -> Orientation:
+    """Orientation equivalent to applying ``first`` then ``second``."""
+    key = (first, second)
+    if key not in _COMPOSE:
+        a1, b1, c1, d1 = _MATRICES[first]
+        a2, b2, c2, d2 = _MATRICES[second]
+        mat = (
+            a2 * a1 + b2 * c1,
+            a2 * b1 + b2 * d1,
+            c2 * a1 + d2 * c1,
+            c2 * b1 + d2 * d1,
+        )
+        for orient, m in _MATRICES.items():
+            if m == mat:
+                _COMPOSE[key] = orient
+                break
+    return _COMPOSE[key]
+
+
+@dataclass(frozen=True, slots=True)
+class Transform:
+    """Rigid lattice transform: orientation followed by translation."""
+
+    dx: int = 0
+    dy: int = 0
+    orientation: Orientation = Orientation.R0
+
+    def apply_point(self, p: Point) -> Point:
+        a, b, c, d = _MATRICES[self.orientation]
+        return Point(a * p.x + b * p.y + self.dx, c * p.x + d * p.y + self.dy)
+
+    def apply_rect(self, r: Rect) -> Rect:
+        p0 = self.apply_point(Point(r.x0, r.y0))
+        p1 = self.apply_point(Point(r.x1, r.y1))
+        return Rect.from_points(p0, p1)
+
+    def apply_points(self, pts) -> list[Point]:
+        return [self.apply_point(p) for p in pts]
+
+    def then(self, other: "Transform") -> "Transform":
+        """Transform equivalent to applying ``self`` first, then ``other``."""
+        origin = other.apply_point(self.apply_point(Point(0, 0)))
+        orient = _compose_orientations(self.orientation, other.orientation)
+        return Transform(origin.x, origin.y, orient)
+
+    def inverse(self) -> "Transform":
+        a, b, c, d = _MATRICES[self.orientation]
+        # the matrices are orthogonal with determinant +-1; inverse = transpose
+        inv_mat = (a, c, b, d)
+        inv_orient = next(o for o, m in _MATRICES.items() if m == inv_mat)
+        ia, ib, ic, id_ = inv_mat
+        return Transform(
+            -(ia * self.dx + ib * self.dy),
+            -(ic * self.dx + id_ * self.dy),
+            inv_orient,
+        )
+
+    @property
+    def is_identity(self) -> bool:
+        return self.dx == 0 and self.dy == 0 and self.orientation is Orientation.R0
+
+
+Transform.IDENTITY = Transform()

@@ -1,0 +1,7 @@
+"""Hierarchical layout database: layers, cells, references, libraries."""
+
+from repro.layout.layer import Layer
+from repro.layout.cell import Cell, CellReference
+from repro.layout.library import Layout
+
+__all__ = ["Layer", "Cell", "CellReference", "Layout"]

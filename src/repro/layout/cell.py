@@ -1,0 +1,199 @@
+"""Cells and cell references."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.geometry import Polygon, Rect, Region, Transform
+from repro.layout.layer import Layer
+
+Shape = Rect | Polygon
+
+
+@dataclass(frozen=True, slots=True)
+class CellReference:
+    """A placement of a child cell, optionally repeated as an array.
+
+    The array step is applied in the *parent* coordinate system after the
+    orientation, matching GDSII AREF semantics for axis-parallel steps.
+    """
+
+    cell: "Cell"
+    transform: Transform = Transform.IDENTITY
+    columns: int = 1
+    rows: int = 1
+    dx: int = 0
+    dy: int = 0
+
+    def __post_init__(self):
+        if self.columns < 1 or self.rows < 1:
+            raise ValueError("array dimensions must be >= 1")
+        if (self.columns > 1 and self.dx == 0) or (self.rows > 1 and self.dy == 0):
+            raise ValueError("array repeat requires a non-zero step")
+
+    @property
+    def is_array(self) -> bool:
+        return self.columns > 1 or self.rows > 1
+
+    def placements(self) -> Iterator[Transform]:
+        """One transform per array element."""
+        for col in range(self.columns):
+            for row in range(self.rows):
+                yield Transform(
+                    self.transform.dx + col * self.dx,
+                    self.transform.dy + row * self.dy,
+                    self.transform.orientation,
+                )
+
+    @property
+    def count(self) -> int:
+        return self.columns * self.rows
+
+
+class Cell:
+    """A named container of per-layer shapes and child references."""
+
+    __slots__ = ("name", "_shapes", "_refs")
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("cell name must be non-empty")
+        self.name = name
+        self._shapes: dict[Layer, list[Shape]] = {}
+        self._refs: list[CellReference] = []
+
+    # -- construction ---------------------------------------------------
+    def add_rect(self, layer: Layer, rect: Rect) -> None:
+        if rect.is_degenerate:
+            raise ValueError(f"degenerate rect {rect} on {layer}")
+        self._shapes.setdefault(layer, []).append(rect)
+
+    def add_polygon(self, layer: Layer, polygon: Polygon) -> None:
+        self._shapes.setdefault(layer, []).append(polygon)
+
+    def add_region(self, layer: Layer, region: Region) -> None:
+        for rect in region.rects():
+            self.add_rect(layer, rect)
+
+    def add_ref(
+        self,
+        cell: "Cell",
+        transform: Transform = Transform.IDENTITY,
+        columns: int = 1,
+        rows: int = 1,
+        dx: int = 0,
+        dy: int = 0,
+    ) -> CellReference:
+        if cell is self or cell._depends_on(self):
+            raise ValueError(f"reference {self.name} -> {cell.name} would create a cycle")
+        ref = CellReference(cell, transform, columns, rows, dx, dy)
+        self._refs.append(ref)
+        return ref
+
+    def _depends_on(self, other: "Cell") -> bool:
+        return any(r.cell is other or r.cell._depends_on(other) for r in self._refs)
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def references(self) -> tuple[CellReference, ...]:
+        return tuple(self._refs)
+
+    @property
+    def layers(self) -> set[Layer]:
+        layers = set(self._shapes)
+        for ref in self._refs:
+            layers |= ref.cell.layers
+        return layers
+
+    def shapes(self, layer: Layer) -> list[Shape]:
+        """Shapes drawn directly in this cell on ``layer`` (not children's)."""
+        return list(self._shapes.get(layer, ()))
+
+    def shape_count(self, recursive: bool = False) -> int:
+        n = sum(len(v) for v in self._shapes.values())
+        if recursive:
+            n += sum(ref.count * ref.cell.shape_count(recursive=True) for ref in self._refs)
+        return n
+
+    @property
+    def bbox(self) -> Rect | None:
+        boxes: list[Rect] = []
+        for shapes in self._shapes.values():
+            for s in shapes:
+                boxes.append(s if isinstance(s, Rect) else s.bbox)
+        for ref in self._refs:
+            child = ref.cell.bbox
+            if child is not None:
+                for t in ref.placements():
+                    boxes.append(t.apply_rect(child))
+        if not boxes:
+            return None
+        out = boxes[0]
+        for b in boxes[1:]:
+            out = out.union_bbox(b)
+        return out
+
+    # -- flattening and region extraction -------------------------------------
+    def polygons(self, layer: Layer, transform: Transform = Transform.IDENTITY) -> Iterator[Polygon]:
+        """All polygons on ``layer``, hierarchy flattened, transformed."""
+        for shape in self._shapes.get(layer, ()):
+            poly = Polygon.from_rect(shape) if isinstance(shape, Rect) else shape
+            if transform.is_identity:
+                yield poly
+            else:
+                yield Polygon(transform.apply_points(poly.points))
+        for ref in self._refs:
+            for place in ref.placements():
+                yield from ref.cell.polygons(layer, place.then(transform))
+
+    def rects(self, layer: Layer, transform: Transform = Transform.IDENTITY) -> Iterator[Rect]:
+        """All shapes on ``layer`` flattened to rectangles (polygons are
+        decomposed)."""
+        for shape in self._shapes.get(layer, ()):
+            if isinstance(shape, Rect):
+                yield transform.apply_rect(shape)
+            else:
+                for rect in shape.to_region().rects():
+                    yield transform.apply_rect(rect)
+        for ref in self._refs:
+            for place in ref.placements():
+                yield from ref.cell.rects(layer, place.then(transform))
+
+    def region(self, layer: Layer, window: Rect | None = None) -> Region:
+        """Flattened canonical region of ``layer``, optionally clipped."""
+        rects = self.rects(layer)
+        if window is not None:
+            clipped = []
+            for r in rects:
+                inter = r.intersection(window)
+                if inter is not None:
+                    clipped.append(inter)
+            return Region(clipped)
+        return Region(list(rects))
+
+    def flattened(self, name: str | None = None) -> "Cell":
+        """A copy with the full hierarchy merged into direct shapes."""
+        flat = Cell(name or f"{self.name}_flat")
+        for layer in self.layers:
+            for poly in self.polygons(layer):
+                if poly.is_rect:
+                    flat.add_rect(layer, poly.bbox)
+                else:
+                    flat.add_polygon(layer, poly)
+        return flat
+
+    def copy(self, name: str | None = None) -> "Cell":
+        """A shallow-hierarchy copy: own shapes are duplicated, child
+        cells are shared (references copied)."""
+        dup = Cell(name or self.name)
+        for layer, shapes in self._shapes.items():
+            dup._shapes[layer] = list(shapes)
+        dup._refs = list(self._refs)
+        return dup
+
+    def __repr__(self) -> str:
+        return (
+            f"Cell({self.name!r}, {self.shape_count()} shapes, "
+            f"{len(self._refs)} refs, {len(self.layers)} layers)"
+        )

@@ -1,0 +1,31 @@
+"""Layout layers.
+
+A layer is identified by its GDSII (layer, datatype) pair; the name is a
+human-readable alias.  Layers are value objects: two layers with the same
+pair are the same layer regardless of name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Layer:
+    gds_layer: int
+    gds_datatype: int = 0
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if not (0 <= self.gds_layer <= 65535 and 0 <= self.gds_datatype <= 65535):
+            raise ValueError("GDSII layer/datatype must fit in uint16")
+
+    def __str__(self) -> str:
+        if self.name:
+            return f"{self.name}({self.gds_layer}/{self.gds_datatype})"
+        return f"{self.gds_layer}/{self.gds_datatype}"
+
+    def with_datatype(self, datatype: int) -> "Layer":
+        """Derived layer (e.g. a DPT mask colour) on the same GDS layer."""
+        suffix = f".{datatype}" if self.name else ""
+        return Layer(self.gds_layer, datatype, self.name + suffix)

@@ -1,0 +1,73 @@
+"""The layout library: a named collection of cells with a database unit."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.layout.cell import Cell
+
+
+class Layout:
+    """A layout library.
+
+    ``dbu_nm`` is the size of one database unit in nanometres (1 by
+    convention throughout this project).
+    """
+
+    def __init__(self, name: str = "LIB", dbu_nm: float = 1.0):
+        if dbu_nm <= 0:
+            raise ValueError("dbu must be positive")
+        self.name = name
+        self.dbu_nm = dbu_nm
+        self._cells: dict[str, Cell] = {}
+
+    # -- cell management -------------------------------------------------
+    def new_cell(self, name: str) -> Cell:
+        if name in self._cells:
+            raise ValueError(f"cell {name!r} already exists")
+        cell = Cell(name)
+        self._cells[name] = cell
+        return cell
+
+    def add_cell(self, cell: Cell) -> Cell:
+        if cell.name in self._cells and self._cells[cell.name] is not cell:
+            raise ValueError(f"different cell named {cell.name!r} already exists")
+        self._cells[cell.name] = cell
+        # pull in referenced cells so the library is closed
+        for ref in cell.references:
+            if ref.cell.name not in self._cells:
+                self.add_cell(ref.cell)
+        return cell
+
+    def cell(self, name: str) -> Cell:
+        return self._cells[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def cells(self) -> dict[str, Cell]:
+        return dict(self._cells)
+
+    def top_cells(self) -> list[Cell]:
+        """Cells not referenced by any other cell in the library."""
+        referenced: set[str] = set()
+        for cell in self._cells.values():
+            for ref in cell.references:
+                referenced.add(ref.cell.name)
+        return [c for name, c in self._cells.items() if name not in referenced]
+
+    def top_cell(self) -> Cell:
+        tops = self.top_cells()
+        if len(tops) != 1:
+            raise ValueError(f"expected exactly one top cell, found {[c.name for c in tops]}")
+        return tops[0]
+
+    def __repr__(self) -> str:
+        return f"Layout({self.name!r}, {len(self._cells)} cells)"

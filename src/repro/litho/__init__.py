@@ -1,0 +1,51 @@
+"""Scalar lithography simulation.
+
+The model is a two-kernel scalar approximation: the mask raster is
+convolved with a positive Gaussian point-spread (width set by lambda/NA
+plus defocus blur in quadrature) and a wider negative flare kernel that
+produces the dense/iso proximity bias real OPC has to fight.  A constant
+resist threshold, scaled by dose, turns intensity into printed geometry.
+
+This substitutes for the proprietary Hopkins/SOCS foundry models (see
+DESIGN.md): corner rounding, line-end pullback, pitch-dependent CD, and
+pinch/bridge hotspots all emerge with the correct shapes.
+"""
+
+from repro.litho.raster import rasterize, raster_to_region
+from repro.litho.model import LithoModel, simulate
+from repro.litho.process import ProcessCondition, ProcessWindow, pv_bands
+from repro.litho.cd import measure_cd, cd_error, Cutline
+from repro.litho.hotspots import Hotspot, HotspotKind, find_hotspots
+from repro.litho.fullchip import FullChipScanReport, scan_full_chip
+from repro.litho.metrology import (
+    Gauge,
+    MetrologyPlan,
+    CdRecord,
+    build_metrology_plan,
+    measure_plan,
+    cd_statistics,
+)
+
+__all__ = [
+    "rasterize",
+    "raster_to_region",
+    "LithoModel",
+    "simulate",
+    "ProcessCondition",
+    "ProcessWindow",
+    "pv_bands",
+    "measure_cd",
+    "cd_error",
+    "Cutline",
+    "Hotspot",
+    "HotspotKind",
+    "find_hotspots",
+    "FullChipScanReport",
+    "scan_full_chip",
+    "Gauge",
+    "MetrologyPlan",
+    "CdRecord",
+    "build_metrology_plan",
+    "measure_plan",
+    "cd_statistics",
+]

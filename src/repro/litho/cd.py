@@ -1,0 +1,150 @@
+"""Critical-dimension metrology on printed (or drawn) geometry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Point, Rect, Region
+from repro.geometry.intervals import intersect_intervals, merge_intervals
+
+
+@dataclass(frozen=True, slots=True)
+class Cutline:
+    """A measurement cut: a point and a direction.
+
+    ``horizontal=True`` measures the feature width along x at the given y
+    (i.e. a horizontal cut through a vertical line); ``False`` measures
+    along y.
+    """
+
+    at: Point
+    horizontal: bool = True
+
+    def __str__(self) -> str:
+        axis = "x" if self.horizontal else "y"
+        return f"cut@({self.at.x},{self.at.y})/{axis}"
+
+
+def _spans_at(region: Region, cut: Cutline) -> list[tuple[int, int]]:
+    """The 1-D occupied spans along the cut direction."""
+    if cut.horizontal:
+        probe = Rect(-(1 << 40), cut.at.y, 1 << 40, cut.at.y + 1)
+        sliced = region & Region(probe)
+        return merge_intervals([(r.x0, r.x1) for r in sliced.rects()])
+    probe = Rect(cut.at.x, -(1 << 40), cut.at.x + 1, 1 << 40)
+    sliced = region & Region(probe)
+    return merge_intervals([(r.y0, r.y1) for r in sliced.rects()])
+
+
+def measure_cd(region: Region, cut: Cutline) -> int:
+    """Width of the feature under the cut point, 0 if nothing prints
+    there.
+
+    The measured span is the one containing the cut coordinate (or the
+    nearest span within half a typical pitch if the feature drifted).
+    """
+    spans = _spans_at(region, cut)
+    if not spans:
+        return 0
+    coord = cut.at.x if cut.horizontal else cut.at.y
+    for a, b in spans:
+        if a <= coord <= b:
+            return b - a
+    # feature moved: take the closest span
+    a, b = min(spans, key=lambda s: min(abs(s[0] - coord), abs(s[1] - coord)))
+    return b - a
+
+
+def measure_space(region: Region, cut: Cutline) -> int:
+    """Gap width at the cut point, 0 if the point is covered."""
+    spans = _spans_at(region, cut)
+    coord = cut.at.x if cut.horizontal else cut.at.y
+    prev_end = None
+    for a, b in spans:
+        if a <= coord <= b:
+            return 0
+        if a > coord:
+            lo = prev_end if prev_end is not None else -(1 << 40)
+            return a - lo
+        prev_end = b
+    return (1 << 40) if prev_end is None else (1 << 40) - prev_end
+
+
+def cd_error(printed: Region, drawn: Region, cut: Cutline) -> int:
+    """Printed minus drawn CD at the cut (positive: printed fat)."""
+    return measure_cd(printed, cut) - measure_cd(drawn, cut)
+
+
+def subpixel_cd(
+    image, window: Rect, grid: int, cut: Cutline, threshold: float
+) -> float:
+    """Sub-pixel CD from an aerial-image array via linear interpolation.
+
+    ``image`` is the array returned by ``LithoModel.aerial_image`` over
+    ``window`` at ``grid`` nm/pixel.  The profile along the cut is
+    threshold-crossed with linear interpolation, giving ~0.1 nm CD
+    resolution regardless of the simulation grid — the tool to use for
+    dose/focus CD sensitivity studies.
+    """
+    import numpy as np
+
+    ny, nx = image.shape
+    if cut.horizontal:
+        j = (cut.at.y - window.y0) // grid
+        if not 0 <= j < ny:
+            raise ValueError("cut outside window")
+        profile = np.asarray(image[j, :], dtype=float)
+        coord_px = (cut.at.x - window.x0) / grid
+        origin = window.x0
+    else:
+        i = (cut.at.x - window.x0) // grid
+        if not 0 <= i < nx:
+            raise ValueError("cut outside window")
+        profile = np.asarray(image[:, i], dtype=float)
+        coord_px = (cut.at.y - window.y0) / grid
+        origin = window.y0
+    above = profile >= threshold
+    k = int(round(coord_px))
+    k = max(0, min(k, len(profile) - 1))
+    if not above[k]:
+        return 0.0
+    # walk out to the crossings on each side
+    lo = k
+    while lo > 0 and above[lo - 1]:
+        lo -= 1
+    hi = k
+    while hi < len(profile) - 1 and above[hi + 1]:
+        hi += 1
+    # interpolate the left crossing between lo-1 and lo
+    if lo == 0:
+        left = 0.0
+    else:
+        f = (threshold - profile[lo - 1]) / (profile[lo] - profile[lo - 1])
+        left = (lo - 1) + f
+    if hi == len(profile) - 1:
+        right = float(hi)
+    else:
+        f = (threshold - profile[hi]) / (profile[hi + 1] - profile[hi])
+        right = hi + f
+    # crossings are at pixel centres; convert to nm
+    return (right - left) * grid
+
+
+def line_end_pullback(printed: Region, drawn: Region, cut: Cutline) -> int:
+    """How far a line end retreated along the cut direction.
+
+    The cut should run along the line (horizontal=False for a vertical
+    line).  Positive values mean the printed line is shorter.
+    """
+    drawn_spans = _spans_at(drawn, cut)
+    printed_spans = _spans_at(printed, cut)
+    if not drawn_spans:
+        return 0
+    coord = cut.at.x if cut.horizontal else cut.at.y
+    drawn_span = next(((a, b) for a, b in drawn_spans if a <= coord <= b), drawn_spans[0])
+    overlapping = intersect_intervals([drawn_span], printed_spans)
+    if not overlapping:
+        return drawn_span[1] - drawn_span[0]  # line vanished entirely
+    printed_hi = max(b for _, b in overlapping)
+    printed_lo = min(a for a, _ in overlapping)
+    return max(drawn_span[1] - printed_hi, printed_lo - drawn_span[0], 0)

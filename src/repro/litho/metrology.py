@@ -1,0 +1,135 @@
+"""Design-driven metrology: generate CD measurement plans from layout.
+
+The design-based-metrology idea: instead of hand-picking SEM sites,
+derive them from the layout — every distinct context (dense line, iso
+line, line end, via landing) gets gauges placed automatically, and the
+measurement results come back keyed to design coordinates.  Here the
+"SEM" is the litho simulator, which closes the loop for model calibration
+studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import GridIndex, Point, Rect, Region
+from repro.litho.cd import Cutline
+from repro.litho.model import LithoModel
+
+
+@dataclass(frozen=True, slots=True)
+class Gauge:
+    """One measurement site: a cutline plus its design intent."""
+
+    name: str
+    cut: Cutline
+    drawn_cd: int
+    context: str  # "dense" | "iso" | "line-end" | ...
+
+
+@dataclass
+class MetrologyPlan:
+    gauges: list[Gauge] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.gauges)
+
+    def by_context(self) -> dict[str, list[Gauge]]:
+        out: dict[str, list[Gauge]] = {}
+        for g in self.gauges:
+            out.setdefault(g.context, []).append(g)
+        return out
+
+
+@dataclass
+class CdRecord:
+    gauge: Gauge
+    printed_cd: float
+
+    @property
+    def error(self) -> float:
+        return self.printed_cd - self.gauge.drawn_cd
+
+
+def build_metrology_plan(
+    region: Region,
+    iso_distance: int = 200,
+    max_gauges_per_context: int = 50,
+    min_run: int = 200,
+) -> MetrologyPlan:
+    """Derive gauges from a layer's geometry.
+
+    Only *simple* features (connected components that are a single
+    rectangle — straight wire runs) are gauged: a fragment of a merged
+    polygon has no well-defined drawn CD.  Long runs become width gauges,
+    classified dense or iso by the presence of a neighbour within
+    ``iso_distance``; their run direction also gets a line-end gauge.
+    """
+    plan = MetrologyPlan()
+    components = region.components()
+    simple = [next(c.rects()) for c in components if len(c) == 1]
+    index: GridIndex[Rect] = GridIndex(cell_size=max(4 * iso_distance, 512))
+    for comp in components:
+        index.insert(comp.bbox, comp.bbox)
+    counts: dict[str, int] = {}
+
+    def add(gauge: Gauge) -> None:
+        if counts.get(gauge.context, 0) < max_gauges_per_context:
+            plan.gauges.append(gauge)
+            counts[gauge.context] = counts.get(gauge.context, 0) + 1
+
+    for k, r in enumerate(simple):
+        vertical = r.height >= r.width
+        run = r.height if vertical else r.width
+        width = r.width if vertical else r.height
+        if run < min_run:
+            continue
+        centre = r.center
+        cut = Cutline(centre, horizontal=vertical)
+        neighbours = [
+            other
+            for other in index.query(r.expanded(iso_distance))
+            if other != r and r.distance(other) < iso_distance
+        ]
+        context = "dense" if neighbours else "iso"
+        add(Gauge(f"g{k}", cut, width, context))
+        # line-end gauge along the run direction
+        end_cut = Cutline(centre, horizontal=not vertical)
+        add(Gauge(f"g{k}e", end_cut, run, "line-end"))
+    return plan
+
+
+def measure_plan(
+    model: LithoModel,
+    mask: Region,
+    plan: MetrologyPlan,
+    dose: float = 1.0,
+    defocus_nm: float = 0.0,
+    grid: int | None = None,
+) -> list[CdRecord]:
+    """Run every gauge through the simulator (the virtual CD-SEM).
+
+    The measurement strip reaches past the gauge's drawn CD so long
+    features (line-end gauges) are captured whole.
+    """
+    records = []
+    for gauge in plan.gauges:
+        reach = max(400, gauge.drawn_cd // 2 + 200)
+        printed = model.measure_cd(
+            mask, gauge.cut, dose=dose, defocus_nm=defocus_nm, grid=grid, reach_nm=reach
+        )
+        records.append(CdRecord(gauge=gauge, printed_cd=printed))
+    return records
+
+
+def cd_statistics(records: list[CdRecord]) -> dict[str, tuple[float, float, int]]:
+    """(mean error, max |error|, count) per context."""
+    out: dict[str, tuple[float, float, int]] = {}
+    groups: dict[str, list[float]] = {}
+    for record in records:
+        groups.setdefault(record.gauge.context, []).append(record.error)
+    for context, errors in groups.items():
+        mean = sum(errors) / len(errors)
+        worst = max(abs(e) for e in errors)
+        out[context] = (mean, worst, len(errors))
+    return out

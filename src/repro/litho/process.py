@@ -1,0 +1,83 @@
+"""Process conditions, corner sets, and PV bands."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.geometry import Rect, Region
+from repro.litho.model import LithoModel
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessCondition:
+    """One (dose, defocus) point in the process space."""
+
+    dose: float = 1.0
+    defocus_nm: float = 0.0
+
+    def __str__(self) -> str:
+        return f"dose={self.dose:.3f}, defocus={self.defocus_nm:g}nm"
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessWindow:
+    """A rectangular dose/defocus window with corner enumeration."""
+
+    dose_min: float = 0.95
+    dose_max: float = 1.05
+    defocus_max_nm: float = 80.0
+
+    def corners(self) -> list[ProcessCondition]:
+        """Nominal plus the four worst-case corners."""
+        return [
+            ProcessCondition(1.0, 0.0),
+            ProcessCondition(self.dose_min, 0.0),
+            ProcessCondition(self.dose_max, 0.0),
+            ProcessCondition(self.dose_min, self.defocus_max_nm),
+            ProcessCondition(self.dose_max, self.defocus_max_nm),
+        ]
+
+    def grid(self, n_dose: int = 5, n_defocus: int = 3) -> Iterator[ProcessCondition]:
+        """A full dose x defocus sampling of the window."""
+        for i in range(n_dose):
+            dose = self.dose_min + (self.dose_max - self.dose_min) * i / max(n_dose - 1, 1)
+            for j in range(n_defocus):
+                defocus = self.defocus_max_nm * j / max(n_defocus - 1, 1)
+                yield ProcessCondition(dose, defocus)
+
+
+def pv_bands(
+    model: LithoModel,
+    mask: Region,
+    window: Rect,
+    process: ProcessWindow | None = None,
+    grid: int | None = None,
+) -> tuple[Region, Region]:
+    """Process-variability bands over the window corners.
+
+    Returns ``(inner, outer)``: the geometry printed under *all* corners
+    and under *any* corner.  The band ``outer - inner`` is the variability
+    region whose area is the standard printability metric.
+    """
+    process = process or ProcessWindow()
+    inner: Region | None = None
+    outer = Region()
+    for condition in process.corners():
+        printed = model.print_contour(mask, window, condition.dose, condition.defocus_nm, grid)
+        inner = printed if inner is None else (inner & printed)
+        outer = outer | printed
+    assert inner is not None
+    return inner, outer
+
+
+def pv_band_area(
+    model: LithoModel,
+    mask: Region,
+    window: Rect,
+    process: ProcessWindow | None = None,
+    grid: int | None = None,
+) -> int:
+    """Area of the PV band (smaller = more robust printing)."""
+    inner, outer = pv_bands(model, mask, window, process, grid)
+    return (outer - inner).area

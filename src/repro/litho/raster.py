@@ -1,0 +1,73 @@
+"""Exact area-weighted rasterization of regions, and the inverse."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Rect, Region
+from repro.geometry.intervals import merge_intervals
+
+
+def _axis_coverage(lo: float, hi: float, origin: int, n: int, grid: int) -> tuple[int, int, np.ndarray]:
+    """Fractional coverage of pixels [start, stop) along one axis.
+
+    Returns (start, stop, weights) where weights[i] is the covered
+    fraction of pixel start+i.
+    """
+    a = (lo - origin) / grid
+    b = (hi - origin) / grid
+    a = max(a, 0.0)
+    b = min(b, float(n))
+    if b <= a:
+        return 0, 0, np.empty(0)
+    start = int(np.floor(a))
+    stop = int(np.ceil(b))
+    weights = np.ones(stop - start)
+    weights[0] -= a - start
+    weights[-1] -= stop - b
+    # single-pixel span: both trims apply to the same entry (handled by the
+    # two in-place subtractions above)
+    return start, stop, weights
+
+
+def rasterize(region: Region, window: Rect, grid: int) -> np.ndarray:
+    """Rasterize a region into a float array of per-pixel coverage.
+
+    Pixel (row j, col i) covers ``[x0 + i*grid, x0 + (i+1)*grid] x
+    [y0 + j*grid, ...]``; values are exact covered-area fractions in
+    [0, 1].  The array shape is (ny, nx), row 0 at the window bottom.
+    """
+    if grid <= 0:
+        raise ValueError("grid must be positive")
+    nx = -(-(window.x1 - window.x0) // grid)
+    ny = -(-(window.y1 - window.y0) // grid)
+    img = np.zeros((ny, nx))
+    clipped = region & Region(window)
+    for rect in clipped.rects():
+        ix0, ix1, wx = _axis_coverage(rect.x0, rect.x1, window.x0, nx, grid)
+        iy0, iy1, wy = _axis_coverage(rect.y0, rect.y1, window.y0, ny, grid)
+        if ix1 > ix0 and iy1 > iy0:
+            img[iy0:iy1, ix0:ix1] += np.outer(wy, wx)
+    np.clip(img, 0.0, 1.0, out=img)
+    return img
+
+
+def raster_to_region(mask: np.ndarray, window: Rect, grid: int) -> Region:
+    """Convert a boolean raster back into a Region (pixel-resolution)."""
+    ny, nx = mask.shape
+    rects: list[Rect] = []
+    x0w, y0w = window.x0, window.y0
+    for j in range(ny):
+        row = mask[j]
+        y0 = y0w + j * grid
+        y1 = min(y0 + grid, window.y1)
+        runs = _row_runs(row)
+        for a, b in runs:
+            rects.append(Rect(x0w + a * grid, y0, min(x0w + b * grid, window.x1), y1))
+    return Region(rects)
+
+
+def _row_runs(row: np.ndarray) -> list[tuple[int, int]]:
+    """Start/stop indices of True runs in a boolean row."""
+    idx = np.flatnonzero(np.diff(np.concatenate(([False], row, [False]))))
+    return merge_intervals([(int(idx[k]), int(idx[k + 1])) for k in range(0, len(idx), 2)])

@@ -1,0 +1,30 @@
+"""Optical proximity correction.
+
+* :mod:`fragments` — edge fragmentation shared by all OPC flavours.
+* :mod:`rulebased` — bias + hammerhead rule OPC (mid-1990s style).
+* :mod:`modelbased` — iterative EPE-driven fragment movement (the
+  production approach this library's litho model is built to exercise).
+* :mod:`sraf` — sub-resolution assist feature insertion.
+* :mod:`orc` — post-OPC verification (EPE statistics + hotspot recheck).
+"""
+
+from repro.opc.fragments import Fragment, fragment_region, reconstruct_mask
+from repro.opc.rulebased import apply_rule_opc, RuleOpcSettings
+from repro.opc.modelbased import apply_model_opc, ModelOpcSettings, edge_placement_errors
+from repro.opc.sraf import insert_srafs, SrafSettings
+from repro.opc.orc import OrcReport, verify_opc
+
+__all__ = [
+    "Fragment",
+    "fragment_region",
+    "reconstruct_mask",
+    "apply_rule_opc",
+    "RuleOpcSettings",
+    "apply_model_opc",
+    "ModelOpcSettings",
+    "edge_placement_errors",
+    "insert_srafs",
+    "SrafSettings",
+    "OrcReport",
+    "verify_opc",
+]

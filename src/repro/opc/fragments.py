@@ -1,0 +1,144 @@
+"""Edge fragmentation and mask reconstruction.
+
+A fragment is a piece of a drawn edge that OPC moves rigidly along its
+outward normal.  Fragmenting splits every boundary edge into segments no
+longer than ``max_len``, with shorter corner fragments next to vertices so
+corners can be corrected independently of edge centres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.geometry import Point, Rect, Region
+
+
+@dataclass(frozen=True, slots=True)
+class Fragment:
+    """An axis-parallel edge segment with an outward normal and an offset.
+
+    ``start``/``end`` follow the region's boundary orientation (interior
+    on the left); ``normal`` is the outward unit direction; ``offset`` is
+    the current OPC displacement in nm (positive = outward).
+    """
+
+    start: Point
+    end: Point
+    normal: tuple[int, int]
+    offset: int = 0
+
+    @property
+    def length(self) -> int:
+        return self.start.manhattan(self.end)
+
+    @property
+    def midpoint(self) -> Point:
+        return Point((self.start.x + self.end.x) // 2, (self.start.y + self.end.y) // 2)
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self.start.y == self.end.y
+
+    def moved(self, offset: int) -> "Fragment":
+        return replace(self, offset=offset)
+
+    def extrusion(self) -> tuple[Rect, bool] | None:
+        """The rect swept by this fragment's offset and whether it is
+        additive (outward) — None when the offset is zero."""
+        if self.offset == 0:
+            return None
+        nx, ny = self.normal
+        d = self.offset
+        additive = d > 0
+        d = abs(d)
+        x0, x1 = sorted((self.start.x, self.end.x))
+        y0, y1 = sorted((self.start.y, self.end.y))
+        if additive:
+            rect = Rect(x0 + min(nx * d, 0), y0 + min(ny * d, 0),
+                        x1 + max(nx * d, 0), y1 + max(ny * d, 0))
+        else:
+            rect = Rect(x0 + min(-nx * d, 0), y0 + min(-ny * d, 0),
+                        x1 + max(-nx * d, 0), y1 + max(-ny * d, 0))
+        return rect, additive
+
+
+def _outward_normal(start: Point, end: Point) -> tuple[int, int]:
+    """Interior is to the left of start->end, so outward is to the right."""
+    dx = end.x - start.x
+    dy = end.y - start.y
+    sx = (dx > 0) - (dx < 0)
+    sy = (dy > 0) - (dy < 0)
+    return (sy, -sx)
+
+
+def fragment_region(
+    region: Region, max_len: int = 120, corner_len: int = 40
+) -> list[Fragment]:
+    """Fragment every boundary edge of a region.
+
+    Edges longer than ``2 * corner_len + max_len`` get dedicated corner
+    fragments of ``corner_len`` at each end plus centre fragments of at
+    most ``max_len``; shorter edges are split evenly into pieces under
+    ``max_len``.
+    """
+    if max_len <= 0 or corner_len <= 0:
+        raise ValueError("fragment lengths must be positive")
+    fragments: list[Fragment] = []
+    for start, end in region.edges():
+        length = start.manhattan(end)
+        normal = _outward_normal(start, end)
+        cuts = _cut_positions(length, max_len, corner_len)
+        prev = 0
+        for cut in cuts[1:]:
+            a = _along(start, end, prev, length)
+            b = _along(start, end, cut, length)
+            fragments.append(Fragment(a, b, normal))
+            prev = cut
+    return fragments
+
+
+def _cut_positions(length: int, max_len: int, corner_len: int) -> list[int]:
+    if length <= max_len:
+        return [0, length]
+    if length > 2 * corner_len + max_len:
+        inner = length - 2 * corner_len
+        n = -(-inner // max_len)
+        cuts = [0, corner_len]
+        for k in range(1, n):
+            cuts.append(corner_len + inner * k // n)
+        cuts.extend([length - corner_len, length])
+        return cuts
+    n = -(-length // max_len)
+    return [length * k // n for k in range(n + 1)]
+
+
+def _along(start: Point, end: Point, dist: int, length: int) -> Point:
+    if length == 0:
+        return start
+    return Point(
+        start.x + (end.x - start.x) * dist // length,
+        start.y + (end.y - start.y) * dist // length,
+    )
+
+
+def reconstruct_mask(region: Region, fragments: list[Fragment]) -> Region:
+    """Apply fragment offsets to the drawn region to produce the mask.
+
+    Outward offsets add material, inward offsets remove it.  Corner
+    consistency follows from the order: all additions first, then all
+    subtractions (a conservative choice that keeps the mask connected).
+    """
+    additions: list[Rect] = []
+    subtractions: list[Rect] = []
+    for frag in fragments:
+        ext = frag.extrusion()
+        if ext is None:
+            continue
+        rect, additive = ext
+        (additions if additive else subtractions).append(rect)
+    mask = region
+    if additions:
+        mask = mask | Region(additions)
+    if subtractions:
+        mask = mask - Region(subtractions)
+    return mask

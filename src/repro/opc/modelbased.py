@@ -1,0 +1,200 @@
+"""Model-based OPC: iterative EPE-driven fragment movement.
+
+Each iteration simulates the current mask, measures the edge placement
+error at every fragment control point (sampled from the aerial image along
+the outward normal), and moves fragments to cancel the error.  Gains below
+1 damp the inter-fragment coupling; convergence to |EPE| of a nanometre or
+two within 5-10 iterations mirrors production behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Rect, Region
+from repro.litho.model import LithoModel
+from repro.opc.fragments import Fragment, fragment_region, reconstruct_mask
+
+
+@dataclass(frozen=True, slots=True)
+class ModelOpcSettings:
+    """Knobs for the iterative corrector.
+
+    With ``pw_aware`` set, each iteration averages the EPE over the
+    nominal condition and the two worst process corners (weights 1/2,
+    1/4, 1/4), trading a little nominal fidelity for corner robustness —
+    hammerhead-like line-end treatment emerges on its own.
+    """
+
+    max_len: int = 120
+    corner_len: int = 40
+    iterations: int = 6
+    gain: float = 0.7
+    max_offset: int = 40
+    grid: int | None = None
+    pw_aware: bool = False
+    pw_dose_delta: float = 0.05
+    pw_defocus_nm: float = 80.0
+    # retargeting: aim the printed edge this many nm *inside* the drawn
+    # edge.  At aggressive nodes a small inward bias buys bridge margin at
+    # the high-dose corner for a tolerable CD loss — standard practice.
+    target_bias_nm: float = 0.0
+
+
+@dataclass
+class OpcResult:
+    """Mask plus convergence diagnostics."""
+
+    mask: Region
+    fragments: list[Fragment]
+    epe_history: list[float]  # RMS EPE per iteration (pre-move)
+
+    @property
+    def final_rms_epe(self) -> float:
+        return self.epe_history[-1] if self.epe_history else 0.0
+
+
+def _bilinear(image: np.ndarray, window: Rect, grid: int, x: float, y: float) -> float:
+    """Sample the image at layout coordinates with bilinear interpolation.
+
+    Pixel (j, i) is centred at window.x0 + (i + 0.5) * grid.
+    """
+    fx = (x - window.x0) / grid - 0.5
+    fy = (y - window.y0) / grid - 0.5
+    ny, nx = image.shape
+    i0 = int(np.floor(fx))
+    j0 = int(np.floor(fy))
+    ti = fx - i0
+    tj = fy - j0
+    i0 = max(0, min(i0, nx - 2))
+    j0 = max(0, min(j0, ny - 2))
+    return float(
+        image[j0, i0] * (1 - ti) * (1 - tj)
+        + image[j0, i0 + 1] * ti * (1 - tj)
+        + image[j0 + 1, i0] * (1 - ti) * tj
+        + image[j0 + 1, i0 + 1] * ti * tj
+    )
+
+
+def _fragment_epe(
+    image: np.ndarray, window: Rect, grid: int, frag: Fragment, threshold: float,
+    probe_nm: float = 4.0,
+) -> float:
+    """Signed EPE at the fragment midpoint: + means printed edge outside
+    the drawn edge.
+
+    Uses the local intensity and slope along the outward normal:
+    ``epe = (I(edge) - threshold) / |dI/dn|``.
+    """
+    mid = frag.midpoint
+    nx, ny = frag.normal
+    i_edge = _bilinear(image, window, grid, mid.x, mid.y)
+    i_out = _bilinear(image, window, grid, mid.x + nx * probe_nm, mid.y + ny * probe_nm)
+    i_in = _bilinear(image, window, grid, mid.x - nx * probe_nm, mid.y - ny * probe_nm)
+    slope = (i_in - i_out) / (2 * probe_nm)  # intensity falls outward for bright features
+    if slope <= 1e-4:
+        slope = 1e-4
+    epe = (i_edge - threshold) / slope
+    # clamp: where the image is flat (feature failed to print, or deep
+    # inside a large plate) the linearization is meaningless — bound the
+    # step so the iteration stays stable
+    return max(-50.0, min(50.0, epe))
+
+
+def edge_placement_errors(
+    model: LithoModel,
+    mask: Region,
+    drawn: Region,
+    window: Rect,
+    fragments: list[Fragment] | None = None,
+    dose: float = 1.0,
+    defocus_nm: float = 0.0,
+    grid: int | None = None,
+) -> list[float]:
+    """EPE at every fragment of ``drawn`` for a given mask/condition."""
+    g = grid or model.settings.grid_nm
+    frags = fragments if fragments is not None else fragment_region(drawn)
+    image = model.aerial_image(mask, window, defocus_nm, g)
+    threshold = model.settings.resist_threshold / dose
+    return [_fragment_epe(image, window, g, f, threshold) for f in frags]
+
+
+def apply_model_opc(
+    drawn: Region,
+    model: LithoModel,
+    window: Rect | None = None,
+    settings: ModelOpcSettings | None = None,
+    active_window: Rect | None = None,
+    context: Region | None = None,
+) -> OpcResult:
+    """Run iterative model-based OPC on a drawn region.
+
+    ``active_window`` restricts correction to fragments whose midpoint
+    lies inside it; the rest of ``drawn`` is frozen context.  Pass it when
+    OPC-ing a clip out of a larger layout — fragments at the clip border
+    see a half-empty neighbourhood and must not chase it.
+
+    ``context`` is extra mask geometry that is exposed but never moved —
+    SRAF bars, neighbouring already-final cells.  Production flows insert
+    SRAFs first and OPC with them in place; do the same here.
+    """
+    settings = settings or ModelOpcSettings()
+    g = settings.grid or model.settings.grid_nm
+    if window is None:
+        bb = drawn.bbox
+        if bb is None:
+            return OpcResult(drawn, [], [])
+        pad = settings.max_offset + 8 * g
+        window = bb.expanded(pad)
+    fragments = fragment_region(drawn, settings.max_len, settings.corner_len)
+    if active_window is not None:
+        aw = active_window
+        active = [
+            aw.contains_point(f.midpoint) for f in fragments
+        ]
+    else:
+        active = [True] * len(fragments)
+    base_threshold = model.settings.resist_threshold
+    if settings.pw_aware:
+        conditions = [
+            (1.0, 0.0, 0.5),
+            (1.0 - settings.pw_dose_delta, settings.pw_defocus_nm, 0.25),
+            (1.0 + settings.pw_dose_delta, settings.pw_defocus_nm, 0.25),
+        ]
+    else:
+        conditions = [(1.0, 0.0, 1.0)]
+    history: list[float] = []
+    for _ in range(settings.iterations):
+        mask = reconstruct_mask(drawn, fragments)
+        if context is not None:
+            mask = mask | context
+        epes = np.zeros(len(fragments))
+        for dose, defocus, weight in conditions:
+            image = model.aerial_image(mask, window, defocus, g)
+            threshold = base_threshold / dose
+            epes += weight * np.array(
+                [
+                    _fragment_epe(image, window, g, f, threshold) if active[k] else 0.0
+                    for k, f in enumerate(fragments)
+                ]
+            )
+        epes += settings.target_bias_nm  # aim inside the drawn edge
+        active_epes = epes[[k for k in range(len(fragments)) if active[k]]]
+        if len(active_epes):
+            history.append(float(np.sqrt(np.mean(np.square(active_epes)))))
+        else:
+            history.append(0.0)
+        fragments = [
+            f.moved(_clamp(f.offset - settings.gain * e, settings.max_offset)) if active[k] else f
+            for k, (f, e) in enumerate(zip(fragments, epes))
+        ]
+    mask = reconstruct_mask(drawn, fragments)
+    # the caller combines the context (SRAFs) back in; keeping the result
+    # to the corrected main features makes masks composable
+    return OpcResult(mask, fragments, history)
+
+
+def _clamp(value: float, limit: int) -> int:
+    return int(round(max(-limit, min(limit, value))))

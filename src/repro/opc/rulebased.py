@@ -1,0 +1,103 @@
+"""Rule-based OPC: selective bias and line-end hammerheads.
+
+The 1990s-era recipe: fatten features whose neighbourhood is open
+(isolated lines print thin), and cap line ends with hammerheads to fight
+pullback.  No simulation involved — that is its charm and its limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Rect, Region
+
+
+@dataclass(frozen=True, slots=True)
+class RuleOpcSettings:
+    """Bias/hammerhead parameters, typically derived from test-wafer data.
+
+    ``iso_bias`` is applied to edges with no neighbour within
+    ``iso_distance``; ``dense_bias`` everywhere else.  Line ends (edges
+    shorter than ``line_end_max_width``) receive a hammerhead extending
+    ``hammer_ext`` outward and overhanging ``hammer_overhang`` per side.
+    """
+
+    iso_bias: int = -3
+    dense_bias: int = 0
+    iso_distance: int = 200
+    line_end_max_width: int = 90
+    hammer_ext: int = 12
+    hammer_overhang: int = 6
+
+
+def apply_rule_opc(drawn: Region, settings: RuleOpcSettings | None = None) -> Region:
+    """Return the rule-corrected mask for a drawn region.
+
+    Negative bias values shave the edge inward (needed when the process
+    prints isolated features fat, as the flare-dominated model here does).
+    """
+    settings = settings or RuleOpcSettings()
+    additions: list[Rect] = []
+    subtractions: list[Rect] = []
+    for start, end in drawn.edges():
+        length = start.manhattan(end)
+        nx, ny = _outward(start, end)
+        x0, x1 = sorted((start.x, end.x))
+        y0, y1 = sorted((start.y, end.y))
+        # line-end hammerhead
+        if length <= settings.line_end_max_width:
+            additions.append(_hammer(x0, y0, x1, y1, nx, ny, settings))
+            continue
+        # bias: isolated vs dense edge
+        bias = settings.iso_bias if _edge_isolated(drawn, x0, y0, x1, y1, nx, ny, settings.iso_distance) else settings.dense_bias
+        if bias == 0:
+            continue
+        b = abs(bias)
+        sign = 1 if bias > 0 else -1
+        rect = Rect(
+            x0 + min(sign * nx * b, 0),
+            y0 + min(sign * ny * b, 0),
+            x1 + max(sign * nx * b, 0),
+            y1 + max(sign * ny * b, 0),
+        )
+        (additions if bias > 0 else subtractions).append(rect)
+    mask = drawn
+    if additions:
+        mask = mask | Region(additions)
+    if subtractions:
+        mask = mask - Region(subtractions)
+    return mask
+
+
+def _outward(start, end) -> tuple[int, int]:
+    dx = end.x - start.x
+    dy = end.y - start.y
+    sx = (dx > 0) - (dx < 0)
+    sy = (dy > 0) - (dy < 0)
+    return (sy, -sx)
+
+
+def _edge_isolated(
+    drawn: Region, x0: int, y0: int, x1: int, y1: int, nx: int, ny: int, dist: int
+) -> bool:
+    """True when nothing else lies within ``dist`` outward of the edge."""
+    probe = Rect(
+        x0 + min(nx * dist, nx),
+        y0 + min(ny * dist, ny),
+        x1 + max(nx * dist, nx),
+        y1 + max(ny * dist, ny),
+    )
+    return not drawn.overlaps(Region(probe))
+
+
+def _hammer(x0, y0, x1, y1, nx, ny, settings: RuleOpcSettings) -> Rect:
+    """A hammerhead rect capping a line end."""
+    ext = settings.hammer_ext
+    over = settings.hammer_overhang
+    if ny != 0:  # horizontal line end -> vertical extension
+        ylo = y0 + min(ny * ext, 0)
+        yhi = y1 + max(ny * ext, 0)
+        return Rect(x0 - over, ylo, x1 + over, yhi)
+    xlo = x0 + min(nx * ext, 0)
+    xhi = x1 + max(nx * ext, 0)
+    return Rect(xlo, y0 - over, xhi, y1 + over)

@@ -1,0 +1,59 @@
+"""Layout pattern extraction, classification, catalogs, clustering, and
+matching — the DRC-Plus / pattern-catalog machinery.
+
+The pipeline:
+
+1. :mod:`window` clips fixed-radius snippets around anchor points.
+2. :mod:`topology` reduces a snippet to a *topological pattern*: a
+   occupancy bitmap over the snippet's cut-lines plus the dimension
+   vectors between cuts.  Patterns with the same bitmap are the same
+   *category*; dimensions distinguish members within a category.
+3. :mod:`catalog` aggregates patterns into a Layout Pattern Catalog with
+   frequencies, coverage curves, and KL-divergence comparisons.
+4. :mod:`cluster` groups geometrically similar snippets (hotspot
+   classification).
+5. :mod:`matcher` finds library patterns inside new layouts (DRC Plus).
+"""
+
+from repro.patterns.window import Snippet, extract_snippet, extract_snippets, via_anchors, grid_anchors
+from repro.patterns.topology import TopoPattern, pattern_of, canonical_pattern
+from repro.patterns.catalog import (
+    PatternCatalog,
+    PatternEntry,
+    kl_divergence,
+    extract_patterns,
+    via_enclosure_catalog,
+)
+from repro.patterns.cluster import cluster_snippets, SnippetCluster, snippet_similarity
+from repro.patterns.matcher import PatternMatcher, PatternMatch
+from repro.patterns.pdb import (
+    PatternDatabase,
+    PatternLifecycle,
+    load_catalog,
+    save_catalog,
+)
+
+__all__ = [
+    "Snippet",
+    "extract_snippet",
+    "extract_snippets",
+    "via_anchors",
+    "grid_anchors",
+    "TopoPattern",
+    "pattern_of",
+    "canonical_pattern",
+    "PatternCatalog",
+    "PatternEntry",
+    "kl_divergence",
+    "extract_patterns",
+    "via_enclosure_catalog",
+    "cluster_snippets",
+    "SnippetCluster",
+    "snippet_similarity",
+    "PatternMatcher",
+    "PatternMatch",
+    "PatternDatabase",
+    "PatternLifecycle",
+    "load_catalog",
+    "save_catalog",
+]

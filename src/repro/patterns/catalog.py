@@ -1,0 +1,176 @@
+"""Layout Pattern Catalogs: classification, frequency analysis, coverage
+curves, and KL-divergence comparison between designs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.layout import Cell, Layer
+from repro.patterns.topology import TopoPattern, canonical_pattern, pattern_of
+from repro.patterns.window import Snippet, extract_snippets, via_anchors
+
+
+@dataclass
+class PatternEntry:
+    """One topological category in the catalog."""
+
+    pattern: TopoPattern
+    count: int = 0
+    example: Snippet | None = None
+    dimension_vectors: list[tuple[int, ...]] = field(default_factory=list)
+    tags: set[str] = field(default_factory=set)
+
+    @property
+    def category_id(self) -> int:
+        return hash(self.pattern.category_key) & 0x7FFFFFFF
+
+
+class PatternCatalog:
+    """A catalog of topological pattern categories with frequencies.
+
+    The central DFM dataset: every distinct local configuration that
+    appears in a design, with how often it appears.  Categories may be
+    tagged (e.g. ``"hotspot"``, ``"fixed-in-process"``) to carry yield
+    learning from design to design.
+    """
+
+    def __init__(self, name: str = "catalog", keep_examples: bool = True, max_dim_vectors: int = 64):
+        self.name = name
+        self.keep_examples = keep_examples
+        self.max_dim_vectors = max_dim_vectors
+        self._entries: dict[tuple, PatternEntry] = {}
+        self.total = 0
+
+    # -- building -----------------------------------------------------------
+    def add_snippet(self, snippet: Snippet) -> PatternEntry:
+        pattern = canonical_pattern(pattern_of(snippet))
+        return self.add_pattern(pattern, snippet)
+
+    def add_pattern(self, pattern: TopoPattern, snippet: Snippet | None = None) -> PatternEntry:
+        key = pattern.category_key
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = PatternEntry(pattern=pattern)
+            self._entries[key] = entry
+        entry.count += 1
+        if len(entry.dimension_vectors) < self.max_dim_vectors:
+            entry.dimension_vectors.append(pattern.dimension_vector())
+        if snippet is not None and self.keep_examples and entry.example is None:
+            entry.example = snippet
+        self.total += 1
+        return entry
+
+    def merge(self, other: "PatternCatalog") -> None:
+        for key, entry in other._entries.items():
+            mine = self._entries.get(key)
+            if mine is None:
+                mine = PatternEntry(pattern=entry.pattern, example=entry.example)
+                self._entries[key] = mine
+            mine.count += entry.count
+            mine.tags |= entry.tags
+            room = self.max_dim_vectors - len(mine.dimension_vectors)
+            if room > 0:
+                mine.dimension_vectors.extend(entry.dimension_vectors[:room])
+        self.total += other.total
+
+    # -- queries --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[PatternEntry]:
+        """Entries sorted by descending frequency (stable by key)."""
+        return sorted(
+            self._entries.values(),
+            key=lambda e: (-e.count, repr(e.pattern.category_key)),
+        )
+
+    def get(self, pattern: TopoPattern) -> PatternEntry | None:
+        return self._entries.get(pattern.category_key)
+
+    def __contains__(self, pattern: TopoPattern) -> bool:
+        return pattern.category_key in self._entries
+
+    def frequencies(self) -> list[int]:
+        return [e.count for e in self.entries()]
+
+    def coverage(self, top_k: int) -> float:
+        """Fraction of all instances covered by the ``top_k`` most
+        frequent categories."""
+        if self.total == 0:
+            return 1.0
+        freqs = self.frequencies()
+        return sum(freqs[:top_k]) / self.total
+
+    def categories_for_coverage(self, target: float) -> int:
+        """Smallest number of categories covering ``target`` of instances."""
+        if self.total == 0:
+            return 0
+        acc = 0
+        for k, count in enumerate(self.frequencies(), start=1):
+            acc += count
+            if acc / self.total >= target:
+                return k
+        return len(self._entries)
+
+    def tagged(self, tag: str) -> list[PatternEntry]:
+        return [e for e in self.entries() if tag in e.tags]
+
+    def summary(self, top: int = 10) -> str:
+        lines = [
+            f"PatternCatalog {self.name!r}: {len(self)} categories, "
+            f"{self.total} instances, top-10 coverage {self.coverage(10):.1%}"
+        ]
+        for rank, e in enumerate(self.entries()[:top], start=1):
+            share = e.count / self.total if self.total else 0.0
+            lines.append(
+                f"  #{rank:<3} id={e.category_id:<10} n={e.count:<8} "
+                f"({share:6.2%}) complexity={e.pattern.complexity}"
+            )
+        return "\n".join(lines)
+
+
+def kl_divergence(p: PatternCatalog, q: PatternCatalog, smoothing: float = 0.5) -> float:
+    """KL(P || Q) over the union of categories with additive smoothing.
+
+    Used to compare the pattern-usage distribution of two designs: ~0 for
+    same-style designs, growing with style divergence.  Smoothing keeps
+    the divergence finite when a category appears in only one design.
+    """
+    keys = set(p._entries) | set(q._entries)
+    if not keys:
+        return 0.0
+    p_total = p.total + smoothing * len(keys)
+    q_total = q.total + smoothing * len(keys)
+    div = 0.0
+    for key in keys:
+        pp = ((p._entries[key].count if key in p._entries else 0) + smoothing) / p_total
+        qq = ((q._entries[key].count if key in q._entries else 0) + smoothing) / q_total
+        div += pp * math.log(pp / qq)
+    return div
+
+
+def extract_patterns(
+    cell: Cell,
+    layers: list[Layer],
+    anchors: list,
+    radius: int,
+    name: str | None = None,
+) -> PatternCatalog:
+    """One-call catalog construction from a cell."""
+    catalog = PatternCatalog(name or f"{cell.name}:r{radius}")
+    for snippet in extract_snippets(cell, layers, anchors, radius):
+        catalog.add_snippet(snippet)
+    return catalog
+
+
+def via_enclosure_catalog(
+    cell: Cell, via_layer: Layer, metal_layer: Layer, radius: int | None = None
+) -> PatternCatalog:
+    """The via-enclosure catalog: categorize how every via is enclosed by
+    the metal above it (the 28 nm study's headline analysis)."""
+    anchors = via_anchors(cell, via_layer)
+    r = radius if radius is not None else 200
+    return extract_patterns(
+        cell, [via_layer, metal_layer], anchors, r, name=f"{cell.name}:via-enc"
+    )

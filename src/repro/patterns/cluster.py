@@ -1,0 +1,145 @@
+"""Hotspot snippet clustering.
+
+Implements the two algorithms from the hotspot-classification work:
+
+* *incremental clustering* — single pass, assign each snippet to the first
+  cluster whose representative is similar enough, else open a new cluster.
+  O(n * k); the production choice for very large hotspot sets.
+* *hierarchical (agglomerative) clustering* — repeatedly merge the most
+  similar cluster pair until no pair exceeds the threshold.  Higher
+  quality, O(n^2 log n); for moderate sets.
+
+Similarity between snippets is the area-weighted Jaccard overlap of their
+recentred regions across layers (1.0 = identical geometry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.patterns.window import Snippet
+
+
+def snippet_similarity(a: Snippet, b: Snippet) -> float:
+    """Area Jaccard across the union of layers, in [0, 1]."""
+    layers = set(a.regions) | set(b.regions)
+    inter = 0
+    union = 0
+    for layer in layers:
+        ra = a.regions.get(layer)
+        rb = b.regions.get(layer)
+        if ra is None or ra.is_empty:
+            union += rb.area if rb is not None else 0
+            continue
+        if rb is None or rb.is_empty:
+            union += ra.area
+            continue
+        inter += (ra & rb).area
+        union += (ra | rb).area
+    if union == 0:
+        return 1.0  # two blank snippets are identical
+    return inter / union
+
+
+@dataclass
+class SnippetCluster:
+    """A group of similar snippets with a representative."""
+
+    representative: Snippet
+    members: list[Snippet] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def add(self, snippet: Snippet) -> None:
+        self.members.append(snippet)
+
+    def cohesion(self) -> float:
+        """Mean similarity of members to the representative."""
+        if not self.members:
+            return 1.0
+        return sum(snippet_similarity(self.representative, m) for m in self.members) / len(self.members)
+
+
+def cluster_snippets(
+    snippets: list[Snippet],
+    threshold: float = 0.7,
+    method: str = "incremental",
+) -> list[SnippetCluster]:
+    """Cluster snippets at a similarity threshold.
+
+    ``method`` is ``"incremental"`` or ``"hierarchical"``.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    if method == "incremental":
+        return _incremental(snippets, threshold)
+    if method == "hierarchical":
+        return _hierarchical(snippets, threshold)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _incremental(snippets: list[Snippet], threshold: float) -> list[SnippetCluster]:
+    clusters: list[SnippetCluster] = []
+    for snippet in snippets:
+        best = None
+        best_sim = threshold
+        for cluster in clusters:
+            sim = snippet_similarity(cluster.representative, snippet)
+            if sim >= best_sim:
+                best, best_sim = cluster, sim
+        if best is None:
+            clusters.append(SnippetCluster(representative=snippet, members=[snippet]))
+        else:
+            best.add(snippet)
+    return clusters
+
+
+def _hierarchical(snippets: list[Snippet], threshold: float) -> list[SnippetCluster]:
+    groups: list[list[Snippet]] = [[s] for s in snippets]
+    if not groups:
+        return []
+    # complete-linkage agglomeration on a cached pairwise matrix
+    sims: dict[tuple[int, int], float] = {}
+    for i in range(len(snippets)):
+        for j in range(i + 1, len(snippets)):
+            sims[(i, j)] = snippet_similarity(snippets[i], snippets[j])
+
+    def pair_sim(ga: list[int], gb: list[int]) -> float:
+        return min(sims[(min(x, y), max(x, y))] for x in ga for y in gb)
+
+    index_groups: list[list[int]] = [[i] for i in range(len(snippets))]
+    merged = True
+    while merged and len(index_groups) > 1:
+        merged = False
+        best_pair = None
+        best_sim = threshold
+        for a in range(len(index_groups)):
+            for b in range(a + 1, len(index_groups)):
+                s = pair_sim(index_groups[a], index_groups[b])
+                if s >= best_sim:
+                    best_pair, best_sim = (a, b), s
+        if best_pair is not None:
+            a, b = best_pair
+            index_groups[a].extend(index_groups[b])
+            del index_groups[b]
+            merged = True
+    clusters = []
+    for group in index_groups:
+        members = [snippets[i] for i in group]
+        rep = _medoid(members)
+        clusters.append(SnippetCluster(representative=rep, members=members))
+    return clusters
+
+
+def _medoid(members: list[Snippet]) -> Snippet:
+    """The member most similar to all others."""
+    if len(members) == 1:
+        return members[0]
+    best = members[0]
+    best_score = -1.0
+    for cand in members:
+        score = sum(snippet_similarity(cand, m) for m in members)
+        if score > best_score:
+            best, best_score = cand, score
+    return best

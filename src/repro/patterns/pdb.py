@@ -1,0 +1,162 @@
+"""The pattern database (PDB): catalog persistence and pattern lifecycle.
+
+The production insight behind the PDB papers: a pattern's identity must
+*persist* across designs and technology cycles so yield learning (failure
+mechanisms, process fixes) attaches to the pattern, not to one chip.
+This module serializes catalogs to JSON and tracks categories across
+design generations — when a pattern first appeared, whether it recurs,
+and when DFM techniques made it disappear ("fixed by design").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.patterns.catalog import PatternCatalog, PatternEntry
+from repro.patterns.topology import TopoPattern
+
+
+def _pattern_to_dict(pattern: TopoPattern) -> dict:
+    return {
+        "radius": pattern.radius,
+        "layers": [list(l) for l in pattern.layers],
+        "bitmaps": [[[int(v) for v in row] for row in bm] for bm in pattern.bitmaps],
+        "x_dims": list(pattern.x_dims),
+        "y_dims": list(pattern.y_dims),
+    }
+
+
+def _pattern_from_dict(doc: dict) -> TopoPattern:
+    return TopoPattern(
+        radius=doc["radius"],
+        layers=tuple(tuple(l) for l in doc["layers"]),
+        bitmaps=tuple(
+            tuple(tuple(bool(v) for v in row) for row in bm) for bm in doc["bitmaps"]
+        ),
+        x_dims=tuple(doc["x_dims"]),
+        y_dims=tuple(doc["y_dims"]),
+    )
+
+
+def save_catalog(catalog: PatternCatalog, path: str | os.PathLike) -> None:
+    """Serialize a catalog (snippet examples are not persisted)."""
+    doc = {
+        "name": catalog.name,
+        "total": catalog.total,
+        "entries": [
+            {
+                "pattern": _pattern_to_dict(entry.pattern),
+                "count": entry.count,
+                "tags": sorted(entry.tags),
+                "dimension_vectors": [list(v) for v in entry.dimension_vectors],
+            }
+            for entry in catalog.entries()
+        ],
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f)
+
+
+def load_catalog(path: str | os.PathLike) -> PatternCatalog:
+    with open(path) as f:
+        doc = json.load(f)
+    catalog = PatternCatalog(doc["name"], keep_examples=False)
+    for entry_doc in doc["entries"]:
+        pattern = _pattern_from_dict(entry_doc["pattern"])
+        entry = PatternEntry(pattern=pattern, count=entry_doc["count"])
+        entry.tags = set(entry_doc["tags"])
+        entry.dimension_vectors = [tuple(v) for v in entry_doc["dimension_vectors"]]
+        catalog._entries[pattern.category_key] = entry
+        catalog.total += entry.count
+    return catalog
+
+
+@dataclass
+class PatternLifecycle:
+    """Where one category stands across the tracked generations."""
+
+    category_id: int
+    first_seen: str
+    last_seen: str
+    generations: list[str]
+    counts: list[int]
+    tags: set[str] = field(default_factory=set)
+
+    @property
+    def status(self) -> str:
+        """'active' if present in the newest generation, else 'retired'
+        (fixed in process or designed out)."""
+        return "active" if self.last_seen == self.generations[-1] else "retired"
+
+
+class PatternDatabase:
+    """Catalogs across design generations with lifecycle analysis."""
+
+    def __init__(self, name: str = "pdb"):
+        self.name = name
+        self._generations: list[tuple[str, PatternCatalog]] = []
+
+    def add_generation(self, label: str, catalog: PatternCatalog) -> None:
+        if any(l == label for l, _ in self._generations):
+            raise ValueError(f"generation {label!r} already recorded")
+        self._generations.append((label, catalog))
+
+    @property
+    def generations(self) -> list[str]:
+        return [label for label, _ in self._generations]
+
+    def lifecycles(self) -> list[PatternLifecycle]:
+        """One lifecycle record per category ever seen."""
+        if not self._generations:
+            return []
+        order = self.generations
+        seen: dict[tuple, PatternLifecycle] = {}
+        for label, catalog in self._generations:
+            for entry in catalog.entries():
+                key = entry.pattern.category_key
+                record = seen.get(key)
+                if record is None:
+                    record = PatternLifecycle(
+                        category_id=entry.category_id,
+                        first_seen=label,
+                        last_seen=label,
+                        generations=order,
+                        counts=[],
+                        tags=set(entry.tags),
+                    )
+                    seen[key] = record
+                record.last_seen = label
+                record.tags |= entry.tags
+        # fill per-generation counts
+        for key, record in seen.items():
+            record.counts = [
+                cat._entries[key].count if key in cat._entries else 0
+                for _, cat in self._generations
+            ]
+        return sorted(seen.values(), key=lambda r: -max(r.counts))
+
+    def new_in(self, label: str) -> list[PatternLifecycle]:
+        return [r for r in self.lifecycles() if r.first_seen == label]
+
+    def retired_by(self, label: str) -> list[PatternLifecycle]:
+        """Categories present in earlier generations but absent from
+        ``label`` onward — the 'fixed by design or process' population."""
+        order = self.generations
+        idx = order.index(label)
+        out = []
+        for record in self.lifecycles():
+            last_idx = order.index(record.last_seen)
+            if last_idx < idx:
+                out.append(record)
+        return out
+
+    def summary(self) -> str:
+        records = self.lifecycles()
+        active = sum(1 for r in records if r.status == "active")
+        return (
+            f"PDB {self.name!r}: {len(self.generations)} generations, "
+            f"{len(records)} categories ({active} active, "
+            f"{len(records) - active} retired)"
+        )

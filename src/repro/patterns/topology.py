@@ -1,0 +1,139 @@
+"""Topological pattern signatures.
+
+A *topological pattern* captures the placement and alignment of polygon
+edges while abstracting exact dimensions (the representation from the
+"Systematic physical verification with topological patterns" line of
+work).  The snippet's cut-lines — the sorted distinct x and y coordinates
+of rectangle edges across *all* layers, plus the window border — define a
+grid; each layer contributes an occupancy bitmap over that shared grid,
+and the cut spacings form the *dimension vector*.  Sharing cut-lines
+across layers is what preserves inter-layer alignment (a via flush with a
+metal line-end is a different topology than a via strictly inside).
+
+Two snippets with identical bitmaps are the same topological *category*;
+their dimension vectors may differ.  Patterns are canonicalized under the
+8 square symmetries so a rotated or mirrored occurrence maps to the same
+category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.patterns.window import Snippet
+
+Bitmap = tuple[tuple[bool, ...], ...]  # rows indexed by y (bottom first)
+
+
+@dataclass(frozen=True, slots=True)
+class TopoPattern:
+    """A multi-layer topological pattern over a shared cut-line grid."""
+
+    radius: int
+    layers: tuple[tuple[int, int], ...]  # (gds_layer, datatype) per entry
+    bitmaps: tuple[Bitmap, ...]          # one per layer, same grid shape
+    x_dims: tuple[int, ...]              # widths of grid columns
+    y_dims: tuple[int, ...]              # heights of grid rows
+
+    @property
+    def category_key(self) -> tuple:
+        """Hashable key identifying the topological *category* (bitmaps
+        only, dimensions abstracted)."""
+        return (self.radius, self.layers, self.bitmaps)
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        """(columns, rows) of the cut-line grid."""
+        return (len(self.x_dims), len(self.y_dims))
+
+    @property
+    def complexity(self) -> int:
+        """Total occupied grid cells across layers — how intricate the
+        pattern is."""
+        return sum(sum(1 for row in bm for v in row if v) for bm in self.bitmaps)
+
+    def dimension_vector(self) -> tuple[int, ...]:
+        """x spacings then y spacings (the constraint vector)."""
+        return self.x_dims + self.y_dims
+
+    def __repr__(self) -> str:
+        nx, ny = self.grid_shape
+        return (
+            f"TopoPattern(r={self.radius}, layers={len(self.layers)}, "
+            f"grid={nx}x{ny}, complexity={self.complexity})"
+        )
+
+
+def pattern_of(snippet: Snippet) -> TopoPattern:
+    """The (un-canonicalized) topological pattern of a snippet."""
+    r = snippet.radius
+    layers = snippet.layers
+    all_rects = {layer: list(snippet.regions[layer].rects()) for layer in layers}
+    xs = sorted({-r, r} | {v for rects in all_rects.values() for rect in rects for v in (rect.x0, rect.x1)})
+    ys = sorted({-r, r} | {v for rects in all_rects.values() for rect in rects for v in (rect.y0, rect.y1)})
+    x_index = {x: i for i, x in enumerate(xs)}
+    y_index = {y: j for j, y in enumerate(ys)}
+    nx, ny = len(xs) - 1, len(ys) - 1
+    bitmaps: list[Bitmap] = []
+    for layer in layers:
+        grid = [[False] * nx for _ in range(ny)]
+        for rect in all_rects[layer]:
+            for j in range(y_index[rect.y0], y_index[rect.y1]):
+                row = grid[j]
+                for i in range(x_index[rect.x0], x_index[rect.x1]):
+                    row[i] = True
+        bitmaps.append(tuple(tuple(row) for row in grid))
+    return TopoPattern(
+        radius=r,
+        layers=tuple((l.gds_layer, l.gds_datatype) for l in layers),
+        bitmaps=tuple(bitmaps),
+        x_dims=tuple(b - a for a, b in zip(xs, xs[1:])),
+        y_dims=tuple(b - a for a, b in zip(ys, ys[1:])),
+    )
+
+
+def _transpose(bm: Bitmap) -> Bitmap:
+    return tuple(zip(*bm)) if bm else bm
+
+
+def _flip_rows(bm: Bitmap) -> Bitmap:
+    return tuple(reversed(bm))
+
+
+def _flip_cols(bm: Bitmap) -> Bitmap:
+    return tuple(tuple(reversed(row)) for row in bm)
+
+
+def _grid_variants(x_dims, y_dims):
+    """The 8 square-symmetry images of the grid, as functions on bitmaps.
+
+    Yields (x_dims', y_dims', bitmap_transform).
+    """
+    rev = lambda t: tuple(reversed(t))
+    yield (x_dims, y_dims, lambda bm: bm)                                    # R0
+    yield (rev(x_dims), y_dims, _flip_cols)                                  # MX180 (x -> -x)
+    yield (x_dims, rev(y_dims), _flip_rows)                                  # MX (y -> -y)
+    yield (rev(x_dims), rev(y_dims), lambda bm: _flip_cols(_flip_rows(bm)))  # R180
+    yield (y_dims, x_dims, _transpose)                                       # MX90 (swap axes)
+    yield (rev(y_dims), x_dims, lambda bm: _flip_cols(_transpose(bm)))       # R90
+    yield (y_dims, rev(x_dims), lambda bm: _flip_rows(_transpose(bm)))       # R270
+    yield (rev(y_dims), rev(x_dims), lambda bm: _flip_cols(_flip_rows(_transpose(bm))))
+
+
+def canonical_pattern(pattern: TopoPattern) -> TopoPattern:
+    """Canonicalize under the 8 square symmetries (all layers transform
+    together); keeps the lexicographically smallest stack."""
+    best = None
+    for xd, yd, f in _grid_variants(pattern.x_dims, pattern.y_dims):
+        bitmaps = tuple(f(bm) for bm in pattern.bitmaps)
+        key = (bitmaps, xd, yd)
+        if best is None or key < best:
+            best = key
+    bitmaps, xd, yd = best
+    return TopoPattern(
+        radius=pattern.radius,
+        layers=pattern.layers,
+        bitmaps=bitmaps,
+        x_dims=xd,
+        y_dims=yd,
+    )

@@ -1,0 +1,15 @@
+"""Design-rule exploration: the area/manufacturability trade-off.
+
+The "manufacturability-driven design rule exploration" idea: design rule
+values are knobs; each candidate rule set regenerates the standard cells
+and measures (a) cell area, (b) DRC cleanliness, and (c) litho
+marginality — exposing which rules buy area and which buy yield.
+"""
+
+from repro.ruleopt.explore import (
+    RuleSweepPoint,
+    sweep_rule_values,
+    rule_area_sensitivity,
+)
+
+__all__ = ["RuleSweepPoint", "sweep_rule_values", "rule_area_sensitivity"]

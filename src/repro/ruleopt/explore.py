@@ -1,0 +1,114 @@
+"""Design-rule sweeps over regenerated standard cells.
+
+A deliberately direct implementation of the DOE idea: every candidate
+rule assignment builds a fresh ``Technology`` (the generator derives all
+cell geometry from it), regenerates the library, and measures area and
+litho hotspots.  Because generation is cheap, no compaction surrogate is
+needed — the "layout generation as the response function" shortcut our
+parametric cells make honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.designgen.stdcells import make_stdcell_library
+from repro.drc import run_drc
+from repro.geometry import Rect
+from repro.litho import LithoModel, find_hotspots
+from repro.tech import make_node
+from repro.tech.technology import Technology
+
+# the rule knobs the sweep understands, as Technology field overrides
+KNOBS = ("poly_pitch", "cell_height", "via_size", "via_enclosure", "metal_width", "metal_space")
+
+
+@dataclass
+class RuleSweepPoint:
+    """One candidate rule assignment and its measured responses."""
+
+    overrides: dict[str, int]
+    cell_area_um2: float = 0.0
+    drc_clean: bool = False
+    hotspots: int = 0
+    tech: Technology | None = field(default=None, repr=False)
+
+
+def _apply_overrides(base: Technology, overrides: dict[str, int]) -> Technology:
+    unknown = set(overrides) - set(KNOBS)
+    if unknown:
+        raise ValueError(f"unknown rule knobs: {sorted(unknown)}")
+    return replace(base, **overrides)
+
+
+def _measure(tech: Technology, cells: tuple[str, ...], litho_check: bool) -> tuple[float, bool, int]:
+    library = make_stdcell_library(tech)
+    area = 0.0
+    clean = True
+    hotspots = 0
+    model = LithoModel(tech.litho) if litho_check else None
+    for name in cells:
+        std = library[name]
+        bb = std.cell.bbox
+        area += bb.area / 1e6
+        report = run_drc(std.cell, tech.rules.minimum())
+        clean = clean and report.is_clean
+        if model is not None:
+            m1 = std.cell.region(tech.layers.metal1)
+            window = Rect(bb.x0 - 100, bb.y0 - 100, bb.x1 + 100, bb.y1 + 100)
+            hotspots += len(
+                find_hotspots(model, m1, window, pinch_limit=tech.metal_width // 2)
+            )
+    return area, clean, hotspots
+
+
+def sweep_rule_values(
+    base: Technology,
+    knob: str,
+    values: list[int],
+    cells: tuple[str, ...] = ("INV_X1", "NAND2_X1", "DFF_X1"),
+    litho_check: bool = False,
+) -> list[RuleSweepPoint]:
+    """Sweep one rule knob, regenerating and measuring the cells."""
+    points = []
+    for value in values:
+        tech = _apply_overrides(base, {knob: value})
+        area, clean, hotspots = _measure(tech, cells, litho_check)
+        points.append(
+            RuleSweepPoint(
+                overrides={knob: value},
+                cell_area_um2=area,
+                drc_clean=clean,
+                hotspots=hotspots,
+                tech=tech,
+            )
+        )
+    return points
+
+
+def rule_area_sensitivity(
+    base: Technology,
+    deltas: dict[str, int] | None = None,
+    cells: tuple[str, ...] = ("INV_X1", "NAND2_X1", "DFF_X1"),
+) -> dict[str, float]:
+    """One-at-a-time DOE: percent cell-area change per knob increase.
+
+    ``deltas`` maps knob -> increment (defaults to ~10% of each nominal).
+    The ranking — which rules are area-critical — is the experiment's
+    deliverable; rules with ~0 sensitivity can be relaxed for free.
+    """
+    node = base.node_nm
+    defaults = {
+        "poly_pitch": max(node // 2, 2),
+        "cell_height": node,
+        "via_size": max(node // 8, 2),
+        "via_enclosure": max(node // 8, 2),
+    }
+    deltas = deltas or defaults
+    base_area, _, _ = _measure(base, cells, litho_check=False)
+    sensitivity: dict[str, float] = {}
+    for knob, delta in deltas.items():
+        tech = _apply_overrides(base, {knob: getattr(base, knob) + delta})
+        area, _, _ = _measure(tech, cells, litho_check=False)
+        sensitivity[knob] = 100.0 * (area - base_area) / base_area
+    return sensitivity

@@ -1,0 +1,45 @@
+"""Technology descriptions: layer stacks, design-rule decks, litho and
+defect parameters for parametric process nodes."""
+
+from repro.tech.rules import (
+    Rule,
+    RuleKind,
+    RuleSeverity,
+    WidthRule,
+    SpacingRule,
+    EnclosureRule,
+    AreaRule,
+    DensityRule,
+    ExtensionRule,
+    RuleDeck,
+)
+from repro.tech.technology import (
+    Technology,
+    LithoSettings,
+    DefectModel,
+    CmpSettings,
+    LayerStack,
+)
+from repro.tech.nodes import make_node, NODE_65, NODE_45, NODE_32
+
+__all__ = [
+    "Rule",
+    "RuleKind",
+    "RuleSeverity",
+    "WidthRule",
+    "SpacingRule",
+    "EnclosureRule",
+    "AreaRule",
+    "DensityRule",
+    "ExtensionRule",
+    "RuleDeck",
+    "Technology",
+    "LithoSettings",
+    "DefectModel",
+    "CmpSettings",
+    "LayerStack",
+    "make_node",
+    "NODE_65",
+    "NODE_45",
+    "NODE_32",
+]

@@ -1,0 +1,123 @@
+"""Parametric process-node factory.
+
+``make_node(65)`` / ``make_node(45)`` / ``make_node(32)`` build Technology
+objects whose dimensions scale with the node the way real nodes did:
+metal-1 half-pitch roughly equals the node name, via sizes track the metal
+width, and recommended (DFM) rules sit 25-50% above minimum.  The litho
+settings switch from dry (NA 0.93) to immersion (NA 1.35) below 65 nm,
+mirroring the 2008 transition.
+"""
+
+from __future__ import annotations
+
+from repro.tech.rules import (
+    AreaRule,
+    DensityRule,
+    EnclosureRule,
+    ExtensionRule,
+    RuleDeck,
+    RuleSeverity,
+    SpacingRule,
+    WidthRule,
+)
+from repro.tech.technology import (
+    CmpSettings,
+    DefectModel,
+    LayerStack,
+    LithoSettings,
+    Technology,
+)
+
+REC = RuleSeverity.RECOMMENDED
+
+
+def make_node(node_nm: int, name: str | None = None) -> Technology:
+    """Build a Technology for a metal-1 half-pitch of ``node_nm`` nm."""
+    if node_nm < 20 or node_nm > 250:
+        raise ValueError("supported node range is 20-250 nm")
+    layers = LayerStack()
+    w = node_nm  # metal min width
+    s = node_nm  # metal min space
+    via = node_nm  # via edge
+    enc = max(node_nm // 4, 5)
+    poly_w = max(int(node_nm * 0.7), 15)
+    poly_pitch = 4 * node_nm
+    deck = _make_rules(layers, w, s, via, enc, poly_w, node_nm)
+    litho = LithoSettings(
+        wavelength_nm=193.0,
+        na=0.93 if node_nm >= 65 else 1.35,
+        grid_nm=max(node_nm // 8, 4),
+    )
+    defects = DefectModel(x0_nm=node_nm, max_size_nm=40 * node_nm)
+    cmp = CmpSettings(window_nm=200 * node_nm, step_nm=100 * node_nm)
+    return Technology(
+        name=name or f"generic{node_nm}",
+        node_nm=node_nm,
+        layers=layers,
+        rules=deck,
+        litho=litho,
+        defects=defects,
+        cmp=cmp,
+        metal_width=w,
+        metal_space=s,
+        via_size=via,
+        via_enclosure=enc,
+        poly_width=poly_w,
+        poly_pitch=poly_pitch,
+        cell_height=14 * node_nm,
+    )
+
+
+def _make_rules(
+    layers: LayerStack, w: int, s: int, via: int, enc: int, poly_w: int, node: int
+) -> RuleDeck:
+    deck = RuleDeck(f"rules{node}")
+    # --- minimum (hard) rules ---
+    for metal in layers.metals():
+        ln = metal.name
+        deck.add(WidthRule(f"{ln}.W.1", metal, w))
+        deck.add(SpacingRule(f"{ln}.S.1", metal, s))
+        deck.add(AreaRule(f"{ln}.A.1", metal, int(1.4 * w * w)))
+    deck.add(WidthRule("POLY.W.1", layers.poly, poly_w))
+    deck.add(SpacingRule("POLY.S.1", layers.poly, int(2.2 * poly_w)))
+    deck.add(WidthRule("ACT.W.1", layers.active, 2 * node))
+    deck.add(SpacingRule("ACT.S.1", layers.active, 2 * node))
+    deck.add(ExtensionRule("POLY.EXT.1", layers.poly, layers.active, int(1.3 * node)))
+    for cut in layers.vias():
+        ln = cut.name
+        deck.add(WidthRule(f"{ln}.W.1", cut, via))
+        deck.add(SpacingRule(f"{ln}.S.1", cut, int(1.2 * via)))
+    deck.add(EnclosureRule("M1.ENC.CT", layers.contact, layers.metal1, enc, two_sided=True))
+    deck.add(EnclosureRule("M1.ENC.V1", layers.via1, layers.metal1, enc, two_sided=True))
+    deck.add(EnclosureRule("M2.ENC.V1", layers.via1, layers.metal2, enc, two_sided=True))
+    deck.add(EnclosureRule("M2.ENC.V2", layers.via2, layers.metal2, enc, two_sided=True))
+    deck.add(EnclosureRule("M3.ENC.V2", layers.via2, layers.metal3, enc, two_sided=True))
+    # contacts land on poly OR on diffusion: each enclosure applies only
+    # to the contacts that overlap that layer
+    deck.add(EnclosureRule("POLY.ENC.CT", layers.contact, layers.poly, max(enc // 2, 2), conditional=True))
+    deck.add(EnclosureRule("ACT.ENC.CT", layers.contact, layers.active, max(enc // 2, 2), conditional=True))
+    # --- recommended (DFM) rules ---
+    for metal in layers.metals():
+        ln = metal.name
+        deck.add(WidthRule(f"{ln}.W.R", metal, int(1.25 * w), severity=REC))
+        deck.add(SpacingRule(f"{ln}.S.R", metal, int(1.5 * s), severity=REC))
+    deck.add(EnclosureRule("M1.ENC.V1.R", layers.via1, layers.metal1, 2 * enc, severity=REC))
+    deck.add(EnclosureRule("M2.ENC.V1.R", layers.via1, layers.metal2, 2 * enc, severity=REC))
+    deck.add(SpacingRule("V1.S.R", layers.via1, 2 * via, severity=REC))
+    for metal in layers.metals():
+        deck.add(
+            DensityRule(
+                f"{metal.name}.DEN.R",
+                metal,
+                window=200 * node,
+                min_density=0.2,
+                max_density=0.8,
+                severity=REC,
+            )
+        )
+    return deck
+
+
+NODE_65 = make_node(65)
+NODE_45 = make_node(45)
+NODE_32 = make_node(32)

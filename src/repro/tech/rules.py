@@ -1,0 +1,190 @@
+"""Design rules and rule decks.
+
+Two severities mirror industry practice circa 2008:
+
+* ``MINIMUM`` — hard manufacturing limits; violating one is a DRC error.
+* ``RECOMMENDED`` — DFM guidance beyond minimum; compliance is scored, not
+  enforced (the "recommended rules" the DAC'08 panel argued about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+from repro.layout import Layer
+
+
+class RuleKind(Enum):
+    WIDTH = "width"
+    SPACING = "spacing"
+    ENCLOSURE = "enclosure"
+    AREA = "area"
+    DENSITY = "density"
+    EXTENSION = "extension"
+
+
+class RuleSeverity(Enum):
+    MINIMUM = "minimum"
+    RECOMMENDED = "recommended"
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """Base design rule; concrete kinds subclass this."""
+
+    name: str
+    severity: RuleSeverity = field(default=RuleSeverity.MINIMUM, kw_only=True)
+
+    @property
+    def kind(self) -> RuleKind:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class WidthRule(Rule):
+    """Minimum feature width on ``layer``."""
+
+    layer: Layer
+    min_width: int
+
+    @property
+    def kind(self) -> RuleKind:
+        return RuleKind.WIDTH
+
+
+@dataclass(frozen=True, slots=True)
+class SpacingRule(Rule):
+    """Minimum spacing on ``layer`` (or between ``layer`` and ``other``)."""
+
+    layer: Layer
+    min_space: int
+    other: Layer | None = None
+
+    @property
+    def kind(self) -> RuleKind:
+        return RuleKind.SPACING
+
+
+@dataclass(frozen=True, slots=True)
+class EnclosureRule(Rule):
+    """``outer`` must enclose ``inner`` by at least ``min_enclosure`` on
+    all sides.
+
+    ``conditional`` restricts the check to inner shapes that overlap the
+    outer layer at all — e.g. a contact must be enclosed by poly *if it
+    is a poly contact* (diffusion contacts are exempt), whereas a via
+    must always be enclosed by both routing layers (unconditional).
+
+    ``two_sided`` implements the 45 nm-era asymmetric ("end-cap")
+    enclosure: the inner shape needs ``min_enclosure`` on two *opposite*
+    sides (either axis) and only full coverage on the others — the rule
+    that makes minimum-width via landings legal.
+    """
+
+    inner: Layer
+    outer: Layer
+    min_enclosure: int
+    conditional: bool = False
+    two_sided: bool = False
+
+    @property
+    def kind(self) -> RuleKind:
+        return RuleKind.ENCLOSURE
+
+
+@dataclass(frozen=True, slots=True)
+class AreaRule(Rule):
+    """Minimum area of any connected component on ``layer``."""
+
+    layer: Layer
+    min_area: int
+
+    @property
+    def kind(self) -> RuleKind:
+        return RuleKind.AREA
+
+
+@dataclass(frozen=True, slots=True)
+class DensityRule(Rule):
+    """Pattern density of ``layer`` in every ``window`` x ``window`` tile
+    must lie within [min_density, max_density] (fractions of 1)."""
+
+    layer: Layer
+    window: int
+    min_density: float
+    max_density: float
+
+    @property
+    def kind(self) -> RuleKind:
+        return RuleKind.DENSITY
+
+
+@dataclass(frozen=True, slots=True)
+class ExtensionRule(Rule):
+    """``layer`` must extend past ``other`` by at least ``min_extension``
+    where they cross (e.g. poly endcap over active)."""
+
+    layer: Layer
+    other: Layer
+    min_extension: int
+
+    @property
+    def kind(self) -> RuleKind:
+        return RuleKind.EXTENSION
+
+
+class RuleDeck:
+    """An ordered collection of rules with filtered views."""
+
+    def __init__(self, name: str, rules: list[Rule] | None = None):
+        self.name = name
+        self._rules: list[Rule] = list(rules or [])
+        names = [r.name for r in self._rules]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate rule names: {dupes}")
+
+    def add(self, rule: Rule) -> None:
+        if any(r.name == rule.name for r in self._rules):
+            raise ValueError(f"duplicate rule name {rule.name!r}")
+        self._rules.append(rule)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def rule(self, name: str) -> Rule:
+        for r in self._rules:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def minimum(self) -> "RuleDeck":
+        return RuleDeck(
+            f"{self.name}.minimum",
+            [r for r in self._rules if r.severity is RuleSeverity.MINIMUM],
+        )
+
+    def recommended(self) -> "RuleDeck":
+        return RuleDeck(
+            f"{self.name}.recommended",
+            [r for r in self._rules if r.severity is RuleSeverity.RECOMMENDED],
+        )
+
+    def for_layer(self, layer: Layer) -> "RuleDeck":
+        picked = []
+        for r in self._rules:
+            layers = [getattr(r, a) for a in ("layer", "other", "inner", "outer") if hasattr(r, a)]
+            if layer in [l for l in layers if l is not None]:
+                picked.append(r)
+        return RuleDeck(f"{self.name}.{layer.name or layer.gds_layer}", picked)
+
+    def of_kind(self, kind: RuleKind) -> "RuleDeck":
+        return RuleDeck(f"{self.name}.{kind.value}", [r for r in self._rules if r.kind is kind])
+
+    def __repr__(self) -> str:
+        return f"RuleDeck({self.name!r}, {len(self._rules)} rules)"

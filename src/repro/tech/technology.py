@@ -1,0 +1,147 @@
+"""The Technology object: everything an experiment needs to know about a
+process node in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.layout import Layer
+from repro.tech.rules import RuleDeck
+
+
+@dataclass(frozen=True, slots=True)
+class LayerStack:
+    """The canonical layer set used throughout the project."""
+
+    nwell: Layer = Layer(1, 0, "NWELL")
+    active: Layer = Layer(2, 0, "ACTIVE")
+    poly: Layer = Layer(3, 0, "POLY")
+    implant_n: Layer = Layer(4, 0, "NIMP")
+    implant_p: Layer = Layer(5, 0, "PIMP")
+    contact: Layer = Layer(6, 0, "CONT")
+    metal1: Layer = Layer(10, 0, "M1")
+    via1: Layer = Layer(11, 0, "V1")
+    metal2: Layer = Layer(12, 0, "M2")
+    via2: Layer = Layer(13, 0, "V2")
+    metal3: Layer = Layer(14, 0, "M3")
+
+    def metals(self) -> list[Layer]:
+        return [self.metal1, self.metal2, self.metal3]
+
+    def vias(self) -> list[Layer]:
+        return [self.contact, self.via1, self.via2]
+
+    def via_between(self, lower: Layer, upper: Layer) -> Layer:
+        """The cut layer connecting two adjacent routing layers."""
+        pairs = {
+            (self.poly.name, self.metal1.name): self.contact,
+            (self.active.name, self.metal1.name): self.contact,
+            (self.metal1.name, self.metal2.name): self.via1,
+            (self.metal2.name, self.metal3.name): self.via2,
+        }
+        key = (lower.name, upper.name)
+        if key not in pairs:
+            raise KeyError(f"no via layer between {lower} and {upper}")
+        return pairs[key]
+
+    def routing_layers_for(self, via: Layer) -> tuple[Layer, Layer]:
+        """The (lower, upper) routing layers a cut layer connects."""
+        table = {
+            self.contact.name: (self.poly, self.metal1),
+            self.via1.name: (self.metal1, self.metal2),
+            self.via2.name: (self.metal2, self.metal3),
+        }
+        if via.name not in table:
+            raise KeyError(f"{via} is not a cut layer")
+        return table[via.name]
+
+
+@dataclass(frozen=True, slots=True)
+class LithoSettings:
+    """Scalar-litho model parameters.
+
+    ``wavelength_nm / na`` sets the optical resolution; the simulator uses
+    a Gaussian point-spread approximation with an effective sigma of
+    ``k_sigma * lambda / NA``.  ``k_sigma = 0.16`` folds in the resolution
+    enhancement (off-axis illumination, strong RET) that let 2008-era
+    scanners image k1 ~ 0.3 pitches; with it, the node's minimum pitch is
+    resolvable but heavily dose/defocus sensitive — the regime OPC lives
+    in.  Defocus adds blur in quadrature.  ``resist_threshold = 0.5`` is
+    the self-calibrating choice: a long straight edge prints exactly in
+    place at nominal dose, so all CD error comes from proximity.
+    """
+
+    wavelength_nm: float = 193.0
+    na: float = 1.2
+    k_sigma: float = 0.16
+    k_defocus: float = 0.12
+    resist_threshold: float = 0.50
+    nominal_dose: float = 1.0
+    max_defocus_nm: float = 120.0
+    grid_nm: int = 4
+
+    @property
+    def psf_sigma_nm(self) -> float:
+        return self.k_sigma * self.wavelength_nm / self.na
+
+    def defocus_sigma_nm(self, defocus_nm: float) -> float:
+        """Extra blur contributed by defocus (linear proxy)."""
+        return self.k_defocus * abs(defocus_nm)
+
+
+@dataclass(frozen=True, slots=True)
+class DefectModel:
+    """Random-defect statistics for critical-area yield analysis.
+
+    The defect size distribution follows the standard ``k / x^3`` form
+    above a peak size ``x0`` (Stapper), normalized so the total density is
+    ``d0_per_cm2`` defects per cm^2 per defect type.
+    """
+
+    d0_per_cm2: float = 0.1
+    x0_nm: int = 40
+    max_size_nm: int = 2000
+    via_fail_prob: float = 1e-8
+    clustering_alpha: float = 2.0  # negative-binomial clustering parameter
+
+
+@dataclass(frozen=True, slots=True)
+class CmpSettings:
+    """Density-driven CMP model parameters."""
+
+    window_nm: int = 10000
+    step_nm: int = 5000
+    target_density: float = 0.5
+    min_density: float = 0.2
+    max_density: float = 0.8
+    # post-polish thickness deviation per unit density deviation
+    thickness_per_density_nm: float = 60.0
+    nominal_thickness_nm: float = 250.0
+
+
+@dataclass(frozen=True, slots=True)
+class Technology:
+    """A process node: layers + rules + litho + defects + CMP."""
+
+    name: str
+    node_nm: int
+    layers: LayerStack
+    rules: RuleDeck
+    litho: LithoSettings
+    defects: DefectModel
+    cmp: CmpSettings
+    # convenience dimensions (all in nm) used by generators and optimizers
+    metal_width: int = 0
+    metal_space: int = 0
+    via_size: int = 0
+    via_enclosure: int = 0
+    poly_width: int = 0
+    poly_pitch: int = 0
+    cell_height: int = 0
+
+    @property
+    def metal_pitch(self) -> int:
+        return self.metal_width + self.metal_space
+
+    def __repr__(self) -> str:
+        return f"Technology({self.name!r}, {self.node_nm} nm, {len(self.rules)} rules)"

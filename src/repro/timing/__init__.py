@@ -1,0 +1,27 @@
+"""Variability-aware timing: equivalent-L extraction for non-rectangular
+(post-litho) gates, logical-effort delay, and path analysis under drawn
+vs. litho-extracted CDs."""
+
+from repro.timing.devices import (
+    GateSlices,
+    slice_gate,
+    equivalent_length_drive,
+    equivalent_length_leakage,
+)
+from repro.timing.delay import DelayModel, gate_delay_ps, leakage_nw, wire_delay_ps
+from repro.timing.paths import Stage, TimingPath, path_delay_ps, compare_paths
+
+__all__ = [
+    "GateSlices",
+    "slice_gate",
+    "equivalent_length_drive",
+    "equivalent_length_leakage",
+    "DelayModel",
+    "gate_delay_ps",
+    "leakage_nw",
+    "wire_delay_ps",
+    "Stage",
+    "TimingPath",
+    "path_delay_ps",
+    "compare_paths",
+]

@@ -1,0 +1,59 @@
+"""Logical-effort delay and subthreshold leakage models.
+
+Absolute numbers are calibrated loosely to a 45 nm-class process; the
+experiments only rely on relative behaviour (how CD shifts move delays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class DelayModel:
+    """Per-node electrical constants."""
+
+    nominal_length_nm: float = 35.0
+    tau_ps: float = 1.2                 # FO1 inverter delay at nominal L
+    c_gate_af_per_nm: float = 1.0       # gate cap per nm of width
+    c_wire_af_per_nm: float = 0.2       # wire cap per nm of length
+    r_wire_ohm_per_nm: float = 0.02     # wire resistance per nm (min width)
+    r_drive_ohm_nm: float = 20000.0     # R = r_drive / W * (L/Lnom)
+    i_leak_na_per_nm: float = 0.05      # leakage per nm width at nominal L
+    subthreshold_nm: float = 10.0       # leakage length sensitivity
+
+
+def gate_delay_ps(
+    model: DelayModel,
+    drive_width_nm: float,
+    length_nm: float,
+    load_ff: float,
+    logical_effort: float = 1.0,
+    parasitic: float = 1.0,
+) -> float:
+    """Stage delay: ``tau * (p + g*h)`` with the effort scaled by L/Lnom.
+
+    ``load_ff`` is the capacitive load; the input capacitance of this gate
+    is ``c_gate * W``, so electrical effort h = load / C_in.
+    """
+    if drive_width_nm <= 0 or length_nm <= 0:
+        raise ValueError("width and length must be positive")
+    c_in_ff = model.c_gate_af_per_nm * drive_width_nm * 1e-3
+    h = load_ff / c_in_ff if c_in_ff > 0 else 0.0
+    l_factor = length_nm / model.nominal_length_nm
+    return model.tau_ps * l_factor * (parasitic + logical_effort * h)
+
+
+def wire_delay_ps(model: DelayModel, length_nm: float, load_ff: float = 0.0) -> float:
+    """Elmore delay of a min-width wire driving ``load_ff``."""
+    r = model.r_wire_ohm_per_nm * length_nm
+    c_ff = model.c_wire_af_per_nm * length_nm * 1e-3
+    return 1e-3 * r * (c_ff / 2.0 + load_ff)  # ohm * fF = 1e-3 ps
+
+
+def leakage_nw(model: DelayModel, width_nm: float, length_nm: float, vdd: float = 1.0) -> float:
+    """Subthreshold leakage power estimate in nW."""
+    import math
+
+    scale = math.exp(-(length_nm - model.nominal_length_nm) / model.subthreshold_nm)
+    return model.i_leak_na_per_nm * width_nm * scale * vdd

@@ -1,0 +1,102 @@
+"""Equivalent rectangular transistors for non-rectangular gates.
+
+Post-OPC gates are not rectangles: corner rounding and proximity leave the
+channel length varying along the width.  Compact models take one (W, L),
+so the printed gate is sliced across its width and collapsed to an
+equivalent length — one value for drive current, a different one for
+leakage, because the two average differently:
+
+* drive: currents add, ``I ~ W/L``, so ``L_drive = W / sum(w_i / l_i)``
+  (harmonic, dominated by the *longest* slices only weakly);
+* leakage: ``I_leak ~ W * exp(-L/s)``, dominated by the *shortest* slice
+  (the exponential), so
+  ``L_leak = -s * ln( sum(w_i exp(-l_i/s)) / W )``.
+
+This is the "from poly line to transistor" methodology.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry import Rect, Region
+
+
+@dataclass(frozen=True)
+class GateSlices:
+    """(width_i, length_i) strips across the gate width, in nm."""
+
+    slices: tuple[tuple[int, float], ...]
+
+    @property
+    def total_width(self) -> int:
+        return sum(w for w, _ in self.slices)
+
+    @property
+    def min_length(self) -> float:
+        return min(l for _, l in self.slices) if self.slices else 0.0
+
+    @property
+    def max_length(self) -> float:
+        return max(l for _, l in self.slices) if self.slices else 0.0
+
+
+def slice_gate(
+    poly: Region,
+    active: Region,
+    vertical_poly: bool = True,
+    strip_nm: int = 5,
+) -> GateSlices:
+    """Slice the channel (poly over active) into strips across the width.
+
+    ``vertical_poly`` means the poly line runs vertically, so the gate
+    length is its x-extent and the width direction is y.  The printed
+    ``poly`` region may be non-rectangular; each strip measures the local
+    channel length as the poly x-extent inside that strip.
+    """
+    channel = poly & active
+    if channel.is_empty:
+        return GateSlices(slices=())
+    bb = channel.bbox
+    slices: list[tuple[int, float]] = []
+    if vertical_poly:
+        pos = bb.y0
+        while pos < bb.y1:
+            top = min(pos + strip_nm, bb.y1)
+            strip = channel & Region(Rect(bb.x0, pos, bb.x1, top))
+            if not strip.is_empty:
+                width = top - pos
+                length = strip.area / width
+                slices.append((width, length))
+            pos = top
+    else:
+        pos = bb.x0
+        while pos < bb.x1:
+            right = min(pos + strip_nm, bb.x1)
+            strip = channel & Region(Rect(pos, bb.y0, right, bb.y1))
+            if not strip.is_empty:
+                width = right - pos
+                length = strip.area / width
+                slices.append((width, length))
+            pos = right
+    return GateSlices(slices=tuple(slices))
+
+
+def equivalent_length_drive(gate: GateSlices) -> float:
+    """Drive-equivalent channel length (harmonic mean over slices)."""
+    if not gate.slices:
+        return 0.0
+    conductance = sum(w / l for w, l in gate.slices if l > 0)
+    if conductance <= 0:
+        return 0.0
+    return gate.total_width / conductance
+
+
+def equivalent_length_leakage(gate: GateSlices, subthreshold_nm: float = 10.0) -> float:
+    """Leakage-equivalent channel length (log-sum-exp over slices)."""
+    if not gate.slices:
+        return 0.0
+    s = subthreshold_nm
+    total = sum(w * math.exp(-l / s) for w, l in gate.slices)
+    return -s * math.log(total / gate.total_width)

@@ -1,0 +1,125 @@
+"""Path timing under drawn vs. litho-extracted channel lengths.
+
+The post-OPC timing methodology: tag the gates on candidate critical
+paths, back-annotate each with its litho-measured channel length, rerun
+timing, and compare both the worst slack and the path *ordering* — the
+reorder is what makes drawn-CD signoff unsafe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.timing.delay import DelayModel, gate_delay_ps, wire_delay_ps
+
+
+@dataclass(frozen=True, slots=True)
+class Stage:
+    """One gate plus its output wire."""
+
+    name: str
+    drive_width_nm: float
+    drawn_length_nm: float
+    wire_length_nm: float = 0.0
+    logical_effort: float = 1.0
+    parasitic: float = 1.0
+    fanout_load_ff: float = 1.0
+
+
+@dataclass
+class TimingPath:
+    name: str
+    stages: list[Stage] = field(default_factory=list)
+
+    def with_lengths(self, lengths: dict[str, float]) -> "TimingPath":
+        """A copy with per-stage channel lengths overridden (back-
+        annotation from litho extraction)."""
+        new_stages = [
+            replace(s, drawn_length_nm=lengths.get(s.name, s.drawn_length_nm))
+            for s in self.stages
+        ]
+        return TimingPath(self.name, new_stages)
+
+
+def path_delay_ps(path: TimingPath, model: DelayModel | None = None) -> float:
+    model = model or DelayModel()
+    total = 0.0
+    for stage in path.stages:
+        wire_c_ff = model.c_wire_af_per_nm * stage.wire_length_nm * 1e-3
+        load = stage.fanout_load_ff + wire_c_ff
+        total += gate_delay_ps(
+            model,
+            stage.drive_width_nm,
+            stage.drawn_length_nm,
+            load,
+            stage.logical_effort,
+            stage.parasitic,
+        )
+        total += wire_delay_ps(model, stage.wire_length_nm, stage.fanout_load_ff)
+    return total
+
+
+@dataclass
+class PathComparison:
+    """Drawn vs annotated timing for a set of paths."""
+
+    names: list[str]
+    drawn_ps: list[float]
+    annotated_ps: list[float]
+
+    @property
+    def worst_drawn(self) -> float:
+        return max(self.drawn_ps)
+
+    @property
+    def worst_annotated(self) -> float:
+        return max(self.annotated_ps)
+
+    @property
+    def worst_shift_percent(self) -> float:
+        return 100.0 * (self.worst_annotated - self.worst_drawn) / self.worst_drawn
+
+    @property
+    def critical_path_changed(self) -> bool:
+        return self.drawn_ps.index(self.worst_drawn) != self.annotated_ps.index(
+            self.worst_annotated
+        )
+
+    def reorder_count(self) -> int:
+        """Pairs of paths whose relative order flipped."""
+        n = len(self.names)
+        flips = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                before = self.drawn_ps[i] - self.drawn_ps[j]
+                after = self.annotated_ps[i] - self.annotated_ps[j]
+                if before * after < 0:
+                    flips += 1
+        return flips
+
+    def summary(self) -> str:
+        return (
+            f"paths: {len(self.names)}, worst drawn {self.worst_drawn:.2f} ps -> "
+            f"annotated {self.worst_annotated:.2f} ps "
+            f"({self.worst_shift_percent:+.1f}%), "
+            f"{self.reorder_count()} order flips, "
+            f"critical path {'CHANGED' if self.critical_path_changed else 'same'}"
+        )
+
+
+def compare_paths(
+    paths: list[TimingPath],
+    annotations: dict[str, dict[str, float]],
+    model: DelayModel | None = None,
+) -> PathComparison:
+    """Time every path at drawn CDs and at annotated (litho) CDs.
+
+    ``annotations`` maps path name -> {stage name -> litho length}.
+    """
+    model = model or DelayModel()
+    names = [p.name for p in paths]
+    drawn = [path_delay_ps(p, model) for p in paths]
+    annotated = [
+        path_delay_ps(p.with_lengths(annotations.get(p.name, {})), model) for p in paths
+    ]
+    return PathComparison(names=names, drawn_ps=drawn, annotated_ps=annotated)

@@ -1,0 +1,18 @@
+"""Statistical process variation: sampled dose/focus conditions, CD
+distributions with process-capability metrics, and statistical timing —
+the "beyond corners" analysis the panel's variability debate pointed at.
+"""
+
+from repro.variation.sampling import ProcessSampler, ProcessSample
+from repro.variation.cd_stats import CdDistribution, simulate_cd_distribution, process_capability
+from repro.variation.stat_timing import StatisticalTiming, statistical_path_delays
+
+__all__ = [
+    "ProcessSampler",
+    "ProcessSample",
+    "CdDistribution",
+    "simulate_cd_distribution",
+    "process_capability",
+    "StatisticalTiming",
+    "statistical_path_delays",
+]

@@ -1,0 +1,45 @@
+"""Sampled process conditions.
+
+Corners bound the process box; sampling fills it.  Dose is modelled as
+Gaussian around nominal, defocus as the absolute value of a Gaussian
+(focus errors are symmetric but blur is even in defocus) — both truncated
+at 3 sigma to keep samples physical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessSample:
+    dose: float
+    defocus_nm: float
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessSampler:
+    """Gaussian process-condition sampler."""
+
+    dose_sigma: float = 0.02
+    defocus_sigma_nm: float = 40.0
+    truncate_sigma: float = 3.0
+
+    def sample(self, n: int, seed: int = 1) -> list[ProcessSample]:
+        rng = np.random.default_rng(seed)
+        t = self.truncate_sigma
+        doses = np.clip(
+            rng.normal(1.0, self.dose_sigma, n),
+            1.0 - t * self.dose_sigma,
+            1.0 + t * self.dose_sigma,
+        )
+        defocus = np.abs(
+            np.clip(
+                rng.normal(0.0, self.defocus_sigma_nm, n),
+                -t * self.defocus_sigma_nm,
+                t * self.defocus_sigma_nm,
+            )
+        )
+        return [ProcessSample(float(d), float(f)) for d, f in zip(doses, defocus)]

@@ -1,0 +1,56 @@
+"""Random-defect yield: defect size distributions, critical area analysis,
+yield models, redundant-via insertion, and wire spreading/widening."""
+
+from repro.yieldmodels.dsd import DefectSizeDistribution
+from repro.yieldmodels.critical_area import (
+    critical_area_shorts,
+    critical_area_opens,
+    weighted_critical_area,
+)
+from repro.yieldmodels.yield_model import (
+    yield_poisson,
+    yield_negative_binomial,
+    layer_defect_lambda,
+    YieldBreakdown,
+)
+from repro.yieldmodels.redundant_via import insert_redundant_vias, RedundantViaReport
+from repro.yieldmodels.via_yield import via_yield, via_failure_lambda
+from repro.yieldmodels.wire_spread import spread_wires, widen_wires, redistribute_channel
+from repro.yieldmodels.montecarlo import (
+    DefectInjector,
+    DefectResult,
+    estimate_fault_probability,
+)
+from repro.yieldmodels.fitting import (
+    MonitorObservation,
+    FittedDefectModel,
+    fit_d0,
+    fit_defect_model,
+    predict_fail_fraction,
+)
+
+__all__ = [
+    "DefectSizeDistribution",
+    "critical_area_shorts",
+    "critical_area_opens",
+    "weighted_critical_area",
+    "yield_poisson",
+    "yield_negative_binomial",
+    "layer_defect_lambda",
+    "YieldBreakdown",
+    "insert_redundant_vias",
+    "RedundantViaReport",
+    "via_yield",
+    "via_failure_lambda",
+    "spread_wires",
+    "widen_wires",
+    "redistribute_channel",
+    "DefectInjector",
+    "DefectResult",
+    "estimate_fault_probability",
+    "MonitorObservation",
+    "FittedDefectModel",
+    "fit_d0",
+    "fit_defect_model",
+    "predict_fail_fraction",
+]

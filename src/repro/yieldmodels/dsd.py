@@ -1,0 +1,75 @@
+"""Defect size distributions.
+
+The industry-standard Stapper form: defect density rises linearly up to a
+peak size ``x0`` and falls as ``1/x^3`` beyond it.  The distribution is
+normalized over ``[x_min, x_max]`` so it can be used directly as a
+probability density for critical-area integration and for sampling
+synthetic defects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class DefectSizeDistribution:
+    """p(x) ~ x / x0^2 for x <= x0, ~ x0^2 / x^3 beyond (continuous at x0)."""
+
+    x0_nm: float
+    x_max_nm: float
+    x_min_nm: float = 1.0
+
+    def __post_init__(self):
+        if not (0 < self.x_min_nm < self.x0_nm < self.x_max_nm):
+            raise ValueError("need 0 < x_min < x0 < x_max")
+
+    # unnormalized piecewise density
+    def _raw(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        below = x / self.x0_nm**2
+        above = self.x0_nm**2 / x**3
+        return np.where(x <= self.x0_nm, below, above)
+
+    @property
+    def _norm(self) -> float:
+        # integral below: (x0^2 - xmin^2) / (2 x0^2)
+        below = (self.x0_nm**2 - self.x_min_nm**2) / (2 * self.x0_nm**2)
+        # integral above: x0^2/2 * (1/x0^2 - 1/xmax^2)
+        above = 0.5 * (1.0 - self.x0_nm**2 / self.x_max_nm**2)
+        return below + above
+
+    def pdf(self, x) -> np.ndarray:
+        """Normalized probability density at size(s) ``x``."""
+        x = np.asarray(x, dtype=float)
+        out = self._raw(x) / self._norm
+        return np.where((x < self.x_min_nm) | (x > self.x_max_nm), 0.0, out)
+
+    def cdf(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        x = np.clip(x, self.x_min_nm, self.x_max_nm)
+        below = (np.minimum(x, self.x0_nm) ** 2 - self.x_min_nm**2) / (2 * self.x0_nm**2)
+        above = np.where(
+            x > self.x0_nm,
+            0.5 * (1.0 - self.x0_nm**2 / x**2),
+            0.0,
+        )
+        return (below + above) / self._norm
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Inverse-CDF sampling of defect sizes."""
+        u = rng.uniform(0.0, 1.0, n) * self._norm
+        below_mass = (self.x0_nm**2 - self.x_min_nm**2) / (2 * self.x0_nm**2)
+        out = np.empty(n)
+        small = u <= below_mass
+        out[small] = np.sqrt(self.x_min_nm**2 + 2 * self.x0_nm**2 * u[small])
+        rest = u[~small] - below_mass
+        # invert 0.5 * (1 - x0^2/x^2) = rest
+        out[~small] = self.x0_nm / np.sqrt(np.maximum(1.0 - 2.0 * rest, 1e-12))
+        return np.clip(out, self.x_min_nm, self.x_max_nm)
+
+    def quadrature_sizes(self, n: int = 16) -> np.ndarray:
+        """Geometric size grid for critical-area integration."""
+        return np.geomspace(self.x_min_nm, self.x_max_nm, n)

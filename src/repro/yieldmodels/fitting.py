@@ -1,0 +1,146 @@
+"""Defect-model fitting from test-structure yields.
+
+The fab-side half of yield learning: comb and serpentine monitors of
+several geometries are measured (fail counts over many dies), and the
+defect density D0 — and optionally the DSD peak x0 — are fitted so the
+critical-area model reproduces the observations.  The fitted model then
+predicts product yield before the product exists.
+
+Fitting uses the Poisson likelihood: for monitor ``i`` with weighted
+critical area ``CA_i`` and ``n_i`` dies of which ``k_i`` failed,
+
+    lambda_i = D0 * CA_i / 1e14           (CA in nm^2, D0 in /cm^2)
+    P(fail)  = 1 - exp(-lambda_i)
+
+D0 enters monotonically, so the 1-D MLE is a simple bisection; the joint
+(D0, x0) fit scans x0 over a grid and picks the likelihood maximum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry import Region
+from repro.yieldmodels.critical_area import weighted_critical_area
+from repro.yieldmodels.dsd import DefectSizeDistribution
+
+NM2_PER_CM2 = 1e14
+
+
+@dataclass(frozen=True, slots=True)
+class MonitorObservation:
+    """One test structure's measurement: geometry plus fail statistics.
+
+    ``replicas`` is how many copies of the drawn tile the physical
+    monitor repeats per die — production monitors tile metres of wire, so
+    the simulated tile's critical area is multiplied accordingly.
+    """
+
+    name: str
+    region: Region
+    dies: int
+    fails: int
+    replicas: int = 1
+
+    def __post_init__(self):
+        if not 0 <= self.fails <= self.dies:
+            raise ValueError("fails must be within [0, dies]")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+
+
+def _log_likelihood(d0: float, cas: list[float], observations: list[MonitorObservation]) -> float:
+    total = 0.0
+    for ca, obs in zip(cas, observations):
+        lam = d0 * ca / NM2_PER_CM2
+        p_fail = 1.0 - math.exp(-lam)
+        p_fail = min(max(p_fail, 1e-12), 1.0 - 1e-12)
+        total += obs.fails * math.log(p_fail) + (obs.dies - obs.fails) * math.log(1.0 - p_fail)
+    return total
+
+
+def fit_d0(
+    observations: list[MonitorObservation],
+    dsd: DefectSizeDistribution,
+    d0_max: float = 100.0,
+) -> float:
+    """Maximum-likelihood D0 (defects/cm^2) for a known DSD.
+
+    The likelihood in D0 is unimodal (each term is concave in lambda), so
+    golden-section search over [0, d0_max] suffices.
+    """
+    if not observations:
+        raise ValueError("need at least one observation")
+    cas = [
+        obs.replicas
+        * (
+            weighted_critical_area(obs.region, dsd, "shorts")
+            + weighted_critical_area(obs.region, dsd, "opens")
+        )
+        for obs in observations
+    ]
+    if all(ca == 0 for ca in cas):
+        raise ValueError("monitors have zero critical area; nothing to fit")
+    lo, hi = 0.0, d0_max
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = hi - phi * (hi - lo), lo + phi * (hi - lo)
+    fa, fb = _log_likelihood(a, cas, observations), _log_likelihood(b, cas, observations)
+    for _ in range(80):
+        if fa < fb:
+            lo, a, fa = a, b, fb
+            b = lo + phi * (hi - lo)
+            fb = _log_likelihood(b, cas, observations)
+        else:
+            hi, b, fb = b, a, fa
+            a = hi - phi * (hi - lo)
+            fa = _log_likelihood(a, cas, observations)
+    return (lo + hi) / 2.0
+
+
+@dataclass(frozen=True, slots=True)
+class FittedDefectModel:
+    d0_per_cm2: float
+    x0_nm: float
+    log_likelihood: float
+
+
+def fit_defect_model(
+    observations: list[MonitorObservation],
+    x0_grid_nm: list[float],
+    x_max_nm: float,
+    d0_max: float = 100.0,
+) -> FittedDefectModel:
+    """Joint (D0, x0) fit: scan x0, fit D0 per candidate, keep the best.
+
+    Monitors with *different* minimum dimensions are what make x0
+    identifiable — a single geometry only constrains the product
+    D0 * CA(x0).
+    """
+    best: FittedDefectModel | None = None
+    for x0 in x0_grid_nm:
+        dsd = DefectSizeDistribution(x0_nm=x0, x_max_nm=x_max_nm)
+        d0 = fit_d0(observations, dsd, d0_max)
+        cas = [
+            obs.replicas
+            * (
+                weighted_critical_area(obs.region, dsd, "shorts")
+                + weighted_critical_area(obs.region, dsd, "opens")
+            )
+            for obs in observations
+        ]
+        ll = _log_likelihood(d0, cas, observations)
+        if best is None or ll > best.log_likelihood:
+            best = FittedDefectModel(d0_per_cm2=d0, x0_nm=x0, log_likelihood=ll)
+    assert best is not None
+    return best
+
+
+def predict_fail_fraction(
+    region: Region, dsd: DefectSizeDistribution, d0: float, replicas: int = 1
+) -> float:
+    """Fail probability the fitted model predicts for a new monitor."""
+    ca = weighted_critical_area(region, dsd, "shorts") + weighted_critical_area(
+        region, dsd, "opens"
+    )
+    return 1.0 - math.exp(-d0 * replicas * ca / NM2_PER_CM2)

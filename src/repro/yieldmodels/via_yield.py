@@ -1,0 +1,22 @@
+"""Via failure statistics.
+
+Single vias fail independently with probability ``p``; a redundant pair
+fails only when both cuts fail (``p^2``).  With millions of vias on a die,
+even tiny ``p`` dominates yield — the argument for redundant-via DFM.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def via_failure_lambda(n_single: int, n_redundant_pairs: int, p_fail: float) -> float:
+    """Expected via-failure count."""
+    if not 0.0 <= p_fail < 1.0:
+        raise ValueError("p_fail must be in [0, 1)")
+    return n_single * p_fail + n_redundant_pairs * p_fail * p_fail
+
+
+def via_yield(n_single: int, n_redundant_pairs: int, p_fail: float) -> float:
+    """Yield limited by via failures (Poisson)."""
+    return math.exp(-via_failure_lambda(n_single, n_redundant_pairs, p_fail))

@@ -1,0 +1,172 @@
+"""Wire spreading and widening — critical-area DFM optimizers.
+
+*Spreading* nudges wires apart where slack exists, cutting short-critical
+area; *widening* fattens wires where space allows, cutting open-critical
+area.  Both are post-route cleanups: they must never create a new spacing
+violation, so every move is validated against the minimum rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import GridIndex, Rect, Region
+
+
+@dataclass
+class SpreadReport:
+    features: int = 0
+    moved: int = 0
+    widened: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"wire spread/widen: {self.features} features, "
+            f"{self.moved} moved, {self.widened} widened"
+        )
+
+
+def _neighbor_index(components: list[Region], reach: int) -> GridIndex[int]:
+    index: GridIndex[int] = GridIndex(cell_size=max(4 * reach, 512))
+    for i, comp in enumerate(components):
+        index.insert(comp.bbox, i)
+    return index
+
+
+def _clearance(feature: Region, others: list[Region], limit: int) -> int:
+    """Smallest separation to any other feature, capped at ``limit``."""
+    best = limit
+    for other in others:
+        for ra in feature.rects():
+            for rb in other.rects():
+                d = ra.distance(rb)
+                if d < best:
+                    best = d
+    return best
+
+
+def spread_wires(
+    region: Region, min_space: int, target_space: int, step: int = 0
+) -> tuple[Region, SpreadReport]:
+    """Nudge features apart toward ``target_space`` where legal.
+
+    Each feature pair closer than ``target_space`` (but legal) is pushed
+    apart by moving the *smaller* feature away, up to ``step`` nm (default
+    half the slack), if the move does not violate ``min_space`` to anyone
+    else.  Returns the new region; the original is untouched.
+    """
+    components = region.components()
+    report = SpreadReport(features=len(components))
+    if len(components) < 2:
+        return region, report
+    reach = max(target_space, min_space)
+    index = _neighbor_index(components, reach)
+    moved: dict[int, tuple[int, int]] = {}
+    for i, j in index.query_pairs(reach):
+        a, b = components[i], components[j]
+        d = _clearance(a, [b], reach + 1)
+        if d >= target_space or d < min_space:
+            continue
+        mover, anchor = (i, j) if a.area <= b.area else (j, i)
+        slack = target_space - d
+        amount = step or max(slack // 2, 1)
+        direction = _push_direction(components[mover].bbox, components[anchor].bbox)
+        dx, dy = direction[0] * amount, direction[1] * amount
+        candidate = components[mover].translated(dx, dy)
+        others = [components[k] for k in range(len(components)) if k != mover]
+        if _legal(candidate, others, min_space):
+            moved[mover] = (dx, dy)
+            components[mover] = candidate
+            report.moved += 1
+    out = Region()
+    for comp in components:
+        out = out | comp
+    return out, report
+
+
+def _push_direction(mover: Rect, anchor: Rect) -> tuple[int, int]:
+    mc, ac = mover.center, anchor.center
+    dx = mc.x - ac.x
+    dy = mc.y - ac.y
+    if abs(dx) >= abs(dy):
+        return ((1 if dx >= 0 else -1), 0)
+    return (0, (1 if dy >= 0 else -1))
+
+
+def _legal(candidate: Region, others: list[Region], min_space: int) -> bool:
+    halo = candidate.grown(min_space - 1) if min_space > 1 else candidate
+    for other in others:
+        if halo.overlaps(other):
+            return False
+    return True
+
+
+def redistribute_channel(
+    region: Region,
+    min_space: int,
+    lo: int,
+    hi: int,
+    horizontal_wires: bool = True,
+) -> tuple[Region, SpreadReport]:
+    """Evenly redistribute parallel wires across a routing channel.
+
+    The global form of wire spreading: all features (assumed parallel
+    wires sortable along the cross axis) are re-placed between ``lo`` and
+    ``hi`` with equal gaps — the way routers consume white space after
+    detail routing.  Gaps never fall below ``min_space``; if the channel
+    cannot hold the wires legally the input is returned unchanged.
+
+    ``horizontal_wires`` selects the cross axis (True: wires run in x and
+    are redistributed along y).
+    """
+    components = region.components()
+    report = SpreadReport(features=len(components))
+    if len(components) < 2:
+        return region, report
+
+    def pos(c: Region) -> int:
+        bb = c.bbox
+        return bb.y0 if horizontal_wires else bb.x0
+
+    def size(c: Region) -> int:
+        bb = c.bbox
+        return bb.height if horizontal_wires else bb.width
+
+    order = sorted(range(len(components)), key=lambda i: pos(components[i]))
+    total_size = sum(size(components[i]) for i in order)
+    slack = (hi - lo) - total_size
+    n_gaps = len(order) - 1
+    if slack < n_gaps * min_space:
+        return region, report
+    gap = slack // n_gaps
+    out = Region()
+    cursor = lo
+    for rank, i in enumerate(order):
+        comp = components[i]
+        delta = cursor - pos(comp)
+        if delta != 0:
+            comp = comp.translated(0, delta) if horizontal_wires else comp.translated(delta, 0)
+            report.moved += 1
+        out = out | comp
+        cursor += size(comp) + (gap if rank < n_gaps else 0)
+    return out, report
+
+
+def widen_wires(
+    region: Region, min_space: int, widen_by: int
+) -> tuple[Region, SpreadReport]:
+    """Fatten each feature by ``widen_by`` per side where the result keeps
+    ``min_space`` to every neighbour; per-feature all-or-nothing."""
+    components = region.components()
+    report = SpreadReport(features=len(components))
+    result = list(components)
+    for i, comp in enumerate(components):
+        candidate = comp.grown(widen_by)
+        others = [result[k] for k in range(len(result)) if k != i]
+        if _legal(candidate, others, min_space):
+            result[i] = candidate
+            report.widened += 1
+    out = Region()
+    for comp in result:
+        out = out | comp
+    return out, report

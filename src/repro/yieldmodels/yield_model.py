@@ -1,0 +1,74 @@
+"""Yield models over critical area."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geometry import Region
+from repro.tech.technology import DefectModel
+from repro.yieldmodels.critical_area import weighted_critical_area
+from repro.yieldmodels.dsd import DefectSizeDistribution
+
+NM2_PER_CM2 = 1e14
+
+
+def yield_poisson(lam: float) -> float:
+    """Poisson limited yield ``exp(-lambda)``."""
+    return math.exp(-lam)
+
+
+def yield_negative_binomial(lam: float, alpha: float) -> float:
+    """Negative-binomial yield ``(1 + lambda/alpha)^-alpha`` — defect
+    clustering (finite alpha) always helps yield relative to Poisson."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    return (1.0 + lam / alpha) ** (-alpha)
+
+
+def layer_defect_lambda(
+    region: Region,
+    defects: DefectModel,
+    d0_per_cm2: float | None = None,
+) -> float:
+    """Expected fault count for one layer: shorts + opens faults."""
+    d0 = defects.d0_per_cm2 if d0_per_cm2 is None else d0_per_cm2
+    dsd = DefectSizeDistribution(
+        x0_nm=defects.x0_nm, x_max_nm=defects.max_size_nm
+    )
+    ca_short = weighted_critical_area(region, dsd, "shorts")
+    ca_open = weighted_critical_area(region, dsd, "opens")
+    return d0 * (ca_short + ca_open) / NM2_PER_CM2
+
+
+@dataclass
+class YieldBreakdown:
+    """Per-mechanism lambda contributions and the combined yield."""
+
+    lambdas: dict[str, float] = field(default_factory=dict)
+    clustering_alpha: float = 2.0
+
+    def add(self, name: str, lam: float) -> None:
+        self.lambdas[name] = self.lambdas.get(name, 0.0) + lam
+
+    @property
+    def total_lambda(self) -> float:
+        return sum(self.lambdas.values())
+
+    @property
+    def poisson(self) -> float:
+        return yield_poisson(self.total_lambda)
+
+    @property
+    def negative_binomial(self) -> float:
+        return yield_negative_binomial(self.total_lambda, self.clustering_alpha)
+
+    def summary(self) -> str:
+        lines = [f"yield breakdown (lambda total {self.total_lambda:.4g}):"]
+        for name, lam in sorted(self.lambdas.items()):
+            lines.append(f"  {name:<20} {lam:.4g}")
+        lines.append(
+            f"  poisson yield {self.poisson:.4f}, "
+            f"neg-binomial (a={self.clustering_alpha:g}) {self.negative_binomial:.4f}"
+        )
+        return "\n".join(lines)

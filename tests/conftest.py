@@ -1,0 +1,36 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designgen import LogicBlockSpec, generate_logic_block, make_stdcell_library
+from repro.litho import LithoModel
+from repro.tech import make_node
+
+
+@pytest.fixture(scope="session")
+def tech45():
+    return make_node(45)
+
+
+@pytest.fixture(scope="session")
+def tech65():
+    return make_node(65)
+
+
+@pytest.fixture(scope="session")
+def litho45(tech45):
+    return LithoModel(tech45.litho)
+
+
+@pytest.fixture(scope="session")
+def stdlib45(tech45):
+    return make_stdcell_library(tech45)
+
+
+@pytest.fixture(scope="session")
+def small_block(tech45, stdlib45):
+    """A small routed logic block shared by integration tests."""
+    spec = LogicBlockSpec(rows=2, row_width_nm=5000, net_count=6, seed=11, weak_spots=4)
+    return generate_logic_block(tech45, spec, stdlib45)

@@ -1,0 +1,67 @@
+"""Unit tests for the reporting utilities."""
+
+import pytest
+
+from repro.analysis import ExperimentRecord, Series, Table, format_float
+
+
+class TestFormat:
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_plain(self):
+        assert format_float(1.5) == "1.5"
+        assert format_float(45.0) == "45"
+
+    def test_scientific_for_extremes(self):
+        assert "e" in format_float(1e-9)
+        assert "e" in format_float(1e12)
+
+
+class TestTable:
+    def test_render(self):
+        table = Table("Demo", ["name", "value"])
+        table.add_row("alpha", 1.25)
+        table.add_row("beta", 300)
+        text = table.render()
+        assert "Demo" in text
+        assert "alpha" in text and "1.25" in text
+        assert str(table) == text
+
+    def test_row_length_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_empty_table_renders(self):
+        assert "T" in Table("T", ["col"]).render()
+
+
+class TestSeries:
+    def test_add_and_render(self):
+        series = Series("yield")
+        series.add(0.1, 0.95)
+        series.add(0.5, 0.80)
+        text = series.render("D0", "Y")
+        assert "yield" in text and "0.95" in text
+
+
+class TestExperimentRecord:
+    def test_lifecycle(self):
+        record = ExperimentRecord("F1", "CAA optimization raises yield")
+        record.record("yield_base", 0.8)
+        record.record("yield_opt", 0.9)
+        record.conclude(True, "gap grows with D0")
+        text = record.render()
+        assert "HOLDS" in text
+        assert "yield_base" in text
+        assert "gap grows" in text
+
+    def test_unevaluated(self):
+        record = ExperimentRecord("T9", "claim")
+        assert "UNEVALUATED" in record.render()
+
+    def test_negative(self):
+        record = ExperimentRecord("T9", "claim")
+        record.conclude(False)
+        assert "DOES NOT HOLD" in record.render()

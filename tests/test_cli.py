@@ -1,0 +1,88 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def block_gds(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "block.gds"
+    rc = main([
+        "generate", "--node", "45", "--rows", "2", "--width", "4000",
+        "--nets", "4", "--seed", "3", "--out", str(path),
+    ])
+    assert rc == 0
+    return path
+
+
+class TestGenerateInfo:
+    def test_generate_creates_file(self, block_gds):
+        assert block_gds.exists()
+        assert block_gds.stat().st_size > 1000
+
+    def test_info(self, block_gds, capsys):
+        rc = main(["info", str(block_gds)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "LOGIC" in out
+        assert "top cells" in out
+
+
+class TestDrc:
+    def test_clean_block_exits_zero(self, block_gds, capsys):
+        rc = main(["drc", str(block_gds), "--node", "45"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 violations" in out
+
+    def test_violating_layout_exits_nonzero(self, tmp_path, capsys):
+        from repro.gdsii import write_gds
+        from repro.geometry import Rect
+        from repro.layout import Layer, Layout
+
+        lib = Layout("BAD")
+        cell = lib.new_cell("TOP")
+        cell.add_rect(Layer(10, 0, "M1"), Rect(0, 0, 1000, 20))  # too narrow
+        path = tmp_path / "bad.gds"
+        write_gds(lib, path)
+        rc = main(["drc", str(path), "--node", "45"])
+        assert rc == 1
+        assert "M1.W.1" in capsys.readouterr().out
+
+
+class TestDpt:
+    def test_decompose_and_write_masks(self, block_gds, tmp_path, capsys):
+        out_path = tmp_path / "masks.gds"
+        rc = main([
+            "dpt", str(block_gds), "--node", "45", "--layer", "M3",
+            "--space", "100", "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert "DPT" in out
+        assert out_path.exists()
+
+    def test_unknown_layer(self, block_gds):
+        with pytest.raises(SystemExit):
+            main(["dpt", str(block_gds), "--layer", "NOPE", "--space", "100"])
+
+
+class TestScan:
+    def test_scan_reports(self, block_gds, capsys):
+        rc = main(["scan", str(block_gds), "--node", "45", "--tile", "6000"])
+        out = capsys.readouterr().out
+        assert "full-chip scan" in out
+        assert rc in (0, 1)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_lists_commands(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for command in ("generate", "info", "drc", "scan", "dpt", "scorecard"):
+            assert command in out

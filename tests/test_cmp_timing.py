@@ -1,0 +1,210 @@
+"""Unit tests for CMP (density, fill, thickness) and timing (devices,
+delay, paths)."""
+
+import math
+
+import pytest
+
+from repro.cmp import density_map, dummy_fill, thickness_map
+from repro.geometry import Rect, Region
+from repro.tech.technology import CmpSettings
+from repro.timing import (
+    DelayModel,
+    Stage,
+    TimingPath,
+    compare_paths,
+    equivalent_length_drive,
+    equivalent_length_leakage,
+    gate_delay_ps,
+    leakage_nw,
+    path_delay_ps,
+    slice_gate,
+    wire_delay_ps,
+)
+from repro.timing.devices import GateSlices
+
+
+class TestDensity:
+    def test_uniform(self):
+        region = Region(Rect(0, 0, 1000, 500))
+        dm = density_map(region, Rect(0, 0, 1000, 1000), window=500)
+        assert dm.mean == pytest.approx(0.5, abs=0.2)
+        assert 0 <= dm.min <= dm.max <= 1
+
+    def test_empty(self):
+        dm = density_map(Region(), Rect(0, 0, 1000, 1000), window=500)
+        assert dm.max == 0.0
+
+    def test_gradient_detected(self):
+        region = Region(Rect(0, 0, 500, 1000))  # left half full
+        dm = density_map(region, Rect(0, 0, 1000, 1000), window=500, step=500)
+        assert dm.range == pytest.approx(1.0)
+
+    def test_tiles_outside(self):
+        region = Region(Rect(0, 0, 500, 1000))
+        dm = density_map(region, Rect(0, 0, 1000, 1000), window=500, step=500)
+        assert dm.tiles_outside(0.2, 0.8) == 4  # all four half-step tiles are 0.0 or 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            density_map(Region(), Rect(0, 0, 10, 10), window=0)
+
+
+class TestFill:
+    settings = CmpSettings(window_nm=1000, step_nm=500, target_density=0.4)
+
+    def test_fill_raises_density(self):
+        signal = Region(Rect(0, 0, 400, 400))
+        extent = Rect(0, 0, 4000, 4000)
+        fill, report = dummy_fill(signal, extent, self.settings, fill_size=200, fill_space=100, keepout=100)
+        assert report.shapes_added > 0
+        before = density_map(signal, extent, 1000)
+        after = density_map(signal | fill, extent, 1000)
+        assert after.min > before.min
+        assert after.range < before.range
+
+    def test_fill_respects_keepout(self):
+        signal = Region(Rect(1000, 1000, 1400, 1400))
+        extent = Rect(0, 0, 3000, 3000)
+        fill, _ = dummy_fill(signal, extent, self.settings, fill_size=200, fill_space=100, keepout=150)
+        assert (fill & signal.grown(149)).is_empty
+
+    def test_fill_shapes_spaced(self):
+        signal = Region()
+        extent = Rect(0, 0, 2000, 2000)
+        fill, _ = dummy_fill(signal, extent, self.settings, fill_size=200, fill_space=100)
+        rects = list(fill.rects())
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                assert rects[i].distance(rects[j]) >= 100
+
+    def test_deterministic(self):
+        signal = Region(Rect(0, 0, 300, 300))
+        extent = Rect(0, 0, 3000, 3000)
+        f1, _ = dummy_fill(signal, extent, self.settings)
+        f2, _ = dummy_fill(signal, extent, self.settings)
+        assert f1 == f2
+
+
+class TestThickness:
+    def test_flat_density_flat_thickness(self):
+        region = Region(Rect(0, 0, 2000, 2000))
+        settings = CmpSettings(window_nm=1000, target_density=1.0)
+        dm = density_map(region, Rect(0, 0, 2000, 2000), 1000)
+        stats = thickness_map(dm, settings)
+        assert stats.range == pytest.approx(0.0, abs=1e-9)
+
+    def test_density_gradient_thickness_range(self):
+        region = Region(Rect(0, 0, 1000, 2000))
+        settings = CmpSettings(window_nm=1000, thickness_per_density_nm=60.0)
+        dm = density_map(region, Rect(0, 0, 2000, 2000), 1000, step=1000)
+        stats = thickness_map(dm, settings)
+        assert stats.range == pytest.approx(60.0, abs=1.0)
+        assert "thickness" in stats.summary()
+
+
+class TestDevices:
+    def test_rect_gate_slices(self):
+        poly = Region(Rect(0, 0, 35, 200))
+        active = Region(Rect(-100, 50, 100, 150))
+        gate = slice_gate(poly, active)
+        assert gate.total_width == 100
+        assert gate.min_length == pytest.approx(35)
+        assert gate.max_length == pytest.approx(35)
+
+    def test_rect_gate_equivalents_match_drawn(self):
+        poly = Region(Rect(0, 0, 35, 200))
+        active = Region(Rect(-100, 50, 100, 150))
+        gate = slice_gate(poly, active)
+        assert equivalent_length_drive(gate) == pytest.approx(35, rel=1e-6)
+        assert equivalent_length_leakage(gate) == pytest.approx(35, rel=1e-6)
+
+    def test_nonrect_drive_vs_leakage(self):
+        # half the width at L=30, half at L=40
+        gate = GateSlices(slices=((50, 30.0), (50, 40.0)))
+        drive = equivalent_length_drive(gate)
+        leak = equivalent_length_leakage(gate, subthreshold_nm=10.0)
+        assert 30 < drive < 40
+        assert leak < drive  # leakage dominated by the short slice
+        harmonic = 100 / (50 / 30 + 50 / 40)
+        assert drive == pytest.approx(harmonic)
+
+    def test_leakage_dominated_by_min(self):
+        gate = GateSlices(slices=((10, 25.0), (90, 40.0)))
+        leak = equivalent_length_leakage(gate, subthreshold_nm=5.0)
+        assert leak < 36  # below the 38.5 area-weighted mean, pulled toward 25
+
+    def test_empty_gate(self):
+        gate = slice_gate(Region(), Region(Rect(0, 0, 10, 10)))
+        assert gate.slices == ()
+        assert equivalent_length_drive(gate) == 0.0
+
+
+class TestDelay:
+    model = DelayModel()
+
+    def test_gate_delay_scales_with_load(self):
+        d1 = gate_delay_ps(self.model, 200, 35, load_ff=1.0)
+        d2 = gate_delay_ps(self.model, 200, 35, load_ff=4.0)
+        assert d2 > d1
+
+    def test_gate_delay_scales_with_length(self):
+        d_short = gate_delay_ps(self.model, 200, 30, load_ff=2.0)
+        d_long = gate_delay_ps(self.model, 200, 40, load_ff=2.0)
+        assert d_long > d_short
+
+    def test_wire_delay_quadratic_in_length(self):
+        d1 = wire_delay_ps(self.model, 1000)
+        d2 = wire_delay_ps(self.model, 2000)
+        assert d2 > 2 * d1  # RC wire: superlinear
+
+    def test_leakage_exponential_in_length(self):
+        i_short = leakage_nw(self.model, 100, 30)
+        i_nom = leakage_nw(self.model, 100, 35)
+        assert i_short / i_nom == pytest.approx(math.exp(0.5), rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gate_delay_ps(self.model, 0, 35, 1.0)
+
+
+class TestPaths:
+    def make_paths(self):
+        p1 = TimingPath("P1", [Stage(f"g{i}", 180, 35.0, wire_length_nm=500) for i in range(6)])
+        p2 = TimingPath("P2", [Stage(f"h{i}", 180, 35.0, wire_length_nm=200) for i in range(7)])
+        return [p1, p2]
+
+    def test_path_delay_positive_additive(self):
+        paths = self.make_paths()
+        d = path_delay_ps(paths[0])
+        assert d > 0
+        longer = TimingPath("L", paths[0].stages * 2)
+        assert path_delay_ps(longer) == pytest.approx(2 * d)
+
+    def test_annotation_shifts_delay(self):
+        paths = self.make_paths()
+        anno = {"P1": {f"g{i}": 40.0 for i in range(6)}}
+        cmp_result = compare_paths(paths, anno)
+        assert cmp_result.annotated_ps[0] > cmp_result.drawn_ps[0]
+        assert cmp_result.annotated_ps[1] == pytest.approx(cmp_result.drawn_ps[1])
+
+    def test_critical_path_reorder(self):
+        paths = self.make_paths()
+        drawn = [path_delay_ps(p) for p in paths]
+        slower, faster = (0, 1) if drawn[0] > drawn[1] else (1, 0)
+        # annotate the faster path with much longer channels
+        anno = {paths[faster].name: {s.name: 50.0 for s in paths[faster].stages}}
+        cmp_result = compare_paths(paths, anno)
+        assert cmp_result.critical_path_changed
+        assert cmp_result.reorder_count() >= 1
+        assert cmp_result.worst_shift_percent > 0
+
+    def test_with_lengths_copy(self):
+        path = self.make_paths()[0]
+        annotated = path.with_lengths({"g0": 99.0})
+        assert annotated.stages[0].drawn_length_nm == 99.0
+        assert path.stages[0].drawn_length_nm == 35.0
+
+    def test_summary(self):
+        cmp_result = compare_paths(self.make_paths(), {})
+        assert "paths" in cmp_result.summary()

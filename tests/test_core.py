@@ -1,0 +1,251 @@
+"""Unit tests for the hit-or-hype core: context, metrics, techniques,
+scorecard, harness."""
+
+import pytest
+
+from repro.core import (
+    DesignContext,
+    DummyFillTechnique,
+    ModelOpcTechnique,
+    PatternCheckTechnique,
+    RecommendedRulesTechnique,
+    RedundantViaTechnique,
+    RuleOpcTechnique,
+    Verdict,
+    WireSpreadTechnique,
+    default_techniques,
+    evaluate_techniques,
+    measure_design,
+)
+from repro.core.metrics import count_via_sites
+from repro.core.scorecard import Scorecard, ScorecardRow
+from repro.core.techniques import _extend_line_ends
+from repro.geometry import Rect, Region
+from repro.layout import Cell
+
+
+@pytest.fixture(scope="module")
+def block_ctx(small_block, tech45):
+    return DesignContext.from_cell(small_block.top, tech45)
+
+
+class TestContext:
+    def test_from_cell_flattens(self, block_ctx):
+        assert block_ctx.cell.references == ()
+
+    def test_copy_independent(self, block_ctx, tech45):
+        dup = block_ctx.copy()
+        dup.cell.add_rect(tech45.layers.metal3, Rect(0, 0, 100, 100))
+        dup.invalidate()
+        assert dup.cell.shape_count() == block_ctx.cell.shape_count() + 1
+
+    def test_region_cached(self, block_ctx, tech45):
+        a = block_ctx.region(tech45.layers.metal1)
+        b = block_ctx.region(tech45.layers.metal1)
+        assert a is b
+
+    def test_replace_layer(self, tech45):
+        cell = Cell("X")
+        cell.add_rect(tech45.layers.metal1, Rect(0, 0, 100, 45))
+        ctx = DesignContext.from_cell(cell, tech45)
+        new = Region(Rect(0, 0, 200, 45))
+        ctx.replace_layer(tech45.layers.metal1, new)
+        assert ctx.region(tech45.layers.metal1) == new
+
+    def test_mask_override(self, tech45):
+        cell = Cell("X")
+        cell.add_rect(tech45.layers.metal1, Rect(0, 0, 100, 45))
+        ctx = DesignContext.from_cell(cell, tech45)
+        layer = tech45.layers.metal1
+        assert ctx.mask_for(layer) == ctx.region(layer)
+        mask = ctx.region(layer).grown(5)
+        ctx.set_mask(layer, mask)
+        assert ctx.mask_for(layer) == mask
+        # drawn region untouched
+        assert ctx.region(layer).area == 100 * 45
+        # copies carry the mask
+        assert ctx.copy().mask_for(layer) == mask
+
+
+class TestMetrics:
+    def test_count_via_sites(self):
+        # two isolated cuts + one redundant pair
+        vias = Region([
+            Rect(0, 0, 45, 45),
+            Rect(1000, 0, 1045, 45),
+            Rect(2000, 0, 2045, 45),
+            Rect(2099, 0, 2144, 45),  # 54 away: same site at pitch 99
+        ])
+        sites, redundant = count_via_sites(vias, pitch=99)
+        assert sites == 3
+        assert redundant == 1
+
+    def test_measure_block(self, block_ctx):
+        metrics = measure_design(block_ctx, d0_per_cm2=1.0)
+        assert metrics.area_nm2 > 0
+        assert metrics.lambda_defects > 0
+        assert metrics.via_sites > 0
+        assert 0 <= metrics.yield_proxy <= 1
+        assert metrics.total_lambda == pytest.approx(
+            metrics.lambda_defects + metrics.lambda_vias
+            + metrics.lambda_hotspots + metrics.lambda_cmp
+        )
+
+    def test_die_extrapolation_monotone(self, block_ctx):
+        small = measure_design(block_ctx, d0_per_cm2=1.0, die_area_cm2=0.1)
+        large = measure_design(block_ctx, d0_per_cm2=1.0, die_area_cm2=0.5)
+        assert large.total_lambda > small.total_lambda
+        assert large.yield_proxy < small.yield_proxy
+
+    def test_raw_lambdas(self, block_ctx):
+        raw = measure_design(block_ctx, d0_per_cm2=1.0, die_area_cm2=None)
+        scaled = measure_design(block_ctx, d0_per_cm2=1.0, die_area_cm2=0.25)
+        assert raw.lambda_defects < scaled.lambda_defects
+
+    def test_summary(self, block_ctx):
+        assert "yield proxy" in measure_design(block_ctx).summary()
+
+
+class TestTipExtension:
+    def test_extends_clear_tip(self):
+        line = Region(Rect(0, 0, 45, 500))
+        mask, fixed = _extend_line_ends(line, 70, ext=8, safe=27)
+        assert fixed == 2
+        assert mask.bbox == Rect(0, -8, 45, 508)
+
+    def test_skips_blocked_tip(self):
+        pair = Region([Rect(0, 0, 45, 500), Rect(0, 520, 45, 1000)])  # gap 20
+        mask, fixed = _extend_line_ends(pair, 70, ext=8, safe=27)
+        # inner tips blocked (20 < 8+27), outer tips extended
+        assert fixed == 2
+        inner = Region(Rect(0, 500, 45, 520))
+        assert (mask & inner).is_empty
+
+    def test_long_edges_ignored(self):
+        plate = Region(Rect(0, 0, 500, 500))
+        mask, fixed = _extend_line_ends(plate, 70, ext=8, safe=27)
+        assert fixed == 0
+        assert mask == plate
+
+
+class TestTechniques:
+    def test_apply_preserves_baseline(self, block_ctx, tech45):
+        before = block_ctx.cell.shape_count()
+        outcome = RedundantViaTechnique().apply(block_ctx)
+        assert block_ctx.cell.shape_count() == before  # original untouched
+        assert outcome.ctx is not block_ctx
+        assert outcome.runtime_s >= 0
+
+    def test_redundant_via_coverage(self, block_ctx):
+        outcome = RedundantViaTechnique().apply(block_ctx)
+        assert outcome.notes["coverage"] > 0.5
+        after = measure_design(outcome.ctx, d0_per_cm2=1.0)
+        base = measure_design(block_ctx, d0_per_cm2=1.0)
+        assert after.redundant_via_sites > base.redundant_via_sites
+        assert after.lambda_vias < base.lambda_vias
+
+    def test_pattern_check_sets_mask(self, block_ctx, tech45):
+        outcome = PatternCheckTechnique().apply(block_ctx)
+        layer = tech45.layers.metal1
+        assert layer in outcome.ctx.mask_overrides
+        assert outcome.notes["tips_retargeted"] > 0
+        # drawn layer untouched
+        assert outcome.ctx.region(layer) == block_ctx.region(layer)
+
+    def test_opc_reduces_hotspots(self, block_ctx):
+        base = measure_design(block_ctx, d0_per_cm2=1.0)
+        outcome = RuleOpcTechnique().apply(block_ctx)
+        after = measure_design(outcome.ctx, d0_per_cm2=1.0)
+        assert after.hotspot_count < base.hotspot_count
+        assert outcome.mask_vertex_factor > 1.0
+
+    def test_model_opc_runs(self, block_ctx):
+        outcome = ModelOpcTechnique().apply(block_ctx)
+        assert "final_rms_epe" in outcome.notes
+        assert outcome.notes["final_rms_epe"] < 60
+
+    def test_recommended_rules_cost_area(self, block_ctx):
+        outcome = RecommendedRulesTechnique().apply(block_ctx)
+        assert outcome.area_delta_nm2 >= 0
+
+    def test_dummy_fill_reduces_range(self, block_ctx):
+        outcome = DummyFillTechnique().apply(block_ctx)
+        assert outcome.shapes_added > 0
+        assert outcome.notes["density_range_after"] < outcome.notes["density_range_before"]
+
+    def test_wire_spread_runs(self, block_ctx):
+        outcome = WireSpreadTechnique().apply(block_ctx)
+        assert any(k.startswith("moved:") for k in outcome.notes)
+
+    def test_default_set(self):
+        names = [t.name for t in default_techniques()]
+        assert len(names) == len(set(names)) == 7
+
+
+class TestScorecard:
+    def make_row(self, **overrides):
+        values = dict(
+            technique="x",
+            category="y",
+            yield_before=0.5,
+            yield_after=0.6,
+            hotspots_before=10,
+            hotspots_after=4,
+            area_percent=0.1,
+            mask_vertex_factor=1.0,
+            runtime_s=1.0,
+        )
+        values.update(overrides)
+        return ScorecardRow(**values)
+
+    def test_benefit_and_cost(self):
+        row = self.make_row()
+        assert row.yield_delta_points == pytest.approx(10.0)
+        assert row.hotspot_delta == 6
+        assert row.benefit > 10
+        assert row.cost > 0
+
+    def test_verdict_hit(self):
+        assert self.make_row().verdict is Verdict.HIT
+
+    def test_verdict_hype_no_benefit(self):
+        row = self.make_row(yield_after=0.5, hotspots_after=10)
+        assert row.verdict is Verdict.HYPE
+
+    def test_verdict_hype_costly(self):
+        row = self.make_row(yield_after=0.502, hotspots_after=10, area_percent=5.0)
+        assert row.verdict is Verdict.HYPE
+
+    def test_verdict_mixed(self):
+        row = self.make_row(
+            yield_after=0.52, hotspots_after=10, area_percent=0.6, runtime_s=5.0
+        )
+        assert row.verdict is Verdict.MIXED
+
+    def test_negative_yield_clamped(self):
+        row = self.make_row(yield_after=0.4, hotspots_after=10)
+        assert row.benefit == 0.0
+
+    def test_render(self, block_ctx):
+        base = measure_design(block_ctx)
+        card = Scorecard("D", "node", base)
+        card.add(self.make_row())
+        text = card.render()
+        assert "verdict" in text and "HIT" in text
+        assert card.row("x").technique == "x"
+        with pytest.raises(KeyError):
+            card.row("missing")
+
+
+class TestHarness:
+    def test_full_evaluation(self, small_block, tech45):
+        card = evaluate_techniques(
+            small_block.top,
+            tech45,
+            techniques=[RedundantViaTechnique(), RuleOpcTechnique()],
+            d0_per_cm2=1.0,
+        )
+        assert len(card.rows) == 2
+        verdicts = {row.technique: row.verdict for row in card.rows}
+        assert verdicts["rule-opc"] is Verdict.HIT
+        assert card.baseline.yield_proxy < 1.0

@@ -1,0 +1,184 @@
+"""Unit tests for the design generators."""
+
+import pytest
+
+from repro.designgen import (
+    LogicBlockSpec,
+    comb_structure,
+    dpt_torture,
+    generate_logic_block,
+    generate_sram_array,
+    isolated_line,
+    line_end_pairs,
+    line_grating,
+    make_sram_bitcell,
+    make_stdcell_library,
+    serpentine,
+    via_chain,
+)
+from repro.drc import run_drc
+from repro.geometry import Rect, Region
+from repro.tech import RuleDeck, WidthRule, SpacingRule
+
+
+class TestStdCells:
+    def test_library_contents(self, stdlib45):
+        assert set(stdlib45.names()) >= {
+            "INV_X1", "INV_X2", "BUF_X1", "NAND2_X1", "NOR2_X1", "AOI21_X1", "DFF_X1"
+        }
+
+    def test_cell_has_pins(self, stdlib45):
+        inv = stdlib45["INV_X1"]
+        assert "Z" in inv.pins
+        assert "A0" in inv.pins
+        assert inv.width_nm > 0
+
+    def test_cell_height_uniform(self, stdlib45, tech45):
+        for name in stdlib45.names():
+            assert stdlib45[name].cell.bbox.height == tech45.cell_height
+
+    def test_width_scales_with_gates(self, stdlib45):
+        assert stdlib45["DFF_X1"].width_nm > stdlib45["INV_X1"].width_nm
+
+    def test_layers_present(self, stdlib45, tech45):
+        L = tech45.layers
+        inv = stdlib45["INV_X1"].cell
+        for layer in (L.active, L.poly, L.contact, L.metal1, L.nwell):
+            assert not inv.region(layer).is_empty
+
+    def test_poly_gates_cross_active(self, stdlib45, tech45):
+        L = tech45.layers
+        nand = stdlib45["NAND2_X1"].cell
+        gates = nand.region(L.poly) & nand.region(L.active)
+        assert len(gates.components()) == 4  # 2 gates x 2 diffusions
+
+    def test_metal1_width_legal(self, stdlib45, tech45):
+        L = tech45.layers
+        deck = RuleDeck("m1w", [WidthRule("W", L.metal1, tech45.metal_width)])
+        for name in stdlib45.names():
+            report = run_drc(stdlib45[name].cell, deck)
+            assert report.is_clean, f"{name}: {report.summary()}"
+
+
+class TestLogicBlock:
+    def test_deterministic(self, tech45, stdlib45):
+        spec = LogicBlockSpec(rows=2, row_width_nm=4000, net_count=5, seed=3)
+        a = generate_logic_block(tech45, spec, stdlib45)
+        b = generate_logic_block(tech45, spec, stdlib45)
+        L = tech45.layers
+        for layer in (L.metal1, L.metal2, L.metal3, L.via1, L.via2):
+            assert a.top.region(layer) == b.top.region(layer)
+
+    def test_seed_changes_layout(self, tech45, stdlib45):
+        a = generate_logic_block(tech45, LogicBlockSpec(rows=2, row_width_nm=4000, seed=1), stdlib45)
+        b = generate_logic_block(tech45, LogicBlockSpec(rows=2, row_width_nm=4000, seed=2), stdlib45)
+        assert a.top.region(tech45.layers.metal1) != b.top.region(tech45.layers.metal1)
+
+    def test_cells_placed_in_rows(self, small_block, tech45):
+        assert small_block.cell_count > 0
+        bb = small_block.top.bbox
+        assert bb.height >= 2 * tech45.cell_height
+
+    def test_nets_routed_with_vias(self, small_block, tech45):
+        L = tech45.layers
+        n_nets = small_block.net_count
+        assert n_nets > 0
+        vias1 = len(list(small_block.top.region(L.via1).rects()))
+        vias2 = len(list(small_block.top.region(L.via2).rects()))
+        assert vias1 == 2 * n_nets
+        assert vias2 == 2 * n_nets
+
+    def test_via_enclosed_by_metal(self, small_block, tech45):
+        L = tech45.layers
+        enc = tech45.via_enclosure
+        m2 = small_block.top.region(L.metal2)
+        # two-sided enclosure: every routing via1 is fully covered by M2
+        # and enclosed by ``enc`` along at least one axis
+        for via in small_block.top.region(L.via1).rects():
+            assert m2.covers(Region(via)), via
+            x_ok = m2.covers(Region(via.expanded(enc, 0)))
+            y_ok = m2.covers(Region(via.expanded(0, enc)))
+            assert x_ok or y_ok, via
+
+    def test_block_is_drc_clean(self, small_block, tech45):
+        """The generator's headline property: minimum-rule clean by
+        construction (weak spots are *at* the rules, not beyond them)."""
+        report = run_drc(small_block.top, tech45.rules.minimum())
+        assert report.is_clean, report.summary()
+
+    def test_weak_spots_present(self, small_block, tech45):
+        # weak spots are tip pairs above the rows
+        L = tech45.layers
+        strip = Rect(0, 2 * tech45.cell_height, 10**6, 10**7)
+        weak = small_block.top.region(L.metal1) & Region(strip)
+        assert not weak.is_empty
+
+    def test_library_closed(self, small_block):
+        names = set(small_block.layout.cells)
+        for cell in small_block.layout:
+            for ref in cell.references:
+                assert ref.cell.name in names
+
+
+class TestArrays:
+    def test_bitcell(self, tech45):
+        bit = make_sram_bitcell(tech45)
+        L = tech45.layers
+        assert not bit.region(L.poly).is_empty
+        assert bit.bbox.width == 10 * tech45.node_nm
+
+    def test_array_replication(self, tech45):
+        sram = generate_sram_array(tech45, rows=4, cols=6)
+        top = sram.top_cell()
+        bit = sram.cell("SRAM_BIT")
+        per_cell = bit.shape_count()
+        assert top.shape_count(recursive=True) == 4 * 6 * per_cell + 6  # + bitlines
+
+    def test_array_region_tiles(self, tech45):
+        sram = generate_sram_array(tech45, rows=2, cols=2)
+        top = sram.top_cell()
+        bit = sram.cell("SRAM_BIT")
+        L = tech45.layers
+        assert top.region(L.poly).area == 4 * bit.region(L.poly).area
+
+
+class TestStructures:
+    def test_grating(self):
+        g = line_grating(45, 90, 10, 1000)
+        assert g.area == 10 * 45 * 1000
+        assert len(g.components()) == 10
+        with pytest.raises(ValueError):
+            line_grating(90, 45, 2, 100)
+
+    def test_isolated(self):
+        assert isolated_line(45, 1000).area == 45000
+
+    def test_comb_two_nets(self):
+        comb = comb_structure(45, 45, 8, 900)
+        assert len(comb.components()) == 2
+
+    def test_comb_interdigitated(self):
+        comb = comb_structure(50, 50, 6, 500)
+        parts = comb.components()
+        # both combs span the overlap zone: their bboxes overlap vertically
+        assert parts[0].bbox.overlaps(parts[1].bbox)
+
+    def test_serpentine_single_net(self):
+        serp = serpentine(45, 45, 9, 900)
+        assert len(serp.components()) == 1
+
+    def test_via_chain(self, tech45):
+        chain = via_chain(tech45, 12)
+        L = tech45.layers
+        assert len(list(chain.region(L.via1).rects())) == 12
+        # alternating layers both populated
+        assert not chain.region(L.metal1).is_empty
+        assert not chain.region(L.metal2).is_empty
+
+    def test_dpt_torture(self):
+        region = dpt_torture(90, 45, 6)
+        assert len(region.components()) > 10
+
+    def test_line_end_pairs(self):
+        region = line_end_pairs(45, 60, 4, 400, 200)
+        assert len(region.components()) == 8

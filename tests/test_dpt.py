@@ -1,0 +1,163 @@
+"""Unit tests for DPT decomposition, stitch insertion, and scoring."""
+
+import pytest
+
+from repro.dpt import (
+    build_conflict_graph,
+    decompose_dpt,
+    decompose_with_stitches,
+    score_decomposition,
+)
+from repro.geometry import Rect, Region
+
+
+def parallel_lines(n, width=45, pitch=90, length=1000):
+    return Region([Rect(i * pitch, 0, i * pitch + width, length) for i in range(n)])
+
+
+def five_cycle():
+    """Four vertical bars (outer two tall) + a strap touching only the
+    outer bars: an odd 5-cycle fixable by one stitch in the strap."""
+    bars = [
+        Rect(0, 0, 45, 500),
+        Rect(115, 0, 160, 300),
+        Rect(230, 0, 275, 300),
+        Rect(345, 0, 390, 500),
+    ]
+    strap = Rect(0, 555, 390, 600)
+    return Region(bars + [strap])
+
+
+def tight_triangle():
+    return Region([Rect(0, 0, 50, 50), Rect(80, 0, 130, 50), Rect(40, 80, 90, 130)])
+
+
+class TestConflictGraph:
+    def test_edges_at_limit(self):
+        region = parallel_lines(3, pitch=90)
+        cg = build_conflict_graph(region, 46)  # gaps are 45 < 46
+        assert cg.num_conflict_edges == 2
+
+    def test_no_edges_when_spaced(self):
+        region = parallel_lines(3, pitch=90)
+        assert build_conflict_graph(region, 45).num_conflict_edges == 0
+
+    def test_odd_cycle_witness(self):
+        cg = build_conflict_graph(tight_triangle(), 60)
+        cycles = cg.odd_cycles()
+        assert len(cycles) == 1
+        assert len(cycles[0]) % 2 == 1
+        assert len(cycles[0]) >= 3
+
+    def test_five_cycle_witness(self):
+        cg = build_conflict_graph(five_cycle(), 80)
+        assert cg.num_conflict_edges == 5
+        assert len(cg.odd_cycles()) == 1
+
+
+class TestDecompose:
+    def test_alternating_lines(self):
+        result = decompose_dpt(parallel_lines(4), 80)
+        assert result.is_clean
+        colors = [result.coloring[i] for i in range(4)]
+        assert colors in ([0, 1, 0, 1], [1, 0, 1, 0])
+
+    def test_masks_partition(self):
+        region = parallel_lines(4)
+        result = decompose_dpt(region, 80)
+        assert (result.mask_a | result.mask_b) == region
+        assert (result.mask_a & result.mask_b).is_empty
+
+    def test_masks_internally_legal(self):
+        result = decompose_dpt(parallel_lines(6), 80)
+        for mask in (result.mask_a, result.mask_b):
+            assert build_conflict_graph(mask, 80).num_conflict_edges == 0
+
+    def test_triangle_conflict_reported(self):
+        result = decompose_dpt(tight_triangle(), 60)
+        assert not result.is_clean
+        assert result.num_conflicts == 1
+        assert len(result.conflict_features) == 3
+
+    def test_independent_features_single_mask_ok(self):
+        region = parallel_lines(2, pitch=400)
+        result = decompose_dpt(region, 80)
+        assert result.is_clean
+
+    def test_summary(self):
+        text = decompose_dpt(parallel_lines(4), 80).summary()
+        assert "4 features" in text
+
+
+class TestStitches:
+    def test_five_cycle_fixed_with_one_stitch(self):
+        layout = five_cycle()
+        result, stitches = decompose_with_stitches(layout, 80, stitch_overlap=30)
+        assert result.is_clean
+        assert len(stitches) == 1
+        assert (result.mask_a | result.mask_b).covers(layout)
+
+    def test_stitch_overlap_on_both_masks(self):
+        layout = five_cycle()
+        result, stitches = decompose_with_stitches(layout, 80, stitch_overlap=30)
+        overlap = result.mask_a & result.mask_b
+        assert not overlap.is_empty
+        assert overlap.covers(Region(stitches[0].overlap) & layout)
+
+    def test_masks_stay_legal_after_stitching(self):
+        layout = five_cycle()
+        result, _ = decompose_with_stitches(layout, 80, stitch_overlap=30)
+        for mask in (result.mask_a, result.mask_b):
+            assert build_conflict_graph(mask, 80).num_conflict_edges == 0
+
+    def test_unfixable_triangle_reports_conflict(self):
+        result, stitches = decompose_with_stitches(tight_triangle(), 60)
+        assert not result.is_clean
+        assert stitches == []
+
+    def test_clean_layout_needs_no_stitches(self):
+        result, stitches = decompose_with_stitches(parallel_lines(4), 80)
+        assert result.is_clean
+        assert stitches == []
+
+    def test_stitch_properties(self):
+        layout = five_cycle()
+        _, stitches = decompose_with_stitches(layout, 80, stitch_overlap=30)
+        stitch = stitches[0]
+        assert stitch.overlap_area > 0
+        # the overlap box lies on actual drawn geometry
+        assert layout.covers(Region(stitch.overlap) & layout)
+        assert not (Region(stitch.overlap) & layout).is_empty
+
+
+class TestScore:
+    def test_perfect_decomposition(self):
+        result = decompose_dpt(parallel_lines(4), 80)
+        score = score_decomposition(result, [])
+        assert score.composite == pytest.approx(1.0, abs=0.05)
+        assert score.balance == pytest.approx(1.0)
+
+    def test_conflicts_penalized(self):
+        result = decompose_dpt(tight_triangle(), 60)
+        score = score_decomposition(result, [])
+        assert score.conflict_score == 0.0
+        assert score.composite < 0.8
+
+    def test_stitches_penalized(self):
+        layout = five_cycle()
+        result, stitches = decompose_with_stitches(layout, 80, stitch_overlap=30)
+        with_stitch = score_decomposition(result, stitches)
+        without = score_decomposition(result, [])
+        assert with_stitch.stitch_score < without.stitch_score
+
+    def test_overlay_score(self):
+        layout = five_cycle()
+        result, stitches = decompose_with_stitches(layout, 80, stitch_overlap=30)
+        big_ok = score_decomposition(result, stitches, min_overlap_area=10)
+        too_small = score_decomposition(result, stitches, min_overlap_area=10**9)
+        assert big_ok.overlay_score == 1.0
+        assert too_small.overlay_score == 0.0
+
+    def test_summary(self):
+        result = decompose_dpt(parallel_lines(4), 80)
+        assert "DPT score" in score_decomposition(result, []).summary()

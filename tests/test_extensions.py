@@ -1,0 +1,184 @@
+"""Tests for the extension modules: Monte Carlo defect injection, tiled
+full-chip litho scanning, and design-driven metrology."""
+
+import numpy as np
+import pytest
+
+from repro.designgen import isolated_line, line_grating
+from repro.geometry import Point, Rect, Region
+from repro.litho import (
+    LithoModel,
+    build_metrology_plan,
+    cd_statistics,
+    find_hotspots,
+    measure_plan,
+    scan_full_chip,
+)
+from repro.yieldmodels import (
+    DefectInjector,
+    critical_area_opens,
+    critical_area_shorts,
+    estimate_fault_probability,
+    weighted_critical_area,
+)
+from repro.yieldmodels.dsd import DefectSizeDistribution
+
+WIRES = Region([Rect(0, i * 90, 4000, i * 90 + 45) for i in range(10)])
+EXTENT = WIRES.bbox.expanded(500)
+DSD = DefectSizeDistribution(45, 1800)
+
+
+class TestDefectInjector:
+    def test_classify_short(self):
+        injector = DefectInjector(WIRES, EXTENT)
+        # defect spanning the gap between wire 0 and wire 1
+        assert injector.classify(Rect(100, 30, 200, 100)) == "short"
+
+    def test_classify_open(self):
+        injector = DefectInjector(WIRES, EXTENT)
+        # defect spanning wire 0's full width but touching nothing else
+        assert injector.classify(Rect(100, -10, 200, 55)) == "open"
+
+    def test_classify_benign(self):
+        injector = DefectInjector(WIRES, EXTENT)
+        assert injector.classify(Rect(100, 50, 130, 80)) == "benign"  # inside a gap
+        assert injector.classify(Rect(100, 5, 130, 40)) == "benign"  # inside a wire
+
+    def test_run_deterministic(self):
+        injector = DefectInjector(WIRES, EXTENT)
+        a = injector.run(500, DSD, np.random.default_rng(5))
+        b = injector.run(500, DSD, np.random.default_rng(5))
+        assert (a.shorts, a.opens, a.benign) == (b.shorts, b.opens, b.benign)
+
+    def test_counts_partition(self):
+        injector = DefectInjector(WIRES, EXTENT)
+        result = injector.run(1000, DSD, np.random.default_rng(1))
+        assert result.shorts + result.opens + result.benign == 1000
+        assert 0 <= result.fault_probability <= 1
+
+    def test_zero_defects(self):
+        injector = DefectInjector(WIRES, EXTENT)
+        assert injector.run(0, DSD, np.random.default_rng(1)).fault_probability == 0.0
+
+    def test_kill_positions(self):
+        injector = DefectInjector(WIRES, EXTENT)
+        result = injector.run(500, DSD, np.random.default_rng(2), keep_positions=True)
+        assert len(result.kill_positions) == result.shorts + result.opens
+
+    def test_matches_analytic_critical_area(self):
+        """The headline validation: MC fault probability equals the
+        DSD-weighted critical area per unit extent within a few percent."""
+        p_mc = estimate_fault_probability(WIRES, DSD, n_defects=20000, seed=3, extent=EXTENT)
+        ca = sum(weighted_critical_area(WIRES, DSD, m, n_sizes=24) for m in ("shorts", "opens"))
+        p_analytic = ca / EXTENT.area
+        assert p_mc == pytest.approx(p_analytic, rel=0.10)
+
+    def test_fixed_size_shorts_match(self):
+        injector = DefectInjector(WIRES, EXTENT)
+        rng = np.random.default_rng(0)
+        n, size = 8000, 100
+        half = size // 2
+        xs = rng.integers(EXTENT.x0, EXTENT.x1, n)
+        ys = rng.integers(EXTENT.y0, EXTENT.y1, n)
+        shorts = sum(
+            1
+            for x, y in zip(xs, ys)
+            if injector.classify(Rect(int(x) - half, int(y) - half, int(x) + half + 1, int(y) + half + 1)) == "short"
+        )
+        expected = critical_area_shorts(WIRES, size) / EXTENT.area
+        assert shorts / n == pytest.approx(expected, rel=0.1)
+
+
+class TestCriticalAreaExclusive:
+    def test_opens_saturate_not_grow(self):
+        # at huge defect sizes the open band is eaten by the short region
+        small = critical_area_opens(WIRES, 100)
+        huge = critical_area_opens(WIRES, 800)
+        assert huge <= small * 3
+        assert huge < EXTENT.area
+
+    def test_opens_exclusive_vs_inclusive(self):
+        inclusive = critical_area_opens(WIRES, 200, exclusive=False)
+        exclusive = critical_area_opens(WIRES, 200, exclusive=True)
+        assert exclusive < inclusive
+
+    def test_single_wire_unaffected(self):
+        wire = Region(Rect(0, 0, 1000, 45))
+        assert critical_area_opens(wire, 60) == critical_area_opens(wire, 60, exclusive=False)
+
+
+class TestFullChipScan:
+    def test_matches_single_window_on_small_layout(self, tech45, litho45):
+        region = Region([Rect(0, 0, 45, 500), Rect(0, 560, 45, 1000)])
+        single = find_hotspots(
+            litho45, region, Rect(-100, -100, 200, 1100), pinch_limit=22
+        )
+        report = scan_full_chip(
+            litho45, region, Rect(-100, -100, 200, 1100), tile_nm=5000, pinch_limit=22
+        )
+        assert len(report.hotspots) == len(single)
+
+    def test_seam_dedup(self, litho45):
+        # a hotspot pair exactly on a tile seam is not double-counted
+        region = Region([Rect(0, 0, 45, 1990), Rect(0, 2050, 45, 4000)])
+        whole = scan_full_chip(
+            litho45, region, Rect(-200, -200, 300, 4200), tile_nm=10000, pinch_limit=22
+        )
+        tiled = scan_full_chip(
+            litho45, region, Rect(-200, -200, 300, 4200), tile_nm=2200, pinch_limit=22
+        )
+        assert tiled.tiles > whole.tiles
+        assert len(tiled.hotspots) <= len(whole.hotspots) + 1
+
+    def test_empty(self, litho45):
+        report = scan_full_chip(litho45, Region())
+        assert report.tiles == 0
+        assert report.hotspots == []
+
+    def test_summary(self, litho45):
+        region = Region(Rect(0, 0, 400, 400))
+        report = scan_full_chip(litho45, region, tile_nm=1000, pinch_limit=22)
+        assert "tiles" in report.summary()
+
+
+class TestMetrology:
+    def calibration_layout(self, tech45):
+        return line_grating(45, 90, 8, 2000) | isolated_line(45, 2000, Point(2000, 0))
+
+    def test_plan_contexts(self, tech45):
+        plan = build_metrology_plan(self.calibration_layout(tech45))
+        contexts = set(plan.by_context())
+        assert {"dense", "iso", "line-end"} <= contexts
+
+    def test_gauge_budget(self, tech45):
+        plan = build_metrology_plan(self.calibration_layout(tech45), max_gauges_per_context=3)
+        for gauges in plan.by_context().values():
+            assert len(gauges) <= 3
+
+    def test_merged_features_skipped(self):
+        # an L (two merged rects) has no simple CD: no width gauge
+        l_shape = Region([Rect(0, 0, 45, 1000), Rect(0, 0, 1000, 45)])
+        plan = build_metrology_plan(l_shape)
+        assert len(plan) == 0
+
+    def test_measured_errors_physical(self, tech45, litho45):
+        layout = self.calibration_layout(tech45)
+        plan = build_metrology_plan(layout)
+        records = measure_plan(litho45, layout, plan)
+        stats = cd_statistics(records)
+        dense_mean, dense_worst, _ = stats["dense"]
+        iso_mean, _, _ = stats["iso"]
+        end_mean, _, _ = stats["line-end"]
+        assert abs(dense_mean) < 3  # dense anchored
+        assert iso_mean > dense_mean  # flare prints iso fat
+        assert end_mean < 0  # pullback shortens lines
+        assert dense_worst < 10
+
+    def test_dose_shifts_all_gauges(self, tech45, litho45):
+        layout = self.calibration_layout(tech45)
+        plan = build_metrology_plan(layout, max_gauges_per_context=4)
+        nominal = measure_plan(litho45, layout, plan)
+        overdose = measure_plan(litho45, layout, plan, dose=1.08)
+        for a, b in zip(nominal, overdose):
+            if a.gauge.context in ("dense", "iso"):
+                assert b.printed_cd > a.printed_cd

@@ -1,0 +1,118 @@
+"""Tests for defect-model fitting and design-rule exploration."""
+
+import numpy as np
+import pytest
+
+from repro.designgen import comb_structure, serpentine
+from repro.ruleopt import rule_area_sensitivity, sweep_rule_values
+from repro.tech import make_node
+from repro.yieldmodels import (
+    MonitorObservation,
+    fit_d0,
+    fit_defect_model,
+    predict_fail_fraction,
+)
+from repro.yieldmodels.dsd import DefectSizeDistribution
+
+REPLICAS = 200_000
+TRUE_D0 = 2.5
+TRUE_X0 = 45.0
+
+
+def synth_observations(seed=5, dies=20000):
+    """Synthetic fab data from a known defect model."""
+    rng = np.random.default_rng(seed)
+    dsd = DefectSizeDistribution(TRUE_X0, 1800)
+    monitors = {
+        "comb_25": comb_structure(25, 25, 40, 6000),
+        "comb_45": comb_structure(45, 45, 30, 6000),
+        "comb_90": comb_structure(90, 90, 20, 6000),
+        "serp": serpentine(45, 90, 30, 6000),
+    }
+    observations = []
+    for name, region in monitors.items():
+        p = predict_fail_fraction(region, dsd, TRUE_D0, replicas=REPLICAS)
+        fails = int(rng.binomial(dies, p))
+        observations.append(MonitorObservation(name, region, dies, fails, replicas=REPLICAS))
+    return observations, dsd
+
+
+class TestFitting:
+    def test_d0_recovery(self):
+        observations, dsd = synth_observations()
+        d0_hat = fit_d0(observations, dsd)
+        assert d0_hat == pytest.approx(TRUE_D0, rel=0.15)
+
+    def test_d0_scales_with_fails(self):
+        observations, dsd = synth_observations()
+        doubled = [
+            MonitorObservation(o.name, o.region, o.dies, min(2 * o.fails, o.dies), o.replicas)
+            for o in observations
+        ]
+        assert fit_d0(doubled, dsd) > fit_d0(observations, dsd)
+
+    def test_joint_fit_near_truth(self):
+        """The (D0, x0) likelihood has a shallow ridge; a sub-peak monitor
+        makes x0 identifiable to within one grid step."""
+        observations, _ = synth_observations()
+        grid = [30.0, 38.0, 45.0, 55.0, 70.0]
+        model = fit_defect_model(observations, x0_grid_nm=grid, x_max_nm=1800)
+        idx_true = grid.index(45.0)
+        idx_hat = grid.index(model.x0_nm)
+        assert abs(idx_hat - idx_true) <= 1
+        assert 0.5 * TRUE_D0 < model.d0_per_cm2 < 3 * TRUE_D0
+
+    def test_zero_fails_fits_zero(self):
+        observations, dsd = synth_observations()
+        clean = [
+            MonitorObservation(o.name, o.region, o.dies, 0, o.replicas) for o in observations
+        ]
+        assert fit_d0(clean, dsd) == pytest.approx(0.0, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonitorObservation("x", comb_structure(45, 45, 4, 400), dies=10, fails=20)
+        with pytest.raises(ValueError):
+            MonitorObservation("x", comb_structure(45, 45, 4, 400), 10, 1, replicas=0)
+        with pytest.raises(ValueError):
+            fit_d0([], DefectSizeDistribution(45, 1800))
+
+    def test_prediction_consistency(self):
+        """The fitted model predicts the observed fail fractions."""
+        observations, dsd = synth_observations()
+        d0_hat = fit_d0(observations, dsd)
+        for obs in observations:
+            predicted = predict_fail_fraction(obs.region, dsd, d0_hat, obs.replicas)
+            observed = obs.fails / obs.dies
+            assert predicted == pytest.approx(observed, abs=0.01)
+
+
+class TestRuleOpt:
+    def test_sweep_area_monotone(self, tech45):
+        points = sweep_rule_values(tech45, "poly_pitch", [180, 200, 220])
+        areas = [p.cell_area_um2 for p in points]
+        assert areas == sorted(areas)
+        assert all(p.drc_clean for p in points)
+
+    def test_too_tight_pitch_fails_drc(self, tech45):
+        points = sweep_rule_values(tech45, "poly_pitch", [160, 180])
+        assert not points[0].drc_clean  # below nominal: columns collide
+        assert points[1].drc_clean
+
+    def test_unknown_knob_rejected(self, tech45):
+        with pytest.raises(ValueError):
+            sweep_rule_values(tech45, "bogus_rule", [1])
+
+    def test_area_sensitivity_ranking(self, tech45):
+        sensitivity = rule_area_sensitivity(tech45)
+        # pitch and height drive cell area; via size/enclosure do not
+        assert sensitivity["poly_pitch"] > 5.0
+        assert sensitivity["cell_height"] > 3.0
+        assert abs(sensitivity["via_size"]) < 0.5
+        assert abs(sensitivity["via_enclosure"]) < 0.5
+
+    def test_litho_check_runs(self, tech45):
+        points = sweep_rule_values(
+            tech45, "poly_pitch", [180], cells=("INV_X1",), litho_check=True
+        )
+        assert points[0].hotspots >= 0

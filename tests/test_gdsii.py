@@ -1,0 +1,165 @@
+"""Unit tests for GDSII records and stream I/O plus JSON interchange."""
+
+import pytest
+
+from repro.gdsii import read_gds, read_json, write_gds, write_json
+from repro.gdsii.records import (
+    GdsFormatError,
+    Record,
+    decode_real8,
+    encode_real8,
+    iter_records,
+    make_record,
+    rec_ascii,
+    rec_int2,
+    rec_int4,
+    DT_INT2,
+    HEADER,
+    ENDLIB,
+)
+from repro.geometry import Orientation, Point, Polygon, Rect, Transform
+from repro.layout import Cell, Layer, Layout
+
+M1 = Layer(10, 0, "M1")
+V1 = Layer(11, 0, "V1")
+
+
+class TestReal8:
+    @pytest.mark.parametrize(
+        "value",
+        [0.0, 1.0, -1.0, 0.5, 2.0, 1e-3, 1e-9, 1e-6, 123456.789, 0.001953125, -42.5],
+    )
+    def test_roundtrip(self, value):
+        decoded = decode_real8(encode_real8(value))
+        assert decoded == pytest.approx(value, rel=1e-12, abs=1e-300)
+
+    def test_wrong_length(self):
+        with pytest.raises(GdsFormatError):
+            decode_real8(b"\x00" * 4)
+
+    def test_known_encoding_one(self):
+        # 1.0 = 0x41 10 00 ... (exponent 65, mantissa 1/16)
+        assert encode_real8(1.0)[0] == 0x41
+
+
+class TestRecords:
+    def test_int2_roundtrip(self):
+        data = rec_int2(HEADER, [600])
+        records = list(iter_records(data + rec_int2(ENDLIB, [])))
+        assert records[0].int2() == [600]
+
+    def test_padding_to_even(self):
+        rec = rec_ascii(0x02, "ABC")  # odd length payload
+        assert len(rec) % 2 == 0
+
+    def test_iter_rejects_bad_length(self):
+        with pytest.raises(GdsFormatError):
+            list(iter_records(b"\x00\x02\x00\x00"))
+
+    def test_record_name(self):
+        assert Record(HEADER, DT_INT2, b"").name == "HEADER"
+        assert Record(0x99, 0, b"").name == "0x99"
+
+    def test_int4(self):
+        data = rec_int4(0x10, [-1, 2_000_000])
+        rec = next(iter_records(data + make_record(ENDLIB, 0)))
+        assert rec.int4() == [-1, 2_000_000]
+
+
+def build_library() -> Layout:
+    lib = Layout("TESTLIB")
+    child = lib.new_cell("CHILD")
+    child.add_rect(M1, Rect(0, 0, 100, 50))
+    child.add_polygon(M1, Polygon.l_shape(200, 200, 80, 80, Point(300, 0)))
+    top = lib.new_cell("TOP")
+    top.add_rect(V1, Rect(5, 5, 45, 45))
+    top.add_ref(child, Transform(1000, 2000, Orientation.R90))
+    top.add_ref(child, Transform(0, 0, Orientation.MX180), columns=3, rows=2, dx=600, dy=400)
+    return lib
+
+
+class TestStreamRoundtrip:
+    def test_full_roundtrip(self, tmp_path):
+        lib = build_library()
+        path = tmp_path / "t.gds"
+        write_gds(lib, path)
+        lib2 = read_gds(path, {(10, 0): "M1", (11, 0): "V1"})
+        assert set(lib2.cells) == {"CHILD", "TOP"}
+        assert lib2.top_cell().name == "TOP"
+        for layer in (M1, V1):
+            assert lib2.cell("TOP").region(layer) == lib.cell("TOP").region(layer)
+
+    def test_units_preserved(self, tmp_path):
+        lib = Layout("U", dbu_nm=1.0)
+        lib.new_cell("A").add_rect(M1, Rect(0, 0, 1, 1))
+        path = tmp_path / "u.gds"
+        write_gds(lib, path)
+        assert read_gds(path).dbu_nm == pytest.approx(1.0)
+
+    def test_deterministic_output(self, tmp_path):
+        lib = build_library()
+        p1, p2 = tmp_path / "a.gds", tmp_path / "b.gds"
+        write_gds(lib, p1)
+        write_gds(lib, p2)
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_children_before_parents(self, tmp_path):
+        lib = build_library()
+        path = tmp_path / "o.gds"
+        write_gds(lib, path)
+        raw = path.read_bytes()
+        assert raw.index(b"CHILD") < raw.index(b"TOP")
+
+    def test_all_orientations_roundtrip(self, tmp_path):
+        lib = Layout("ORIENT")
+        child = lib.new_cell("C")
+        child.add_rect(M1, Rect(0, 0, 30, 10))
+        top = lib.new_cell("TOP")
+        for i, orient in enumerate(Orientation):
+            top.add_ref(child, Transform(i * 1000, 0, orient))
+        path = tmp_path / "orient.gds"
+        write_gds(lib, path)
+        lib2 = read_gds(path)
+        assert lib2.cell("TOP").region(Layer(10, 0)) == top.region(M1)
+
+    def test_unknown_ref_rejected(self, tmp_path):
+        # hand-construct a stream with an SREF to a missing cell
+        from repro.gdsii import records as rec
+
+        chunks = [
+            rec.rec_int2(rec.HEADER, [600]),
+            rec.rec_int2(rec.BGNLIB, [1970, 1, 1, 0, 0, 0] * 2),
+            rec.rec_ascii(rec.LIBNAME, "BAD"),
+            rec.rec_real8(rec.UNITS, [1e-3, 1e-9]),
+            rec.rec_int2(rec.BGNSTR, [1970, 1, 1, 0, 0, 0] * 2),
+            rec.rec_ascii(rec.STRNAME, "TOP"),
+            rec.rec_empty(rec.SREF),
+            rec.rec_ascii(rec.SNAME, "MISSING"),
+            rec.rec_int4(rec.XY, [0, 0]),
+            rec.rec_empty(rec.ENDEL),
+            rec.rec_empty(rec.ENDSTR),
+            rec.rec_empty(rec.ENDLIB),
+        ]
+        path = tmp_path / "bad.gds"
+        path.write_bytes(b"".join(chunks))
+        with pytest.raises(GdsFormatError):
+            read_gds(path)
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        lib = build_library()
+        path = tmp_path / "t.json"
+        write_json(lib, path)
+        lib2 = read_json(path)
+        assert set(lib2.cells) == {"CHILD", "TOP"}
+        assert lib2.cell("TOP").region(M1) == lib.cell("TOP").region(M1)
+        assert lib2.cell("TOP").region(V1) == lib.cell("TOP").region(V1)
+
+    def test_layer_names_preserved(self, tmp_path):
+        lib = build_library()
+        path = tmp_path / "t.json"
+        write_json(lib, path)
+        lib2 = read_json(path)
+        layers = lib2.cell("CHILD").layers
+        assert any(l.name == "M1" for l in layers)

@@ -1,0 +1,79 @@
+"""Property-based fuzzing: random layouts round-trip through GDSII and
+JSON byte-for-byte in geometry."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gdsii import read_gds, read_json, write_gds, write_json
+from repro.geometry import Orientation, Rect, Transform
+from repro.layout import Cell, Layer, Layout
+
+layer_strategy = st.sampled_from([Layer(10, 0, "M1"), Layer(12, 0, "M2"), Layer(3, 0, "POLY")])
+
+rect_strategy = st.tuples(
+    st.integers(-10000, 10000),
+    st.integers(-10000, 10000),
+    st.integers(1, 5000),
+    st.integers(1, 5000),
+).map(lambda t: Rect(t[0], t[1], t[0] + t[2], t[1] + t[3]))
+
+
+@st.composite
+def layout_strategy(draw):
+    lib = Layout("FUZZ")
+    child = lib.new_cell("CHILD")
+    for _ in range(draw(st.integers(1, 6))):
+        child.add_rect(draw(layer_strategy), draw(rect_strategy))
+    top = lib.new_cell("TOP")
+    for _ in range(draw(st.integers(0, 3))):
+        top.add_rect(draw(layer_strategy), draw(rect_strategy))
+    n_refs = draw(st.integers(0, 3))
+    for _ in range(n_refs):
+        orient = draw(st.sampled_from(list(Orientation)))
+        dx = draw(st.integers(-20000, 20000))
+        dy = draw(st.integers(-20000, 20000))
+        cols = draw(st.integers(1, 3))
+        rows = draw(st.integers(1, 3))
+        top.add_ref(
+            child,
+            Transform(dx, dy, orient),
+            columns=cols,
+            rows=rows,
+            dx=draw(st.integers(1, 8000)) if cols > 1 else 0,
+            dy=draw(st.integers(1, 8000)) if rows > 1 else 0,
+        )
+    return lib
+
+
+LAYERS = [Layer(10, 0, "M1"), Layer(12, 0, "M2"), Layer(3, 0, "POLY")]
+
+
+@given(layout_strategy())
+@settings(max_examples=30, deadline=None)
+def test_gds_roundtrip_geometry(tmp_path_factory, lib):
+    path = tmp_path_factory.mktemp("fuzz") / "f.gds"
+    write_gds(lib, path)
+    loaded = read_gds(path)
+    top = loaded.cell("TOP")
+    for layer in LAYERS:
+        assert top.region(layer) == lib.cell("TOP").region(layer)
+
+
+@given(layout_strategy())
+@settings(max_examples=30, deadline=None)
+def test_json_roundtrip_geometry(tmp_path_factory, lib):
+    path = tmp_path_factory.mktemp("fuzz") / "f.json"
+    write_json(lib, path)
+    loaded = read_json(path)
+    top = loaded.cell("TOP")
+    for layer in LAYERS:
+        assert top.region(layer) == lib.cell("TOP").region(layer)
+
+
+@given(layout_strategy())
+@settings(max_examples=20, deadline=None)
+def test_gds_deterministic_bytes(tmp_path_factory, lib):
+    d = tmp_path_factory.mktemp("fuzz")
+    p1, p2 = d / "a.gds", d / "b.gds"
+    write_gds(lib, p1)
+    write_gds(lib, p2)
+    assert p1.read_bytes() == p2.read_bytes()

@@ -1,0 +1,67 @@
+"""Unit tests for the grid spatial index."""
+
+import pytest
+
+from repro.geometry import GridIndex, Rect
+
+
+class TestGridIndex:
+    def test_insert_and_query(self):
+        index = GridIndex(cell_size=100)
+        index.insert(Rect(0, 0, 10, 10), "a")
+        index.insert(Rect(500, 500, 510, 510), "b")
+        assert index.query(Rect(0, 0, 50, 50)) == ["a"]
+        assert index.query(Rect(490, 490, 600, 600)) == ["b"]
+        assert len(index) == 2
+
+    def test_query_touching_counts(self):
+        index = GridIndex(cell_size=100)
+        index.insert(Rect(0, 0, 10, 10), "a")
+        assert index.query(Rect(10, 10, 20, 20)) == ["a"]  # closed touch
+
+    def test_query_dedup_across_buckets(self):
+        index = GridIndex(cell_size=10)
+        index.insert(Rect(0, 0, 100, 100), "big")  # spans many buckets
+        assert index.query(Rect(0, 0, 100, 100)) == ["big"]
+
+    def test_query_empty(self):
+        index = GridIndex()
+        assert index.query(Rect(0, 0, 1, 1)) == []
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(cell_size=0)
+
+    def test_extend_and_items(self):
+        index = GridIndex(cell_size=50)
+        index.extend([(Rect(0, 0, 1, 1), 1), (Rect(5, 5, 6, 6), 2)])
+        assert [item for _, item in index.items()] == [1, 2]
+
+    def test_query_pairs_within_separation(self):
+        index = GridIndex(cell_size=100)
+        index.insert(Rect(0, 0, 10, 10), "a")
+        index.insert(Rect(20, 0, 30, 10), "b")  # 10 apart
+        index.insert(Rect(200, 0, 210, 10), "c")  # far away
+        pairs = set(frozenset(p) for p in index.query_pairs(15))
+        assert frozenset(("a", "b")) in pairs
+        assert not any("c" in p for p in pairs)
+
+    def test_query_pairs_each_once(self):
+        index = GridIndex(cell_size=10)
+        # large overlapping rects share many buckets
+        index.insert(Rect(0, 0, 50, 50), "a")
+        index.insert(Rect(10, 10, 60, 60), "b")
+        pairs = list(index.query_pairs(5))
+        assert pairs == [("a", "b")]
+
+    def test_query_pairs_across_distant_buckets(self):
+        index = GridIndex(cell_size=10)
+        index.insert(Rect(0, 0, 5, 5), "a")
+        index.insert(Rect(95, 0, 100, 5), "b")  # 90 apart, far beyond a bucket
+        assert list(index.query_pairs(100)) == [("a", "b")]
+        assert list(index.query_pairs(50)) == []
+
+    def test_negative_coordinates(self):
+        index = GridIndex(cell_size=64)
+        index.insert(Rect(-200, -200, -190, -190), "neg")
+        assert index.query(Rect(-205, -205, -180, -180)) == ["neg"]

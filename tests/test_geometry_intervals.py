@@ -1,0 +1,98 @@
+"""Unit + property tests for the 1-D interval algebra."""
+
+from hypothesis import given, strategies as st
+
+from repro.geometry.intervals import (
+    clip_intervals,
+    intersect_intervals,
+    merge_intervals,
+    subtract_intervals,
+    total_length,
+    xor_intervals,
+)
+
+
+def canonical(intervals):
+    return merge_intervals(list(intervals))
+
+
+raw_intervals = st.lists(
+    st.tuples(st.integers(-100, 100), st.integers(1, 40)).map(lambda t: (t[0], t[0] + t[1])),
+    max_size=8,
+)
+
+
+def to_set(intervals):
+    out = set()
+    for a, b in intervals:
+        out.update(range(a, b))
+    return out
+
+
+class TestMerge:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_overlapping(self):
+        assert merge_intervals([(0, 5), (3, 8)]) == [(0, 8)]
+
+    def test_touching_coalesce(self):
+        assert merge_intervals([(0, 5), (5, 8)]) == [(0, 8)]
+
+    def test_disjoint_stay(self):
+        assert merge_intervals([(0, 2), (5, 8)]) == [(0, 2), (5, 8)]
+
+    def test_unsorted_input(self):
+        assert merge_intervals([(5, 8), (0, 2), (1, 6)]) == [(0, 8)]
+
+    @given(raw_intervals)
+    def test_merge_is_union(self, ivs):
+        assert to_set(merge_intervals(ivs)) == to_set(ivs)
+
+    @given(raw_intervals)
+    def test_idempotent(self, ivs):
+        m = merge_intervals(ivs)
+        assert merge_intervals(m) == m
+
+
+class TestBooleanOps:
+    def test_intersect_basic(self):
+        assert intersect_intervals([(0, 10)], [(5, 15)]) == [(5, 10)]
+
+    def test_intersect_touching_empty(self):
+        assert intersect_intervals([(0, 5)], [(5, 10)]) == []
+
+    def test_subtract_splits(self):
+        assert subtract_intervals([(0, 10)], [(3, 6)]) == [(0, 3), (6, 10)]
+
+    def test_subtract_all(self):
+        assert subtract_intervals([(2, 5)], [(0, 10)]) == []
+
+    def test_xor(self):
+        assert xor_intervals([(0, 10)], [(5, 15)]) == [(0, 5), (10, 15)]
+
+    @given(raw_intervals, raw_intervals)
+    def test_intersect_matches_sets(self, a, b):
+        ca, cb = canonical(a), canonical(b)
+        assert to_set(intersect_intervals(ca, cb)) == to_set(ca) & to_set(cb)
+
+    @given(raw_intervals, raw_intervals)
+    def test_subtract_matches_sets(self, a, b):
+        ca, cb = canonical(a), canonical(b)
+        assert to_set(subtract_intervals(ca, cb)) == to_set(ca) - to_set(cb)
+
+    @given(raw_intervals, raw_intervals)
+    def test_xor_matches_sets(self, a, b):
+        ca, cb = canonical(a), canonical(b)
+        assert to_set(xor_intervals(ca, cb)) == to_set(ca) ^ to_set(cb)
+
+
+class TestHelpers:
+    def test_total_length(self):
+        assert total_length([(0, 3), (10, 14)]) == 7
+
+    def test_clip(self):
+        assert clip_intervals([(0, 10), (20, 30)], 5, 25) == [(5, 10), (20, 25)]
+
+    def test_clip_empty_result(self):
+        assert clip_intervals([(0, 3)], 5, 10) == []

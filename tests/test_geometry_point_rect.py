@@ -1,0 +1,104 @@
+"""Unit tests for Point and Rect."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+
+
+class TestPoint:
+    def test_arithmetic(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(5, 5) - Point(2, 3) == Point(3, 2)
+        assert -Point(1, -2) == Point(-1, 2)
+        assert Point(2, 3) * 4 == Point(8, 12)
+        assert 4 * Point(2, 3) == Point(8, 12)
+
+    def test_distances(self):
+        a, b = Point(0, 0), Point(3, 4)
+        assert a.manhattan(b) == 7
+        assert a.chebyshev(b) == 4
+        assert a.euclidean2(b) == 25
+
+    def test_unpacking_and_tuple(self):
+        x, y = Point(7, 9)
+        assert (x, y) == (7, 9)
+        assert Point(7, 9).as_tuple() == (7, 9)
+
+    def test_hashable(self):
+        assert len({Point(1, 1), Point(1, 1), Point(2, 1)}) == 2
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+
+class TestRect:
+    def test_normalization(self):
+        r = Rect(10, 20, 0, 5)
+        assert (r.x0, r.y0, r.x1, r.y1) == (0, 5, 10, 20)
+
+    def test_properties(self):
+        r = Rect(0, 0, 10, 20)
+        assert r.width == 10
+        assert r.height == 20
+        assert r.area == 200
+        assert r.center == Point(5, 10)
+        assert not r.is_degenerate
+
+    def test_degenerate(self):
+        assert Rect(0, 0, 0, 10).is_degenerate
+        assert Rect(0, 0, 10, 0).is_degenerate
+
+    def test_from_center_rejects_odd(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(0, 0, 5, 4)
+
+    def test_from_center(self):
+        r = Rect.from_center(10, 10, 4, 6)
+        assert r == Rect(8, 7, 12, 13)
+
+    def test_corners_ccw(self):
+        cs = Rect(0, 0, 2, 3).corners()
+        assert cs == [Point(0, 0), Point(2, 0), Point(2, 3), Point(0, 3)]
+
+    def test_containment(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(Point(0, 0))
+        assert not r.contains_point(Point(0, 0), strict=True)
+        assert r.contains_rect(Rect(1, 1, 9, 9))
+        assert not r.contains_rect(Rect(1, 1, 11, 9))
+
+    def test_overlap_vs_touch(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(10, 0, 20, 10)  # shares an edge
+        assert not a.overlaps(b)
+        assert a.touches(b)
+        c = Rect(9, 0, 20, 10)
+        assert a.overlaps(c)
+
+    def test_intersection(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.intersection(Rect(5, 5, 15, 15)) == Rect(5, 5, 10, 10)
+        assert a.intersection(Rect(10, 0, 20, 10)) is None  # touch only
+        assert a.intersection(Rect(20, 20, 30, 30)) is None
+
+    def test_union_bbox(self):
+        assert Rect(0, 0, 1, 1).union_bbox(Rect(5, 5, 6, 7)) == Rect(0, 0, 6, 7)
+
+    def test_expanded_and_shrink(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.expanded(5) == Rect(-5, -5, 15, 15)
+        assert r.expanded(-2) == Rect(2, 2, 8, 8)
+        assert r.expanded(1, 3) == Rect(-1, -3, 11, 13)
+        with pytest.raises(ValueError):
+            r.expanded(-6)
+
+    def test_distance_chebyshev(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.distance(Rect(20, 0, 30, 10)) == 10
+        assert a.distance(Rect(20, 20, 30, 30)) == 10  # diagonal: max(dx, dy)
+        assert a.distance(Rect(5, 5, 30, 30)) == 0
+        assert a.euclidean_distance2(Rect(20, 20, 30, 30)) == 200
+
+    def test_translated_scaled(self):
+        assert Rect(0, 0, 1, 2).translated(10, 20) == Rect(10, 20, 11, 22)
+        assert Rect(1, 1, 2, 2).scaled(3) == Rect(3, 3, 6, 6)

@@ -1,0 +1,122 @@
+"""Unit + property tests for Polygon and Transform."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Orientation, Point, Polygon, Rect, Region, Transform
+
+
+class TestPolygon:
+    def test_from_rect(self):
+        p = Polygon.from_rect(Rect(0, 0, 10, 20))
+        assert p.is_rect
+        assert p.area == 200
+        assert p.num_vertices == 4
+
+    def test_l_shape(self):
+        p = Polygon.l_shape(100, 100, 40, 40)
+        assert p.area == 10000 - 1600
+        assert p.num_vertices == 6
+        assert p.perimeter() == 400  # rectilinear L keeps the bbox perimeter
+
+    def test_l_shape_validation(self):
+        with pytest.raises(ValueError):
+            Polygon.l_shape(100, 100, 100, 40)
+
+    def test_rejects_non_rectilinear(self):
+        with pytest.raises(ValueError):
+            Polygon([(0, 0), (10, 10), (0, 10), (5, 5)])
+
+    def test_rejects_too_few(self):
+        with pytest.raises(ValueError):
+            Polygon([(0, 0), (10, 0), (10, 10)])
+
+    def test_collinear_collapsed(self):
+        p = Polygon([(0, 0), (5, 0), (10, 0), (10, 10), (0, 10)])
+        assert p.num_vertices == 4
+
+    def test_orientation_normalized(self):
+        ccw = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        cw = Polygon([(0, 0), (0, 10), (10, 10), (10, 0)])
+        assert ccw == cw
+        assert ccw.area > 0
+
+    def test_to_region_matches_area(self):
+        p = Polygon.l_shape(100, 80, 30, 20)
+        region = p.to_region()
+        assert region.area == p.area
+
+    def test_to_region_u_shape(self):
+        # U-shape: two towers on a base
+        p = Polygon(
+            [(0, 0), (30, 0), (30, 30), (20, 30), (20, 10), (10, 10), (10, 30), (0, 30)]
+        )
+        region = p.to_region()
+        assert region.area == 30 * 30 - 10 * 20
+        assert len(region.components()) == 1
+
+    def test_contains_point(self):
+        p = Polygon.l_shape(100, 100, 40, 40)
+        assert p.contains_point(Point(10, 10))
+        assert not p.contains_point(Point(90, 90))  # in the notch
+        assert p.contains_point(Point(0, 0))  # boundary
+        assert p.contains_point(Point(0, 50))  # on an edge
+
+    def test_translate(self):
+        p = Polygon.from_rect(Rect(0, 0, 10, 10)).translated(5, 5)
+        assert p.bbox == Rect(5, 5, 15, 15)
+
+    def test_hashable_and_canonical(self):
+        a = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        b = Polygon([(10, 0), (10, 10), (0, 10), (0, 0)])  # rotated start
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestTransform:
+    def test_identity(self):
+        assert Transform.IDENTITY.is_identity
+        assert Transform.IDENTITY.apply_point(Point(3, 4)) == Point(3, 4)
+
+    def test_rotations(self):
+        p = Point(1, 0)
+        assert Transform(0, 0, Orientation.R90).apply_point(p) == Point(0, 1)
+        assert Transform(0, 0, Orientation.R180).apply_point(p) == Point(-1, 0)
+        assert Transform(0, 0, Orientation.R270).apply_point(p) == Point(0, -1)
+
+    def test_mirror(self):
+        p = Point(2, 3)
+        assert Transform(0, 0, Orientation.MX).apply_point(p) == Point(2, -3)
+
+    def test_apply_rect_normalizes(self):
+        r = Transform(0, 0, Orientation.R90).apply_rect(Rect(0, 0, 10, 20))
+        assert r == Rect(-20, 0, 0, 10)
+
+    def test_orientation_properties(self):
+        assert Orientation.MX90.mirrored
+        assert not Orientation.R90.mirrored
+        assert Orientation.MX90.rotation == 90
+        assert Orientation.R0.rotation == 0
+
+    @given(st.sampled_from(list(Orientation)), st.integers(-50, 50), st.integers(-50, 50))
+    def test_inverse_roundtrip(self, orient, dx, dy):
+        t = Transform(dx, dy, orient)
+        p = Point(17, -23)
+        assert t.inverse().apply_point(t.apply_point(p)) == p
+
+    @given(
+        st.sampled_from(list(Orientation)),
+        st.sampled_from(list(Orientation)),
+        st.integers(-20, 20),
+        st.integers(-20, 20),
+    )
+    def test_composition(self, o1, o2, dx, dy):
+        t1 = Transform(dx, dy, o1)
+        t2 = Transform(-dy, dx, o2)
+        p = Point(5, 9)
+        assert t1.then(t2).apply_point(p) == t2.apply_point(t1.apply_point(p))
+
+    def test_area_preserved(self):
+        r = Rect(0, 0, 7, 13)
+        for orient in Orientation:
+            assert Transform(3, -4, orient).apply_rect(r).area == r.area

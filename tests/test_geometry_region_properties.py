@@ -1,0 +1,123 @@
+"""Property-based tests: Region boolean algebra laws, morphology
+invariants, canonical-form uniqueness."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect, Region
+
+rect_strategy = st.tuples(
+    st.integers(-50, 50), st.integers(-50, 50), st.integers(1, 30), st.integers(1, 30)
+).map(lambda t: Rect(t[0], t[1], t[0] + t[2], t[1] + t[3]))
+
+region_strategy = st.lists(rect_strategy, max_size=6).map(Region)
+
+
+@given(region_strategy, region_strategy)
+def test_union_commutative(a, b):
+    assert (a | b) == (b | a)
+
+
+@given(region_strategy, region_strategy)
+def test_intersection_commutative(a, b):
+    assert (a & b) == (b & a)
+
+
+@given(region_strategy, region_strategy, region_strategy)
+@settings(max_examples=50)
+def test_union_associative(a, b, c):
+    assert ((a | b) | c) == (a | (b | c))
+
+
+@given(region_strategy, region_strategy, region_strategy)
+@settings(max_examples=50)
+def test_intersection_distributes_over_union(a, b, c):
+    assert (a & (b | c)) == ((a & b) | (a & c))
+
+
+@given(region_strategy)
+def test_self_laws(a):
+    assert (a | a) == a
+    assert (a & a) == a
+    assert (a - a).is_empty
+    assert (a ^ a).is_empty
+
+
+@given(region_strategy, region_strategy)
+def test_difference_disjoint_from_subtrahend(a, b):
+    assert ((a - b) & b).is_empty
+
+
+@given(region_strategy, region_strategy)
+def test_inclusion_exclusion_area(a, b):
+    assert (a | b).area == a.area + b.area - (a & b).area
+
+
+@given(region_strategy, region_strategy)
+def test_xor_is_union_minus_intersection(a, b):
+    assert (a ^ b) == ((a | b) - (a & b))
+
+
+@given(region_strategy, region_strategy)
+def test_subtract_then_add_back(a, b):
+    assert ((a - b) | (a & b)) == a
+
+
+@given(region_strategy)
+def test_canonical_reconstruction(a):
+    """Rebuilding a region from its own canonical rects is the identity."""
+    assert Region(list(a.rects())) == a
+
+
+@given(region_strategy)
+def test_canonical_rects_disjoint(a):
+    rects = list(a.rects())
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            assert not rects[i].overlaps(rects[j])
+
+
+@given(region_strategy, st.integers(1, 10))
+def test_grow_shrink_roundtrip_contains(a, d):
+    """Opening is anti-extensive: open(a) is a subset of a."""
+    opened = a.grown(-d).grown(d)
+    assert a.covers(opened)
+
+
+@given(region_strategy, st.integers(1, 10))
+def test_close_extensive(a, d):
+    """Closing is extensive: a is a subset of close(a)."""
+    assert a.closed(d).covers(a)
+
+
+@given(region_strategy, st.integers(1, 8))
+def test_grow_monotone_area(a, d):
+    assert a.grown(d).area >= a.area
+
+
+@given(region_strategy, st.integers(-20, 20), st.integers(-20, 20))
+def test_translation_preserves_area_and_count(a, dx, dy):
+    moved = a.translated(dx, dy)
+    assert moved.area == a.area
+    assert len(moved) == len(a)
+    assert moved.translated(-dx, -dy) == a
+
+
+@given(region_strategy, st.integers(2, 5))
+def test_scaling_area(a, k):
+    assert a.scaled(k).area == a.area * k * k
+
+
+@given(region_strategy)
+def test_components_partition(a):
+    comps = a.components()
+    assert sum(c.area for c in comps) == a.area
+    merged = Region()
+    for c in comps:
+        merged = merged | c
+    assert merged == a
+
+
+@given(region_strategy)
+def test_bbox_contains_region(a):
+    if a.bbox is not None:
+        assert Region(a.bbox).covers(a)

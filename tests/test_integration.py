@@ -1,0 +1,155 @@
+"""Cross-module integration tests: full flows over generated designs."""
+
+import pytest
+
+from repro.core import DesignContext, evaluate_techniques, measure_design
+from repro.core.techniques import RedundantViaTechnique
+from repro.dpt import decompose_with_stitches, score_decomposition
+from repro.drc import run_drc, score_recommended_rules
+from repro.gdsii import read_gds, write_gds
+from repro.geometry import Rect, Region
+from repro.litho import LithoModel, find_hotspots
+from repro.opc import apply_rule_opc
+from repro.patterns import cluster_snippets, extract_snippets, PatternMatcher, via_anchors
+from repro.tech import RuleSeverity, make_node
+from repro.designgen import generate_logic_block, generate_sram_array, LogicBlockSpec
+from repro.yieldmodels import insert_redundant_vias
+from repro.yieldmodels.yield_model import layer_defect_lambda
+
+
+class TestGdsRoundtripOfGeneratedDesign:
+    def test_block_roundtrip(self, small_block, tech45, tmp_path):
+        path = tmp_path / "block.gds"
+        write_gds(small_block.layout, path)
+        lib = read_gds(path)
+        L = tech45.layers
+        for layer in (L.metal1, L.metal2, L.via1, L.poly):
+            assert lib.cell("LOGIC").region(layer) == small_block.top.region(layer)
+
+    def test_sram_roundtrip(self, tech45, tmp_path):
+        sram = generate_sram_array(tech45, 4, 4)
+        path = tmp_path / "sram.gds"
+        write_gds(sram, path)
+        lib = read_gds(path)
+        L = tech45.layers
+        assert lib.top_cell().region(L.poly) == sram.top_cell().region(L.poly)
+
+
+class TestDrcOnGeneratedDesigns:
+    def test_block_minimum_drc_mostly_clean(self, small_block, tech45):
+        """The generator produces legal geometry: no width violations, and
+        only boundary-related spacing artifacts at worst."""
+        L = tech45.layers
+        deck = tech45.rules.minimum().for_layer(L.metal2)
+        report = run_drc(small_block.top, deck)
+        width_violations = [v for v in report if v.rule.kind.value == "width"]
+        assert width_violations == []
+
+    def test_recommended_scoring_below_one(self, small_block, tech45):
+        score = score_recommended_rules(small_block.top, tech45.rules)
+        assert 0.0 <= score.composite < 1.0  # min-rule design is not DFM-perfect
+        assert score.worst(3)
+
+
+class TestLithoFlow:
+    def test_hotspots_then_opc_fix(self, small_block, tech45):
+        L = tech45.layers
+        model = LithoModel(tech45.litho)
+        m1 = small_block.top.region(L.metal1)
+        bb = small_block.top.bbox
+        window = Rect(bb.x0 + 500, bb.y0, bb.x0 + 2500, bb.y1)
+        base = find_hotspots(model, m1, window, pinch_limit=tech45.metal_width // 2)
+        assert base  # generated blocks have line-end hotspots
+        clip = m1 & Region(window.expanded(400))
+        mask = (m1 - clip) | apply_rule_opc(clip)
+        fixed = find_hotspots(
+            model, m1, window, mask=mask, pinch_limit=tech45.metal_width // 2
+        )
+        assert len(fixed) < len(base)
+
+    def test_hotspot_cluster_to_matcher_flow(self, small_block, tech45):
+        """The DRC-Plus construction loop: find hotspots, cluster their
+        snippets, and check a pattern library trained on HALF the sites
+        generalizes to the other half."""
+        L = tech45.layers
+        model = LithoModel(tech45.litho)
+        m1 = small_block.top.region(L.metal1)
+        bb = small_block.top.bbox
+        window = Rect(bb.x0, bb.y0, bb.x1, bb.y1)
+        hotspots = find_hotspots(model, m1, window, pinch_limit=tech45.metal_width // 2)
+        anchors = [h.marker.center for h in hotspots]
+        snippets = extract_snippets(small_block.top, [L.metal1], anchors, radius=120)
+        clusters = cluster_snippets(snippets, threshold=0.6)
+        assert 1 <= len(clusters) < len(snippets)
+        matcher = PatternMatcher(radius=120)
+        for snippet in snippets[::2]:  # train on even-index sites only
+            matcher.add_snippet(snippet)
+        matches = matcher.scan(small_block.top, [L.metal1], anchors)
+        recall = len({m.anchor for m in matches}) / len(anchors)
+        assert recall > 0.8  # the library generalizes to unseen sites
+
+
+class TestYieldFlow:
+    def test_redundant_via_improves_yield(self, small_block, tech45):
+        """Opportunistic insertion (no metal patching) strictly helps:
+        via lambda halves where covered and nothing else changes.  (With
+        metal patching the M1 changes can add litho marginality — a real
+        trade-off the scorecard weighs.)"""
+        ctx = DesignContext.from_cell(small_block.top, tech45)
+        base = measure_design(ctx, d0_per_cm2=1.0)
+        work = ctx.copy()
+        insert_redundant_vias(work.cell, tech45, extend_metal=False)
+        work.invalidate()
+        after = measure_design(work, d0_per_cm2=1.0)
+        assert after.lambda_vias <= base.lambda_vias
+        assert after.yield_proxy >= base.yield_proxy
+        # the patched flow still reduces the via lambda itself
+        outcome = RedundantViaTechnique().apply(ctx)
+        patched = measure_design(outcome.ctx, d0_per_cm2=1.0)
+        assert patched.lambda_vias < base.lambda_vias
+
+    def test_lambda_scales_with_design_size(self, tech45, stdlib45):
+        small = generate_logic_block(
+            tech45, LogicBlockSpec(rows=1, row_width_nm=3000, net_count=2, seed=5), stdlib45
+        )
+        big = generate_logic_block(
+            tech45, LogicBlockSpec(rows=2, row_width_nm=6000, net_count=4, seed=5), stdlib45
+        )
+        L = tech45.layers
+        lam_small = layer_defect_lambda(small.top.region(L.metal1), tech45.defects)
+        lam_big = layer_defect_lambda(big.top.region(L.metal1), tech45.defects)
+        assert lam_big > lam_small
+
+
+class TestDptFlow:
+    def test_sram_m2_decomposes_at_32(self):
+        tech32 = make_node(32)
+        sram = generate_sram_array(tech32, 4, 4)
+        L = tech32.layers
+        m2 = sram.top_cell().region(L.metal2)
+        result, stitches = decompose_with_stitches(m2, int(1.5 * tech32.metal_space))
+        score = score_decomposition(result, stitches)
+        assert 0.0 <= score.composite <= 1.0
+
+    def test_grating_decomposes_clean(self, tech45):
+        from repro.designgen import line_grating
+
+        lines = line_grating(tech45.metal_width, tech45.metal_pitch, 8, 2000)
+        result, stitches = decompose_with_stitches(lines, int(1.3 * tech45.metal_space))
+        assert result.is_clean
+        assert stitches == []
+
+
+class TestEndToEndScorecard:
+    def test_scorecard_smoke(self, small_block, tech45):
+        from repro.core.techniques import PatternCheckTechnique
+
+        card = evaluate_techniques(
+            small_block.top,
+            tech45,
+            techniques=[PatternCheckTechnique()],
+            d0_per_cm2=1.0,
+        )
+        row = card.row("pattern-check")
+        assert row.hotspot_delta >= 0
+        assert "pattern-check" in card.render()

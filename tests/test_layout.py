@@ -1,0 +1,193 @@
+"""Unit tests for the layout database: Layer, Cell, CellReference, Layout."""
+
+import pytest
+
+from repro.geometry import Orientation, Point, Polygon, Rect, Region, Transform
+from repro.layout import Cell, CellReference, Layer, Layout
+
+M1 = Layer(10, 0, "M1")
+M2 = Layer(12, 0, "M2")
+
+
+class TestLayer:
+    def test_value_semantics(self):
+        assert Layer(10, 0, "A") == Layer(10, 0, "B")  # name is not identity
+        assert Layer(10, 0) != Layer(10, 1)
+
+    def test_str(self):
+        assert str(M1) == "M1(10/0)"
+        assert str(Layer(3, 1)) == "3/1"
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            Layer(70000, 0)
+
+    def test_with_datatype(self):
+        fill = M1.with_datatype(20)
+        assert fill.gds_layer == 10
+        assert fill.gds_datatype == 20
+        assert fill != M1
+
+
+class TestCell:
+    def test_add_shapes_and_count(self):
+        c = Cell("C")
+        c.add_rect(M1, Rect(0, 0, 10, 10))
+        c.add_polygon(M1, Polygon.l_shape(50, 50, 20, 20))
+        assert c.shape_count() == 2
+        assert c.layers == {M1}
+
+    def test_rejects_degenerate(self):
+        c = Cell("C")
+        with pytest.raises(ValueError):
+            c.add_rect(M1, Rect(0, 0, 0, 10))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Cell("")
+
+    def test_region_merges(self):
+        c = Cell("C")
+        c.add_rect(M1, Rect(0, 0, 10, 10))
+        c.add_rect(M1, Rect(5, 0, 20, 10))
+        assert c.region(M1).area == 200
+
+    def test_region_window(self):
+        c = Cell("C")
+        c.add_rect(M1, Rect(0, 0, 100, 100))
+        assert c.region(M1, window=Rect(0, 0, 10, 10)).area == 100
+
+    def test_add_region(self):
+        c = Cell("C")
+        c.add_region(M1, Region([Rect(0, 0, 10, 10), Rect(20, 0, 30, 10)]))
+        assert c.shape_count() == 2
+
+    def test_bbox(self):
+        c = Cell("C")
+        c.add_rect(M1, Rect(0, 0, 10, 10))
+        c.add_rect(M2, Rect(50, 50, 60, 70))
+        assert c.bbox == Rect(0, 0, 60, 70)
+
+    def test_bbox_empty(self):
+        assert Cell("E").bbox is None
+
+    def test_copy_independent(self):
+        c = Cell("C")
+        c.add_rect(M1, Rect(0, 0, 10, 10))
+        dup = c.copy("D")
+        dup.add_rect(M1, Rect(20, 0, 30, 10))
+        assert c.shape_count() == 1
+        assert dup.shape_count() == 2
+
+
+class TestReferences:
+    def make_parent_child(self):
+        child = Cell("CHILD")
+        child.add_rect(M1, Rect(0, 0, 10, 10))
+        parent = Cell("PARENT")
+        return parent, child
+
+    def test_simple_ref(self):
+        parent, child = self.make_parent_child()
+        parent.add_ref(child, Transform(100, 0))
+        assert parent.region(M1) == Region(Rect(100, 0, 110, 10))
+
+    def test_rotated_ref(self):
+        parent, child = self.make_parent_child()
+        parent.add_ref(child, Transform(0, 0, Orientation.R90))
+        assert parent.region(M1) == Region(Rect(-10, 0, 0, 10))
+
+    def test_array_ref(self):
+        parent, child = self.make_parent_child()
+        parent.add_ref(child, Transform(0, 0), columns=3, rows=2, dx=20, dy=30)
+        region = parent.region(M1)
+        assert region.area == 6 * 100
+        assert parent.bbox == Rect(0, 0, 50, 40)
+
+    def test_array_requires_step(self):
+        parent, child = self.make_parent_child()
+        with pytest.raises(ValueError):
+            parent.add_ref(child, columns=2, rows=1, dx=0)
+
+    def test_cycle_rejected(self):
+        a = Cell("A")
+        b = Cell("B")
+        a.add_ref(b)
+        with pytest.raises(ValueError):
+            b.add_ref(a)
+        with pytest.raises(ValueError):
+            a.add_ref(a)
+
+    def test_nested_hierarchy(self):
+        leaf = Cell("LEAF")
+        leaf.add_rect(M1, Rect(0, 0, 5, 5))
+        mid = Cell("MID")
+        mid.add_ref(leaf, Transform(10, 0))
+        top = Cell("TOP")
+        top.add_ref(mid, Transform(0, 100, Orientation.R0))
+        assert top.region(M1) == Region(Rect(10, 100, 15, 105))
+        assert top.shape_count(recursive=True) == 1
+
+    def test_flattened(self):
+        parent, child = self.make_parent_child()
+        parent.add_ref(child, Transform(0, 0), columns=2, rows=1, dx=50)
+        flat = parent.flattened()
+        assert flat.references == ()
+        assert flat.region(M1) == parent.region(M1)
+
+    def test_placements_count(self):
+        ref = CellReference(Cell("X"), Transform(0, 0), columns=4, rows=3, dx=10, dy=10)
+        assert ref.count == 12
+        assert len(list(ref.placements())) == 12
+
+    def test_polygons_transformed(self):
+        child = Cell("P")
+        child.add_polygon(M1, Polygon.l_shape(40, 40, 10, 10))
+        parent = Cell("TOP")
+        parent.add_ref(child, Transform(0, 0, Orientation.R90))
+        polys = list(parent.polygons(M1))
+        assert len(polys) == 1
+        assert polys[0].area == 40 * 40 - 100
+
+
+class TestLayout:
+    def test_new_and_get(self):
+        lib = Layout("LIB")
+        cell = lib.new_cell("A")
+        assert lib.cell("A") is cell
+        assert "A" in lib
+        assert len(lib) == 1
+
+    def test_duplicate_name_rejected(self):
+        lib = Layout()
+        lib.new_cell("A")
+        with pytest.raises(ValueError):
+            lib.new_cell("A")
+
+    def test_add_cell_pulls_children(self):
+        child = Cell("CHILD")
+        child.add_rect(M1, Rect(0, 0, 1, 1))
+        top = Cell("TOP")
+        top.add_ref(child)
+        lib = Layout()
+        lib.add_cell(top)
+        assert "CHILD" in lib
+
+    def test_top_cells(self):
+        lib = Layout()
+        child = lib.new_cell("CHILD")
+        top = lib.new_cell("TOP")
+        top.add_ref(child)
+        assert [c.name for c in lib.top_cells()] == ["TOP"]
+        assert lib.top_cell().name == "TOP"
+
+    def test_top_cell_ambiguous(self):
+        lib = Layout()
+        lib.new_cell("A")
+        lib.new_cell("B")
+        with pytest.raises(ValueError):
+            lib.top_cell()
+
+    def test_dbu_validation(self):
+        with pytest.raises(ValueError):
+            Layout(dbu_nm=0)

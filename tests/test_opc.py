@@ -1,0 +1,194 @@
+"""Unit tests for OPC: fragmentation, rule-based, model-based, SRAF, ORC."""
+
+import pytest
+
+from repro.geometry import Point, Rect, Region
+from repro.litho import Cutline, LithoModel
+from repro.litho.cd import line_end_pullback
+from repro.opc import (
+    ModelOpcSettings,
+    RuleOpcSettings,
+    SrafSettings,
+    apply_model_opc,
+    apply_rule_opc,
+    edge_placement_errors,
+    fragment_region,
+    insert_srafs,
+    reconstruct_mask,
+    verify_opc,
+)
+
+
+class TestFragments:
+    def test_zero_offsets_identity(self):
+        region = Region([Rect(0, 0, 45, 600), Rect(200, 0, 400, 45)])
+        frags = fragment_region(region)
+        assert reconstruct_mask(region, frags) == region
+
+    def test_fragment_lengths_bounded(self):
+        region = Region(Rect(0, 0, 1000, 45))
+        frags = fragment_region(region, max_len=100, corner_len=30)
+        assert all(f.length <= 100 for f in frags)
+
+    def test_corner_fragments_present(self):
+        region = Region(Rect(0, 0, 1000, 45))
+        frags = fragment_region(region, max_len=100, corner_len=30)
+        lengths = sorted({f.length for f in frags})
+        assert 30 in lengths
+
+    def test_fragments_cover_perimeter(self):
+        region = Region([Rect(0, 0, 300, 45), Rect(100, 45, 145, 300)])
+        frags = fragment_region(region)
+        assert sum(f.length for f in frags) == region.perimeter()
+
+    def test_outward_extrusion_adds(self):
+        region = Region(Rect(0, 0, 100, 100))
+        frags = fragment_region(region, max_len=200)
+        moved = [f.moved(5) for f in frags]
+        mask = reconstruct_mask(region, moved)
+        assert mask.covers(region)
+        assert mask.area > region.area
+
+    def test_inward_extrusion_removes(self):
+        region = Region(Rect(0, 0, 100, 100))
+        frags = fragment_region(region, max_len=200)
+        moved = [f.moved(-5) for f in frags]
+        mask = reconstruct_mask(region, moved)
+        assert region.covers(mask)
+        assert mask.area < region.area
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            fragment_region(Region(), max_len=0)
+
+
+class TestRuleOpc:
+    def test_hammerheads_on_line_ends(self):
+        line = Region(Rect(0, 0, 45, 800))
+        mask = apply_rule_opc(line)
+        bb = mask.bbox
+        assert bb.y0 < 0 and bb.y1 > 800  # extended beyond both ends
+
+    def test_negative_iso_bias_shaves(self):
+        line = Region(Rect(0, 0, 45, 2000))
+        mask = apply_rule_opc(line, RuleOpcSettings(iso_bias=-3, hammer_ext=0, hammer_overhang=0, line_end_max_width=10))
+        # long edges shaved by 3 on each side
+        cut = Region(Rect(-10, 1000, 60, 1001))
+        assert (mask & cut).bbox.width == 45 - 6
+
+    def test_dense_edges_untouched(self):
+        dense = Region([Rect(x, 0, x + 45, 2000) for x in range(0, 450, 90)])
+        mask = apply_rule_opc(dense, RuleOpcSettings(dense_bias=0, iso_distance=200))
+        mid = Region(Rect(90, 900, 225, 1100))
+        assert (mask & mid) == (dense & mid)
+
+    def test_improves_cd(self, litho45):
+        line = Region(Rect(0, 0, 45, 2000))
+        cut = Cutline(Point(22, 1000))
+        cd_raw = litho45.measure_cd(line, cut)
+        cd_opc = litho45.measure_cd(apply_rule_opc(line), cut)
+        assert abs(cd_opc - 45) < abs(cd_raw - 45)
+
+
+class TestModelOpc:
+    def test_convergence(self, litho45):
+        line = Region(Rect(0, 0, 45, 800))
+        window = Rect(-150, -150, 195, 950)
+        result = apply_model_opc(line, litho45, window)
+        assert result.epe_history[-1] < result.epe_history[0]
+        assert result.final_rms_epe < 2.0
+
+    def test_fixes_pullback(self, litho45):
+        line = Region(Rect(0, 0, 45, 800))
+        window = Rect(-150, -150, 195, 950)
+        result = apply_model_opc(line, litho45, window)
+        cut = Cutline(Point(22, 400), horizontal=False)
+        pb_raw = line_end_pullback(litho45.print_contour(line, window), line, cut)
+        pb_opc = line_end_pullback(litho45.print_contour(result.mask, window), line, cut)
+        assert pb_opc < pb_raw
+
+    def test_pw_aware_at_corners(self, litho45):
+        line = Region(Rect(0, 0, 45, 800))
+        window = Rect(-150, -150, 195, 950)
+        result = apply_model_opc(
+            line, litho45, window, ModelOpcSettings(pw_aware=True, iterations=8)
+        )
+        report = verify_opc(litho45, result.mask, line, window)
+        assert report.hotspots == []
+
+    def test_active_window_freezes_border(self, litho45):
+        region = Region(Rect(0, 0, 45, 2000))
+        window = Rect(-200, 500, 245, 1500)
+        active = Rect(-100, 800, 145, 1200)
+        result = apply_model_opc(
+            region, litho45, window, ModelOpcSettings(iterations=3), active_window=active
+        )
+        # geometry far outside the active window is unchanged
+        far = Region(Rect(-50, 0, 100, 300))
+        assert (result.mask & far) == (region & far)
+
+    def test_empty_region(self, litho45):
+        result = apply_model_opc(Region(), litho45)
+        assert result.mask.is_empty
+        assert result.fragments == []
+
+    def test_edge_placement_errors_signs(self, litho45):
+        # a fat mask prints outside the drawn target: positive EPE
+        drawn = Region(Rect(0, 0, 100, 2000))
+        fat = drawn.grown(10)
+        window = Rect(-200, 800, 300, 1200)
+        frags = [f for f in fragment_region(drawn) if window.contains_point(f.midpoint)]
+        epes = edge_placement_errors(litho45, fat, drawn, window, frags)
+        assert sum(epes) / len(epes) > 3
+
+
+class TestSraf:
+    def test_bars_on_isolated_line(self):
+        line = Region(Rect(0, 0, 45, 2000))
+        bars = insert_srafs(line)
+        assert len(bars.components()) == 2  # one each side
+
+    def test_no_bars_when_crowded(self):
+        dense = Region([Rect(x, 0, x + 45, 2000) for x in range(0, 270, 90)])
+        settings = SrafSettings()
+        bars = insert_srafs(dense, settings)
+        # interior edges have neighbours within the required space
+        for bar in bars.components():
+            assert bar.bbox.x0 < 0 or bar.bbox.x1 > 225
+
+    def test_short_edges_skipped(self):
+        square = Region(Rect(0, 0, 50, 50))
+        assert insert_srafs(square, SrafSettings(min_edge_length=100)).is_empty
+
+    def test_bars_do_not_print(self, litho45):
+        line = Region(Rect(0, 0, 45, 2000))
+        bars = insert_srafs(line)
+        window = Rect(-300, 800, 350, 1200)
+        printed = litho45.print_contour(line | bars, window, dose=1.05)
+        stray = printed - line.grown(10)
+        assert stray.is_empty
+
+
+class TestOrc:
+    def test_pass_and_fail(self, litho45):
+        line = Region(Rect(0, 0, 45, 800))
+        window = Rect(-150, -150, 195, 950)
+        raw = verify_opc(litho45, line, line, window)
+        assert not raw.passed  # un-OPC'd line fails at the ends
+        result = apply_model_opc(line, litho45, window, ModelOpcSettings(pw_aware=True, iterations=8))
+        good = verify_opc(litho45, result.mask, line, window)
+        assert good.passed
+        assert good.rms_epe_nm < raw.rms_epe_nm
+
+    def test_sraf_printing_detected(self, litho45):
+        line = Region(Rect(0, 0, 45, 800))
+        window = Rect(-300, -150, 345, 950)
+        fat_bar = Region(Rect(120, 100, 180, 700))  # 60 nm "SRAF" prints
+        report = verify_opc(litho45, line, line, window, srafs=fat_bar)
+        assert report.printing_srafs == 1
+
+    def test_summary_text(self, litho45):
+        line = Region(Rect(0, 0, 45, 800))
+        window = Rect(-150, -150, 195, 950)
+        report = verify_opc(litho45, line, line, window)
+        assert "ORC" in report.summary()

@@ -1,0 +1,278 @@
+"""Unit + property tests for the pattern package: snippets, topology,
+catalogs, clustering, and matching."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point, Rect, Region
+from repro.layout import Cell, Layer
+from repro.patterns import (
+    PatternCatalog,
+    PatternMatcher,
+    Snippet,
+    canonical_pattern,
+    cluster_snippets,
+    extract_snippet,
+    extract_snippets,
+    grid_anchors,
+    kl_divergence,
+    pattern_of,
+    snippet_similarity,
+    via_anchors,
+    via_enclosure_catalog,
+)
+
+M1 = Layer(10, 0, "M1")
+V1 = Layer(11, 0, "V1")
+
+
+def snippet_from(rects, radius=100, anchor=Point(0, 0), layer=M1):
+    regions = {layer: Region(rects)}
+    return extract_snippet(regions, anchor, radius)
+
+
+class TestWindow:
+    def test_recentring(self):
+        regions = {M1: Region(Rect(1000, 1000, 1050, 1050))}
+        snippet = extract_snippet(regions, Point(1025, 1025), 100)
+        assert snippet.regions[M1] == Region(Rect(-25, -25, 25, 25))
+
+    def test_clipping(self):
+        regions = {M1: Region(Rect(0, 0, 1000, 50))}
+        snippet = extract_snippet(regions, Point(500, 25), 100)
+        bb = snippet.regions[M1].bbox
+        assert bb.x0 >= -100 and bb.x1 <= 100
+
+    def test_blank(self):
+        snippet = extract_snippet({M1: Region()}, Point(0, 0), 50)
+        assert snippet.is_blank()
+
+    def test_via_anchors(self):
+        cell = Cell("C")
+        cell.add_rect(V1, Rect(0, 0, 40, 40))
+        cell.add_rect(V1, Rect(100, 100, 140, 140))
+        anchors = via_anchors(cell, V1)
+        assert Point(20, 20) in anchors and Point(120, 120) in anchors
+
+    def test_grid_anchors(self):
+        anchors = grid_anchors(Rect(0, 0, 100, 100), 50)
+        assert len(anchors) == 4
+        with pytest.raises(ValueError):
+            grid_anchors(Rect(0, 0, 10, 10), 0)
+
+    def test_extract_snippets_from_cell(self):
+        cell = Cell("C")
+        cell.add_rect(M1, Rect(0, 0, 50, 50))
+        snippets = extract_snippets(cell, [M1], [Point(25, 25)], 60)
+        assert len(snippets) == 1
+        assert snippets[0].total_area() == 2500
+
+    def test_snippet_equality_and_hash(self):
+        a = snippet_from([Rect(-10, -10, 10, 10)])
+        b = snippet_from([Rect(-10, -10, 10, 10)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestTopology:
+    def test_translation_invariance(self):
+        a = snippet_from([Rect(-20, -20, 20, 20)])
+        regions = {M1: Region(Rect(980, 980, 1020, 1020))}
+        b = extract_snippet(regions, Point(1000, 1000), 100)
+        assert pattern_of(a).category_key == pattern_of(b).category_key
+
+    def test_dimension_abstraction(self):
+        # same topology, different sizes -> same category, different dims
+        a = pattern_of(snippet_from([Rect(-20, -20, 20, 20)]))
+        b = pattern_of(snippet_from([Rect(-30, -30, 30, 30)]))
+        assert a.category_key == b.category_key
+        assert a.dimension_vector() != b.dimension_vector()
+
+    def test_different_topology_different_category(self):
+        one = pattern_of(snippet_from([Rect(-20, -20, 20, 20)]))
+        two = pattern_of(snippet_from([Rect(-40, -20, -10, 20), Rect(10, -20, 40, 20)]))
+        assert one.category_key != two.category_key
+
+    def test_interlayer_alignment_matters(self):
+        via = Rect(-20, -20, 20, 20)
+        sym = extract_snippet(
+            {V1: Region(via), M1: Region(Rect(-30, -30, 30, 30))}, Point(0, 0), 100
+        )
+        flush = extract_snippet(
+            {V1: Region(via), M1: Region(Rect(-20, -30, 40, 30))}, Point(0, 0), 100
+        )
+        assert (
+            canonical_pattern(pattern_of(sym)).category_key
+            != canonical_pattern(pattern_of(flush)).category_key
+        )
+
+    @pytest.mark.parametrize("dx,dy", [(30, 0), (0, 30), (-30, 0), (0, -30)])
+    def test_rotation_mirror_canonical(self, dx, dy):
+        """A bar offset in any of the 4 directions canonicalizes to the
+        same pattern."""
+        base = canonical_pattern(
+            pattern_of(snippet_from([Rect(-10, -10, 10, 10), Rect(-10 + 30, -10, 10 + 30, 10)]))
+        )
+        other = canonical_pattern(
+            pattern_of(snippet_from([Rect(-10, -10, 10, 10), Rect(-10 + dx, -10 + dy, 10 + dx, 10 + dy)]))
+        )
+        assert base.category_key == other.category_key
+
+    def test_canonical_idempotent(self):
+        p = pattern_of(snippet_from([Rect(-40, -10, 40, 10), Rect(-10, 20, 10, 80)]))
+        c1 = canonical_pattern(p)
+        assert canonical_pattern(c1) == c1
+
+    def test_complexity_and_shape(self):
+        p = pattern_of(snippet_from([Rect(-20, -20, 20, 20)]))
+        assert p.complexity == 1
+        nx, ny = p.grid_shape
+        assert nx == 3 and ny == 3
+
+    @given(st.integers(-60, 20), st.integers(-60, 20), st.integers(10, 40), st.integers(10, 40))
+    def test_property_canonical_under_mirror(self, x, y, w, h):
+        rects = [Rect(x, y, x + w, y + h)]
+        mirrored = [Rect(-(x + w), y, -x, y + h)]
+        a = canonical_pattern(pattern_of(snippet_from(rects)))
+        b = canonical_pattern(pattern_of(snippet_from(mirrored)))
+        assert a.category_key == b.category_key
+
+
+class TestCatalog:
+    def build_cell(self):
+        cell = Cell("C")
+        for i in range(5):
+            x = i * 300
+            cell.add_rect(V1, Rect(x, 0, x + 45, 45))
+            cell.add_rect(M1, Rect(x - 11, -11, x + 56, 56))
+        for i in range(3):
+            x = i * 300
+            cell.add_rect(V1, Rect(x, 1000, x + 45, 1045))
+            cell.add_rect(M1, Rect(x, 1000 - 11, x + 80, 1045 + 11))
+        return cell
+
+    def test_via_enclosure_categories(self):
+        catalog = via_enclosure_catalog(self.build_cell(), V1, M1, radius=100)
+        assert len(catalog) == 2
+        assert catalog.total == 8
+        freqs = catalog.frequencies()
+        assert freqs == [5, 3]
+
+    def test_coverage(self):
+        catalog = via_enclosure_catalog(self.build_cell(), V1, M1, radius=100)
+        assert catalog.coverage(1) == pytest.approx(5 / 8)
+        assert catalog.coverage(2) == pytest.approx(1.0)
+        assert catalog.categories_for_coverage(0.6) == 1
+        assert catalog.categories_for_coverage(0.99) == 2
+
+    def test_merge(self):
+        a = via_enclosure_catalog(self.build_cell(), V1, M1, radius=100)
+        b = via_enclosure_catalog(self.build_cell(), V1, M1, radius=100)
+        a.merge(b)
+        assert a.total == 16
+        assert len(a) == 2
+
+    def test_tags(self):
+        catalog = via_enclosure_catalog(self.build_cell(), V1, M1, radius=100)
+        entry = catalog.entries()[0]
+        entry.tags.add("hotspot")
+        assert len(catalog.tagged("hotspot")) == 1
+
+    def test_kl_divergence(self):
+        a = via_enclosure_catalog(self.build_cell(), V1, M1, radius=100)
+        b = via_enclosure_catalog(self.build_cell(), V1, M1, radius=100)
+        assert kl_divergence(a, b) == pytest.approx(0.0, abs=1e-12)
+        other = Cell("D")
+        other.add_rect(V1, Rect(0, 0, 45, 45))
+        other.add_rect(M1, Rect(-40, -11, 56, 56))
+        c = via_enclosure_catalog(other, V1, M1, radius=100)
+        assert kl_divergence(a, c) > 0
+        assert kl_divergence(c, a) > 0
+
+    def test_kl_empty(self):
+        assert kl_divergence(PatternCatalog(), PatternCatalog()) == 0.0
+
+    def test_summary_renders(self):
+        catalog = via_enclosure_catalog(self.build_cell(), V1, M1, radius=100)
+        text = catalog.summary()
+        assert "2 categories" in text
+
+
+class TestClustering:
+    def snippets(self):
+        cell = TestCatalog().build_cell()
+        return extract_snippets(cell, [V1, M1], via_anchors(cell, V1), 100)
+
+    def test_similarity_identity(self):
+        s = self.snippets()[0]
+        assert snippet_similarity(s, s) == pytest.approx(1.0)
+
+    def test_similarity_blank(self):
+        blank = extract_snippet({M1: Region()}, Point(0, 0), 50)
+        assert snippet_similarity(blank, blank) == 1.0
+
+    def test_incremental(self):
+        clusters = cluster_snippets(self.snippets(), threshold=0.9)
+        assert sorted(len(c) for c in clusters) == [3, 5]
+
+    def test_hierarchical(self):
+        clusters = cluster_snippets(self.snippets(), threshold=0.9, method="hierarchical")
+        assert sorted(len(c) for c in clusters) == [3, 5]
+
+    def test_threshold_one_splits_everything_distinct(self):
+        snippets = self.snippets()
+        clusters = cluster_snippets(snippets, threshold=0.999999)
+        # identical snippets may still merge; distinct styles must not
+        assert len(clusters) >= 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cluster_snippets([], threshold=0.0)
+        with pytest.raises(ValueError):
+            cluster_snippets([], method="bogus")
+
+    def test_cohesion(self):
+        clusters = cluster_snippets(self.snippets(), threshold=0.9)
+        for cluster in clusters:
+            assert cluster.cohesion() >= 0.9
+
+
+class TestMatcher:
+    def test_scan_finds_all_instances(self):
+        cell = TestCatalog().build_cell()
+        snippets = extract_snippets(cell, [V1, M1], via_anchors(cell, V1), 100)
+        matcher = PatternMatcher(radius=100)
+        matcher.add_snippet(snippets[0], name="sym", severity="error")
+        matches = matcher.scan(cell, [V1, M1], via_anchors(cell, V1))
+        assert len(matches) == 5
+        assert all(m.library_pattern.name == "sym" for m in matches)
+
+    def test_no_match_on_other_category(self):
+        cell = TestCatalog().build_cell()
+        snippets = extract_snippets(cell, [V1, M1], via_anchors(cell, V1), 100)
+        matcher = PatternMatcher(radius=100)
+        eol = next(s for s in snippets if s.anchor.y > 500)  # the 3-instance style
+        matcher.add_snippet(eol, name="eol")
+        matches = matcher.scan(cell, [V1, M1], via_anchors(cell, V1))
+        assert len(matches) == 3
+
+    def test_dimension_tolerance(self):
+        matcher = PatternMatcher(radius=100)
+        base = snippet_from([Rect(-20, -20, 20, 20)])
+        matcher.add_snippet(base, name="exact", dimension_tolerance=5)
+        close = snippet_from([Rect(-22, -22, 22, 22)])
+        far = snippet_from([Rect(-45, -45, 45, 45)])
+        assert len(matcher.match_snippet(close)) == 1
+        assert len(matcher.match_snippet(far)) == 0
+
+    def test_radius_mismatch_rejected(self):
+        matcher = PatternMatcher(radius=100)
+        with pytest.raises(ValueError):
+            matcher.add_snippet(snippet_from([Rect(0, 0, 10, 10)], radius=50))
+
+    def test_marker(self):
+        matcher = PatternMatcher(radius=100)
+        snippet = snippet_from([Rect(-20, -20, 20, 20)])
+        matcher.add_snippet(snippet)
+        match = matcher.match_snippet(snippet)[0]
+        assert match.marker == Rect(-100, -100, 100, 100)

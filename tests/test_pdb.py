@@ -1,0 +1,98 @@
+"""Tests for the pattern database: persistence and lifecycle."""
+
+import pytest
+
+from repro.geometry import Point, Rect, Region
+from repro.layout import Cell
+from repro.patterns import (
+    PatternCatalog,
+    PatternDatabase,
+    kl_divergence,
+    load_catalog,
+    save_catalog,
+    via_enclosure_catalog,
+)
+
+
+def build_catalog(tech45, styles=("sym", "eol")):
+    L = tech45.layers
+    cell = Cell("C")
+    x = 0
+    if "sym" in styles:
+        for _ in range(5):
+            cell.add_rect(L.via1, Rect(x, 0, x + 45, 45))
+            cell.add_rect(L.metal1, Rect(x - 11, -11, x + 56, 56))
+            x += 300
+    if "eol" in styles:
+        for _ in range(3):
+            cell.add_rect(L.via1, Rect(x, 0, x + 45, 45))
+            cell.add_rect(L.metal1, Rect(x, -11, x + 80, 56))
+            x += 300
+    return via_enclosure_catalog(cell, L.via1, L.metal1, radius=100)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tech45, tmp_path):
+        catalog = build_catalog(tech45)
+        entry = catalog.entries()[0]
+        entry.tags.add("hotspot")
+        path = tmp_path / "pdb.json"
+        save_catalog(catalog, path)
+        loaded = load_catalog(path)
+        assert len(loaded) == len(catalog)
+        assert loaded.total == catalog.total
+        assert loaded.frequencies() == catalog.frequencies()
+        assert loaded.entries()[0].tags == {"hotspot"}
+
+    def test_category_keys_stable(self, tech45, tmp_path):
+        """The persistence property: a loaded pattern matches the same
+        category as a freshly extracted one."""
+        catalog = build_catalog(tech45)
+        path = tmp_path / "pdb.json"
+        save_catalog(catalog, path)
+        loaded = load_catalog(path)
+        fresh = build_catalog(tech45)
+        assert kl_divergence(loaded, fresh) == pytest.approx(0.0, abs=1e-12)
+
+    def test_dimension_vectors_preserved(self, tech45, tmp_path):
+        catalog = build_catalog(tech45)
+        path = tmp_path / "pdb.json"
+        save_catalog(catalog, path)
+        loaded = load_catalog(path)
+        assert loaded.entries()[0].dimension_vectors == catalog.entries()[0].dimension_vectors
+
+
+class TestLifecycle:
+    def test_tracking_across_generations(self, tech45):
+        pdb = PatternDatabase("fab")
+        pdb.add_generation("testchip", build_catalog(tech45, ("sym", "eol")))
+        pdb.add_generation("product1", build_catalog(tech45, ("sym", "eol")))
+        pdb.add_generation("product2", build_catalog(tech45, ("sym",)))  # eol designed out
+        records = pdb.lifecycles()
+        assert len(records) == 2
+        statuses = {tuple(r.counts): r.status for r in records}
+        assert statuses[(5, 5, 5)] == "active"
+        assert statuses[(3, 3, 0)] == "retired"
+
+    def test_new_and_retired_queries(self, tech45):
+        pdb = PatternDatabase()
+        pdb.add_generation("g0", build_catalog(tech45, ("sym",)))
+        pdb.add_generation("g1", build_catalog(tech45, ("sym", "eol")))
+        pdb.add_generation("g2", build_catalog(tech45, ("sym",)))
+        assert len(pdb.new_in("g1")) == 1
+        assert len(pdb.retired_by("g2")) == 1
+        assert len(pdb.retired_by("g1")) == 0
+
+    def test_duplicate_generation_rejected(self, tech45):
+        pdb = PatternDatabase()
+        pdb.add_generation("g0", build_catalog(tech45))
+        with pytest.raises(ValueError):
+            pdb.add_generation("g0", build_catalog(tech45))
+
+    def test_summary(self, tech45):
+        pdb = PatternDatabase("x")
+        pdb.add_generation("g0", build_catalog(tech45))
+        assert "1 generations" in pdb.summary()
+
+    def test_empty(self):
+        assert PatternDatabase().lifecycles() == []

@@ -1,0 +1,77 @@
+"""Tests for alternating phase-shift mask assignment."""
+
+import pytest
+
+from repro.dpt import assign_phases, critical_gates
+from repro.geometry import Rect, Region
+
+
+def two_lines(gap=150, gate_w=31):
+    poly = Region([Rect(0, 0, gate_w, 400), Rect(gap, 0, gap + gate_w, 400)])
+    active = Region(Rect(-100, 100, gap + gate_w + 100, 200))
+    return poly, active
+
+
+class TestCriticalGates:
+    def test_filters_by_length(self):
+        poly, active = two_lines()
+        assert len(critical_gates(poly, active, max_length_nm=40)) == 2
+        assert len(critical_gates(poly, active, max_length_nm=20)) == 0
+
+    def test_no_active_no_gates(self):
+        poly, _ = two_lines()
+        assert critical_gates(poly, Region(), 40) == []
+
+
+class TestAssignPhases:
+    def test_two_lines_alternate(self):
+        poly, active = two_lines()
+        pa = assign_phases(poly, active, 40, interaction_nm=250)
+        assert pa.is_clean
+        assert pa.critical_gates == 2
+        assert not pa.phase0.is_empty and not pa.phase180.is_empty
+        assert not pa.phase0.overlaps(pa.phase180)
+
+    def test_n_and_p_gates_are_one_node(self):
+        """One poly line crossing two diffusions is a single phase node —
+        no spurious self-conflict."""
+        poly = Region(Rect(0, 0, 31, 700))
+        active = Region([Rect(-100, 100, 130, 200), Rect(-100, 500, 130, 600)])
+        pa = assign_phases(poly, active, 40, interaction_nm=250)
+        assert pa.is_clean
+        assert pa.critical_gates == 2
+
+    def test_dense_triangle_conflicts(self):
+        poly = Region([Rect(0, 0, 31, 300), Rect(50, 0, 81, 300), Rect(100, 0, 131, 300)])
+        active = Region(Rect(-50, 100, 200, 200))
+        pa = assign_phases(poly, active, 40, interaction_nm=80)
+        assert not pa.is_clean
+        assert pa.conflicts == 1
+
+    def test_isolated_lines_clean(self):
+        poly, active = two_lines(gap=2000)
+        pa = assign_phases(poly, active, 40, interaction_nm=250)
+        assert pa.is_clean
+
+    def test_no_critical_gates(self):
+        poly = Region(Rect(0, 0, 200, 400))  # fat poly: not critical
+        active = Region(Rect(-100, 100, 300, 200))
+        pa = assign_phases(poly, active, 40, interaction_nm=250)
+        assert pa.critical_gates == 0
+        assert pa.phase0.is_empty
+
+    def test_stdcells_phase_assignable(self, stdlib45, tech45):
+        """The generated library is altPSM-compatible at its own pitch."""
+        L = tech45.layers
+        for name in stdlib45.names():
+            cell = stdlib45[name].cell
+            pa = assign_phases(
+                cell.region(L.poly), cell.region(L.active), 40, interaction_nm=250
+            )
+            assert pa.is_clean, f"{name}: {pa.summary()}"
+            assert not pa.phase0.overlaps(pa.phase180)
+
+    def test_summary(self):
+        poly, active = two_lines()
+        pa = assign_phases(poly, active, 40, 250)
+        assert "altPSM" in pa.summary()

@@ -1,0 +1,115 @@
+"""Tests for timing-aware smart fill and filler-cell insertion."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cmp import coupling_proxy, density_map, dummy_fill, smart_fill
+from repro.designgen import (
+    LogicBlockSpec,
+    generate_logic_block,
+    insert_fillers,
+    make_filler_cell,
+)
+from repro.drc import run_drc
+from repro.geometry import Rect, Region
+
+
+@pytest.fixture(scope="module")
+def fill_setup(tech45):
+    settings = replace(tech45.cmp, window_nm=4000, step_nm=2000)
+    extent = Rect(0, 0, 16000, 8000)
+    critical = Region(Rect(0, 3800, 16000, 3845))
+    other = Region([Rect(0, y, 16000, y + 45) for y in (1000, 6000)])
+    return settings, extent, critical, critical | other
+
+
+class TestCouplingProxy:
+    def test_zero_when_far(self, fill_setup):
+        _, _, critical, signal = fill_setup
+        far_fill = Region(Rect(0, 7500, 1000, 7900))
+        report = coupling_proxy(signal, far_fill, reach_nm=300, critical=critical)
+        assert report.critical_coupling_perimeter_nm == 0
+
+    def test_counts_adjacent_fill(self, fill_setup):
+        _, _, critical, signal = fill_setup
+        near_fill = Region(Rect(2000, 3900, 4000, 4100))  # 55 above the critical net
+        report = coupling_proxy(signal, near_fill, reach_nm=300, critical=critical)
+        assert report.critical_coupling_perimeter_nm > 1000
+
+    def test_empty_inputs(self):
+        report = coupling_proxy(Region(), Region(), 100)
+        assert report.coupling_perimeter_nm == 0
+
+
+class TestSmartFill:
+    def test_protects_critical_nets(self, tech45, fill_setup):
+        settings, extent, critical, signal = fill_setup
+        normal, _ = dummy_fill(signal, extent, settings)
+        smart, _ = smart_fill(signal, extent, settings, critical)
+        cp_normal = coupling_proxy(signal, normal, 300, critical)
+        cp_smart = coupling_proxy(signal, smart, 300, critical)
+        assert cp_smart.critical_coupling_perimeter_nm < cp_normal.critical_coupling_perimeter_nm
+        assert cp_smart.critical_coupling_perimeter_nm == 0
+
+    def test_density_cost_bounded(self, tech45, fill_setup):
+        settings, extent, critical, signal = fill_setup
+        normal, _ = dummy_fill(signal, extent, settings)
+        smart, _ = smart_fill(signal, extent, settings, critical)
+        dm_normal = density_map(signal | normal, extent, settings.window_nm)
+        dm_smart = density_map(signal | smart, extent, settings.window_nm)
+        # smart fill gives up a little uniformity, not a lot
+        assert dm_smart.range <= dm_normal.range + 0.1
+
+    def test_fill_respects_critical_keepout(self, tech45, fill_setup):
+        settings, extent, critical, signal = fill_setup
+        smart, _ = smart_fill(signal, extent, settings, critical, keepout=200, critical_keepout=600)
+        assert (smart & critical.grown(599)).is_empty
+
+
+class TestFillers:
+    def test_filler_cell_geometry(self, tech45):
+        filler = make_filler_cell(tech45, 2)
+        L = tech45.layers
+        assert filler.bbox.width == 2 * tech45.poly_pitch
+        assert filler.bbox.height == tech45.cell_height
+        assert filler.region(L.poly).is_empty
+        assert not filler.region(L.metal1).is_empty
+        with pytest.raises(ValueError):
+            make_filler_cell(tech45, 0)
+
+    def test_insertion_fills_gaps(self, tech45):
+        block = generate_logic_block(
+            tech45,
+            LogicBlockSpec(rows=2, row_width_nm=6000, net_count=4, seed=7, utilization=0.6),
+        )
+        assert block.gaps
+        placed = insert_fillers(tech45, block)
+        assert placed > 0
+        # rails are now continuous across each row: the bottom rail of
+        # row 0 forms one component spanning the row width
+        L = tech45.layers
+        rail = block.top.region(L.metal1) & Region(Rect(0, 0, 6000, 2 * tech45.node_nm))
+        widths = [c.bbox.width for c in rail.components()]
+        assert max(widths) > 0.9 * 6000
+
+    def test_improves_density_uniformity(self, tech45):
+        block = generate_logic_block(
+            tech45,
+            LogicBlockSpec(rows=3, row_width_nm=8000, net_count=8, seed=7, utilization=0.7),
+        )
+        L = tech45.layers
+        bb = block.top.bbox
+        before = density_map(block.top.region(L.metal1), bb, 4000)
+        insert_fillers(tech45, block)
+        after = density_map(block.top.region(L.metal1), bb, 4000)
+        assert after.std < before.std
+
+    def test_stays_drc_clean(self, tech45):
+        block = generate_logic_block(
+            tech45,
+            LogicBlockSpec(rows=2, row_width_nm=5000, net_count=4, seed=11, utilization=0.6),
+        )
+        insert_fillers(tech45, block)
+        report = run_drc(block.top, tech45.rules.minimum())
+        assert report.is_clean, report.summary()

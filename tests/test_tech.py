@@ -1,0 +1,119 @@
+"""Unit tests for technology nodes and rule decks."""
+
+import pytest
+
+from repro.tech import (
+    AreaRule,
+    DensityRule,
+    EnclosureRule,
+    RuleDeck,
+    RuleKind,
+    RuleSeverity,
+    SpacingRule,
+    WidthRule,
+    make_node,
+    NODE_32,
+    NODE_45,
+    NODE_65,
+)
+from repro.layout import Layer
+
+M = Layer(10, 0, "M1")
+V = Layer(11, 0, "V1")
+
+
+class TestRuleDeck:
+    def deck(self):
+        return RuleDeck(
+            "d",
+            [
+                WidthRule("W1", M, 45),
+                SpacingRule("S1", M, 45),
+                WidthRule("W2", M, 56, severity=RuleSeverity.RECOMMENDED),
+                EnclosureRule("E1", V, M, 11),
+            ],
+        )
+
+    def test_lookup(self):
+        deck = self.deck()
+        assert deck.rule("W1").min_width == 45
+        with pytest.raises(KeyError):
+            deck.rule("NOPE")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            RuleDeck("d", [WidthRule("X", M, 1), WidthRule("X", M, 2)])
+        deck = self.deck()
+        with pytest.raises(ValueError):
+            deck.add(WidthRule("W1", M, 50))
+
+    def test_severity_views(self):
+        deck = self.deck()
+        assert len(deck.minimum()) == 3
+        assert len(deck.recommended()) == 1
+
+    def test_layer_view(self):
+        deck = self.deck()
+        names = {r.name for r in deck.for_layer(V)}
+        assert names == {"E1"}
+        assert {r.name for r in deck.for_layer(M)} == {"W1", "S1", "W2", "E1"}
+
+    def test_kind_view(self):
+        deck = self.deck()
+        assert {r.name for r in deck.of_kind(RuleKind.WIDTH)} == {"W1", "W2"}
+
+    def test_rule_kinds(self):
+        assert WidthRule("w", M, 1).kind is RuleKind.WIDTH
+        assert SpacingRule("s", M, 1).kind is RuleKind.SPACING
+        assert EnclosureRule("e", V, M, 1).kind is RuleKind.ENCLOSURE
+        assert AreaRule("a", M, 1).kind is RuleKind.AREA
+        assert DensityRule("d", M, 100, 0.1, 0.9).kind is RuleKind.DENSITY
+
+
+class TestNodes:
+    def test_predefined(self):
+        assert NODE_65.node_nm == 65
+        assert NODE_45.node_nm == 45
+        assert NODE_32.node_nm == 32
+
+    def test_scaling(self):
+        assert NODE_45.metal_pitch < NODE_65.metal_pitch
+        assert NODE_32.via_size < NODE_45.via_size
+        assert NODE_32.cell_height < NODE_65.cell_height
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            make_node(10)
+        with pytest.raises(ValueError):
+            make_node(500)
+
+    def test_na_transition(self):
+        assert NODE_65.litho.na == pytest.approx(0.93)
+        assert NODE_45.litho.na == pytest.approx(1.35)
+
+    def test_rule_consistency(self, tech45):
+        deck = tech45.rules
+        w = deck.rule("M1.W.1")
+        w_rec = deck.rule("M1.W.R")
+        assert w_rec.min_width > w.min_width
+        s = deck.rule("M1.S.1")
+        s_rec = deck.rule("M1.S.R")
+        assert s_rec.min_space > s.min_space
+
+    def test_layer_stack_navigation(self, tech45):
+        L = tech45.layers
+        assert L.via_between(L.metal1, L.metal2) == L.via1
+        assert L.routing_layers_for(L.via1) == (L.metal1, L.metal2)
+        with pytest.raises(KeyError):
+            L.via_between(L.metal1, L.metal3)
+        with pytest.raises(KeyError):
+            L.routing_layers_for(L.metal1)
+
+    def test_litho_settings(self, tech45):
+        litho = tech45.litho
+        assert litho.psf_sigma_nm == pytest.approx(0.16 * 193 / 1.35, rel=1e-6)
+        assert litho.defocus_sigma_nm(-100) == litho.defocus_sigma_nm(100)
+        assert litho.resist_threshold == pytest.approx(0.5)
+
+    def test_name_override(self):
+        assert make_node(45, name="foundry45lp").name == "foundry45lp"

@@ -1,0 +1,100 @@
+"""Tests for the statistical variation engine."""
+
+import numpy as np
+import pytest
+
+from repro.designgen import line_grating
+from repro.geometry import Point, Region
+from repro.litho import Cutline
+from repro.timing import Stage, TimingPath, path_delay_ps
+from repro.variation import (
+    CdDistribution,
+    ProcessSampler,
+    process_capability,
+    simulate_cd_distribution,
+    statistical_path_delays,
+)
+
+
+class TestSampler:
+    def test_deterministic(self):
+        sampler = ProcessSampler()
+        assert sampler.sample(10, seed=3) == sampler.sample(10, seed=3)
+
+    def test_bounds(self):
+        sampler = ProcessSampler(dose_sigma=0.02, defocus_sigma_nm=40, truncate_sigma=3)
+        samples = sampler.sample(500, seed=1)
+        assert all(0.94 <= s.dose <= 1.06 for s in samples)
+        assert all(0.0 <= s.defocus_nm <= 120.0 for s in samples)
+
+    def test_dose_centred(self):
+        samples = ProcessSampler().sample(2000, seed=2)
+        doses = np.array([s.dose for s in samples])
+        assert abs(doses.mean() - 1.0) < 0.005
+
+
+class TestCdDistribution:
+    def test_stats(self):
+        dist = CdDistribution(target_nm=45, values=np.array([44.0, 45.0, 46.0]))
+        assert dist.mean == pytest.approx(45.0)
+        assert dist.mean_offset == pytest.approx(0.0)
+        lo, hi = dist.three_sigma_band()
+        assert lo < 45 < hi
+
+    def test_simulated_distribution(self, litho45, tech45):
+        dense = line_grating(tech45.metal_width, tech45.metal_pitch, 9, 2000)
+        cut = Cutline(Point(4 * tech45.metal_pitch + tech45.metal_width // 2, 1000))
+        dist = simulate_cd_distribution(
+            litho45, dense, cut, target_nm=tech45.metal_width, n_samples=20, grid=4
+        )
+        assert len(dist.values) == 20
+        assert abs(dist.mean - tech45.metal_width) < 5
+        assert dist.std > 0
+
+    def test_cpk_thresholds(self):
+        tight = CdDistribution(45, np.random.default_rng(1).normal(45, 0.5, 300))
+        loose = CdDistribution(45, np.random.default_rng(1).normal(45, 3.0, 300))
+        assert process_capability(tight, 4.5) > 1.33  # capable
+        assert process_capability(loose, 4.5) < 1.0   # not capable
+
+    def test_cpk_off_centre_penalized(self):
+        centred = CdDistribution(45, np.random.default_rng(2).normal(45, 1.0, 300))
+        shifted = CdDistribution(45, np.random.default_rng(2).normal(48, 1.0, 300))
+        assert process_capability(shifted, 4.5) < process_capability(centred, 4.5)
+
+    def test_cpk_zero_spread(self):
+        dist = CdDistribution(45, np.array([45.0, 45.0]))
+        assert process_capability(dist, 1.0) == float("inf")
+
+
+class TestStatTiming:
+    def path(self):
+        return TimingPath("P", [Stage(f"g{i}", 180, 35.0, wire_length_nm=300) for i in range(8)])
+
+    def test_nominal_matches_deterministic(self):
+        path = self.path()
+        result = statistical_path_delays(path, length_sigma_nm=1.5, worst_length_nm=40.0, n_samples=50)
+        assert result.nominal_ps == pytest.approx(path_delay_ps(path))
+
+    def test_corner_pessimism(self):
+        """The all-worst corner is slower than the sampled 99.9th
+        percentile — the statistical argument in numbers."""
+        result = statistical_path_delays(
+            self.path(), length_sigma_nm=5.0 / 3.0, worst_length_nm=40.0, n_samples=800
+        )
+        assert result.corner_ps > result.quantile_ps(0.999)
+        assert result.corner_margin_percent > 1.0
+
+    def test_sigma_grows_with_variation(self):
+        small = statistical_path_delays(self.path(), 0.5, 40.0, n_samples=300)
+        large = statistical_path_delays(self.path(), 3.0, 40.0, n_samples=300)
+        assert large.sigma_ps > small.sigma_ps
+
+    def test_deterministic_by_seed(self):
+        a = statistical_path_delays(self.path(), 1.0, 40.0, n_samples=50, seed=9)
+        b = statistical_path_delays(self.path(), 1.0, 40.0, n_samples=50, seed=9)
+        assert np.array_equal(a.samples_ps, b.samples_ps)
+
+    def test_mean_near_nominal(self):
+        result = statistical_path_delays(self.path(), 1.0, 40.0, n_samples=800)
+        assert result.mean_ps == pytest.approx(result.nominal_ps, rel=0.02)

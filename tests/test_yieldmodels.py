@@ -1,0 +1,304 @@
+"""Unit + property tests for defect distributions, critical area, yield
+models, redundant vias, and wire spreading."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect, Region
+from repro.layout import Cell
+from repro.yieldmodels import (
+    DefectSizeDistribution,
+    critical_area_opens,
+    critical_area_shorts,
+    insert_redundant_vias,
+    spread_wires,
+    via_failure_lambda,
+    via_yield,
+    weighted_critical_area,
+    widen_wires,
+    yield_negative_binomial,
+    yield_poisson,
+)
+from repro.yieldmodels.yield_model import YieldBreakdown, layer_defect_lambda
+
+
+class TestDsd:
+    dsd = DefectSizeDistribution(x0_nm=45, x_max_nm=1800)
+
+    def test_pdf_normalized(self):
+        xs = np.linspace(1, 1800, 4000)
+        assert np.trapezoid(self.dsd.pdf(xs), xs) == pytest.approx(1.0, abs=0.01)
+
+    def test_pdf_peak_at_x0(self):
+        assert self.dsd.pdf(45) >= self.dsd.pdf(20)
+        assert self.dsd.pdf(45) >= self.dsd.pdf(200)
+
+    def test_pdf_zero_outside(self):
+        assert self.dsd.pdf(0.5) == 0.0
+        assert self.dsd.pdf(5000) == 0.0
+
+    def test_cdf_monotone(self):
+        xs = np.linspace(1, 1800, 50)
+        cdf = self.dsd.cdf(xs)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DefectSizeDistribution(x0_nm=10, x_max_nm=5)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=10)
+    def test_samples_in_range(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = self.dsd.sample(500, rng)
+        assert samples.min() >= self.dsd.x_min_nm
+        assert samples.max() <= self.dsd.x_max_nm
+
+    def test_sample_matches_cdf(self):
+        rng = np.random.default_rng(7)
+        samples = self.dsd.sample(20000, rng)
+        median = float(np.median(samples))
+        assert self.dsd.cdf(median) == pytest.approx(0.5, abs=0.02)
+
+    def test_quadrature_sizes(self):
+        sizes = self.dsd.quadrature_sizes(8)
+        assert len(sizes) == 8
+        assert sizes[0] == pytest.approx(self.dsd.x_min_nm)
+        assert sizes[-1] == pytest.approx(self.dsd.x_max_nm)
+
+
+class TestCriticalArea:
+    wires = Region([Rect(0, 0, 1000, 45), Rect(0, 90, 1000, 135)])
+
+    def test_shorts_zero_below_gap(self):
+        assert critical_area_shorts(self.wires, 40) == 0
+
+    def test_shorts_formula(self):
+        # defect 60 > gap 45: band (60-45) x length, plus corner effects
+        ca = critical_area_shorts(self.wires, 60)
+        assert ca == pytest.approx(15 * 1000, rel=0.1)
+
+    def test_shorts_single_feature_zero(self):
+        assert critical_area_shorts(Region(Rect(0, 0, 100, 100)), 500) == 0
+
+    def test_opens_zero_below_width(self):
+        assert critical_area_opens(self.wires, 40) == 0
+
+    def test_opens_formula(self):
+        # (60-45) x 1000 per wire
+        assert critical_area_opens(self.wires, 60) == 2 * 15 * 1000
+
+    def test_monotone_in_defect_size(self):
+        sizes = [50, 80, 120, 200]
+        shorts = [critical_area_shorts(self.wires, s) for s in sizes]
+        opens = [critical_area_opens(self.wires, s) for s in sizes]
+        assert shorts == sorted(shorts)
+        assert opens == sorted(opens)
+
+    def test_weighted_positive(self):
+        dsd = DefectSizeDistribution(45, 1800)
+        assert weighted_critical_area(self.wires, dsd, "shorts") > 0
+        assert weighted_critical_area(self.wires, dsd, "opens") > 0
+        with pytest.raises(ValueError):
+            weighted_critical_area(self.wires, dsd, "bogus")
+
+    def test_spacing_reduces_shorts(self):
+        near = Region([Rect(0, 0, 1000, 45), Rect(0, 90, 1000, 135)])
+        far = Region([Rect(0, 0, 1000, 45), Rect(0, 180, 1000, 225)])
+        assert critical_area_shorts(far, 100) < critical_area_shorts(near, 100)
+
+    def test_widening_reduces_opens(self):
+        thin = Region(Rect(0, 0, 1000, 45))
+        fat = Region(Rect(0, 0, 1000, 90))
+        assert critical_area_opens(fat, 100) < critical_area_opens(thin, 100)
+
+
+class TestYieldModels:
+    def test_poisson(self):
+        assert yield_poisson(0.0) == 1.0
+        assert yield_poisson(1.0) == pytest.approx(math.exp(-1))
+
+    def test_negative_binomial_vs_poisson(self):
+        lam = 0.8
+        assert yield_negative_binomial(lam, 2.0) > yield_poisson(lam)
+
+    def test_nb_limit_alpha_large(self):
+        lam = 0.5
+        assert yield_negative_binomial(lam, 1e6) == pytest.approx(yield_poisson(lam), rel=1e-4)
+
+    def test_nb_validation(self):
+        with pytest.raises(ValueError):
+            yield_negative_binomial(0.1, 0)
+
+    def test_layer_lambda_scales_with_d0(self, tech45):
+        wires = Region([Rect(0, y, 2000, y + 45) for y in range(0, 900, 90)])
+        l1 = layer_defect_lambda(wires, tech45.defects, d0_per_cm2=0.1)
+        l2 = layer_defect_lambda(wires, tech45.defects, d0_per_cm2=1.0)
+        assert l2 == pytest.approx(10 * l1)
+
+    def test_breakdown(self):
+        bd = YieldBreakdown()
+        bd.add("m1", 0.05)
+        bd.add("via", 0.02)
+        bd.add("m1", 0.01)
+        assert bd.total_lambda == pytest.approx(0.08)
+        assert 0 < bd.poisson < 1
+        assert bd.negative_binomial > bd.poisson
+        assert "m1" in bd.summary()
+
+
+class TestViaYield:
+    def test_redundancy_quadratic(self):
+        p = 1e-4
+        assert via_failure_lambda(1000, 0, p) == pytest.approx(0.1)
+        assert via_failure_lambda(0, 1000, p) == pytest.approx(1000 * p * p)
+
+    def test_yield_improves(self):
+        assert via_yield(0, 10**6, 1e-6) > via_yield(10**6, 0, 1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            via_failure_lambda(1, 0, 1.5)
+
+
+class TestRedundantVia:
+    def build(self, tech45):
+        L = tech45.layers
+        cell = Cell("RV")
+        cell.add_rect(L.metal1, Rect(0, 0, 400, 67))
+        cell.add_rect(L.metal2, Rect(0, 0, 400, 67))
+        cell.add_rect(L.via1, Rect(100, 11, 145, 56))
+        return cell
+
+    def test_opportunistic_insertion(self, tech45):
+        cell = self.build(tech45)
+        report = insert_redundant_vias(cell, tech45, extend_metal=False)
+        assert report.total_vias == 1
+        assert report.inserted == 1
+        assert report.coverage == 1.0
+        assert len(list(cell.region(tech45.layers.via1).rects())) == 2
+
+    def test_inserted_via_enclosed(self, tech45):
+        cell = self.build(tech45)
+        report = insert_redundant_vias(cell, tech45, extend_metal=False)
+        L = tech45.layers
+        enc = tech45.via_enclosure
+        new_via = Region(report.insertions[0])
+        for layer in (L.metal1, L.metal2):
+            assert cell.region(layer).covers(new_via.grown(enc))
+
+    def test_metal_extension_when_needed(self, tech45):
+        L = tech45.layers
+        cell = Cell("TIGHT")
+        cell.add_rect(L.metal1, Rect(989, 989, 1056, 1056))
+        cell.add_rect(L.metal2, Rect(989, 989, 1056, 1056))
+        cell.add_rect(L.via1, Rect(1000, 1000, 1045, 1045))
+        blocked = insert_redundant_vias(cell.copy("A"), tech45, extend_metal=False)
+        assert blocked.inserted == 0 and blocked.unfixable == 1
+        fixed_cell = cell.copy("B")
+        fixed = insert_redundant_vias(fixed_cell, tech45, extend_metal=True)
+        assert fixed.inserted == 1
+        assert fixed.added_metal_area > 0
+
+    def test_already_redundant_skipped(self, tech45):
+        L = tech45.layers
+        cell = self.build(tech45)
+        cell.add_rect(L.via1, Rect(199, 11, 244, 56))  # second cut at one pitch
+        report = insert_redundant_vias(cell, tech45)
+        assert report.already_redundant == 1
+        assert report.inserted == 0
+
+    def test_summary(self, tech45):
+        report = insert_redundant_vias(self.build(tech45), tech45)
+        assert "coverage" in report.summary()
+
+
+class TestWireSpread:
+    def test_spread_increases_space(self):
+        wires = Region([Rect(0, 0, 1000, 45), Rect(0, 90, 1000, 135), Rect(0, 400, 1000, 445)])
+        spread, report = spread_wires(wires, min_space=45, target_space=90)
+        assert report.moved >= 1
+        assert critical_area_shorts(spread, 90) < critical_area_shorts(wires, 90)
+        assert spread.area == wires.area  # moves, never resizes
+
+    def test_spread_respects_min_space(self):
+        wires = Region([Rect(0, 0, 1000, 45), Rect(0, 90, 1000, 135), Rect(0, 180, 1000, 225)])
+        spread, _ = spread_wires(wires, min_space=45, target_space=90)
+        # no pair may be closer than min_space afterwards
+        rects = list(spread.rects())
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                assert rects[i].distance(rects[j]) >= 45
+
+    def test_widen_where_room(self):
+        wires = Region([Rect(0, 0, 1000, 45), Rect(0, 400, 1000, 445)])
+        widened, report = widen_wires(wires, min_space=45, widen_by=10)
+        assert report.widened == 2
+        assert critical_area_opens(widened, 80) < critical_area_opens(wires, 80)
+
+    def test_widen_blocked_when_tight(self):
+        wires = Region([Rect(0, 0, 1000, 45), Rect(0, 90, 1000, 135)])
+        widened, report = widen_wires(wires, min_space=45, widen_by=10)
+        assert report.widened == 0
+        assert widened == wires
+
+    def test_single_feature_noop(self):
+        wire = Region(Rect(0, 0, 100, 45))
+        spread, report = spread_wires(wire, 45, 90)
+        assert spread == wire
+        assert report.moved == 0
+
+
+class TestRedistributeChannel:
+    from repro.yieldmodels import redistribute_channel  # noqa: F401 - re-import below
+
+    def ladder(self, n=6, pitch=90, width=45):
+        return Region([Rect(0, i * pitch, 1000, i * pitch + width) for i in range(n)])
+
+    def test_even_gaps(self):
+        from repro.yieldmodels import redistribute_channel
+
+        wires = self.ladder()
+        out, report = redistribute_channel(wires, 45, 0, 1000)
+        assert report.moved > 0
+        rects = sorted(out.rects(), key=lambda r: r.y0)
+        gaps = [b.y0 - a.y1 for a, b in zip(rects, rects[1:])]
+        assert max(gaps) - min(gaps) <= 1  # even up to integer division
+        assert min(gaps) >= 45
+
+    def test_area_preserved(self):
+        from repro.yieldmodels import redistribute_channel
+
+        wires = self.ladder()
+        out, _ = redistribute_channel(wires, 45, 0, 1000)
+        assert out.area == wires.area
+        assert len(out.components()) == len(wires.components())
+
+    def test_too_tight_channel_unchanged(self):
+        from repro.yieldmodels import redistribute_channel
+
+        wires = self.ladder()
+        out, report = redistribute_channel(wires, 45, 0, 6 * 45 + 5 * 44)
+        assert out == wires
+        assert report.moved == 0
+
+    def test_reduces_short_critical_area(self):
+        from repro.yieldmodels import redistribute_channel
+
+        wires = self.ladder()
+        out, _ = redistribute_channel(wires, 45, 0, 1200)
+        assert critical_area_shorts(out, 120) < critical_area_shorts(wires, 120)
+
+    def test_vertical_wires(self):
+        from repro.yieldmodels import redistribute_channel
+
+        wires = Region([Rect(i * 90, 0, i * 90 + 45, 1000) for i in range(4)])
+        out, report = redistribute_channel(wires, 45, 0, 800, horizontal_wires=False)
+        assert report.moved > 0
+        rects = sorted(out.rects(), key=lambda r: r.x0)
+        gaps = [b.x0 - a.x1 for a, b in zip(rects, rects[1:])]
+        assert min(gaps) >= 45
