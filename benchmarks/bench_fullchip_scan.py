@@ -1,19 +1,35 @@
 """A3 (ablation/validation) — tiled full-chip scanning.
 
 The full-chip scan must report the same hotspot population regardless of
-the tiling, and its cost must track simulated area.
+the tiling, and its cost must track simulated area.  On top of the
+tiling sweep, this bench tracks the parallel + incremental engine: a
+``jobs=4`` scan must return the identical population at a wall-clock
+speedup that scales with available cores, and an unedited re-scan
+against a warm tile cache must re-simulate zero tiles.
 
 Expected shape: tile sizes 2, 3, and 6 um agree on the hotspot count to
-within seam-merge jitter (a couple of markers), and runtime per simulated
-area stays flat.
+within seam-merge jitter (a couple of markers), runtime per simulated
+area stays flat, and the incremental row shows a 100% hit rate.  The
+``parallel_speedup_x4`` / ``incremental_hit_rate`` values land in the
+benchmark JSON (``extra_info``) so the perf trajectory is tracked in
+``BENCH_*.json`` across PRs.
 """
 
+import os
 import time
 
 from repro.analysis import ExperimentRecord, Table
 from repro.litho import LithoModel, scan_full_chip
+from repro.parallel import TileCache
 
 from conftest import run_once
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def _experiment(tech, block):
@@ -25,7 +41,27 @@ def _experiment(tech, block):
         report = scan_full_chip(
             model, m1, tile_nm=tile, pinch_limit=tech.metal_width // 2
         )
-        rows.append((tile, report, time.perf_counter() - t0))
+        rows.append((f"serial {tile}", report, time.perf_counter() - t0))
+
+    # parallel fan-out at the 6000 nm tiling
+    t0 = time.perf_counter()
+    par = scan_full_chip(
+        model, m1, tile_nm=6000, pinch_limit=tech.metal_width // 2, jobs=4
+    )
+    rows.append(("jobs=4 6000", par, time.perf_counter() - t0))
+
+    # incremental: cold fill, then an unedited re-scan (must be all hits)
+    cache = TileCache()
+    t0 = time.perf_counter()
+    cold = scan_full_chip(
+        model, m1, tile_nm=6000, pinch_limit=tech.metal_width // 2, cache=cache
+    )
+    rows.append(("incr cold 6000", cold, time.perf_counter() - t0))
+    t0 = time.perf_counter()
+    warm = scan_full_chip(
+        model, m1, tile_nm=6000, pinch_limit=tech.metal_width // 2, cache=cache
+    )
+    rows.append(("incr warm 6000", warm, time.perf_counter() - t0))
     return rows
 
 
@@ -33,19 +69,87 @@ def test_a3_fullchip_tiling(benchmark, tech45, bench_block):
     rows = run_once(benchmark, lambda: _experiment(tech45, bench_block))
 
     table = Table(
-        "A3: full-chip scan vs tile size",
-        ["tile (nm)", "tiles", "hotspots", "time (s)"],
+        "A3: full-chip scan vs tile size / engine mode",
+        ["mode", "tiles", "hotspots", "time (s)"],
     )
-    for tile, report, seconds in rows:
-        table.add_row(float(tile), float(report.tiles), float(len(report.hotspots)), seconds)
+    for mode, report, seconds in rows:
+        table.add_row(mode, float(report.tiles), float(len(report.hotspots)), seconds)
     print()
     print(table.render())
 
-    counts = [len(report.hotspots) for _, report, _ in rows]
+    by_mode = {mode: (report, seconds) for mode, report, seconds in rows}
+    serial_report, serial_s = by_mode["serial 6000"]
+    par_report, par_s = by_mode["jobs=4 6000"]
+    warm_report, _ = by_mode["incr warm 6000"]
+
+    counts = [len(report.hotspots) for mode, report, _ in rows if mode.startswith("serial")]
+    speedup = serial_s / par_s if par_s > 0 else 0.0
+    benchmark.extra_info["parallel_speedup_x4"] = round(speedup, 3)
+    benchmark.extra_info["incremental_hit_rate"] = warm_report.cache_hit_rate
+    benchmark.extra_info["cpus"] = _cpus()
+
     record = ExperimentRecord("A3", "hotspot population is tiling-invariant")
     record.record("max_count", max(counts))
     record.record("min_count", min(counts))
+    record.record("parallel_speedup_x4", speedup)
+    record.record("incremental_hit_rate", warm_report.cache_hit_rate)
     holds = max(counts) - min(counts) <= max(3, int(0.05 * max(counts)))
     record.conclude(holds)
     print(record.render())
     assert holds
+
+    # parallel returns the identical population, not merely the same count
+    assert par_report.hotspots == serial_report.hotspots
+    # unedited re-scan re-simulates nothing
+    assert warm_report.tiles_computed == 0
+    assert warm_report.cache_hit_rate == 1.0
+    assert warm_report.hotspots == serial_report.hotspots
+    # wall-clock speedup needs physical cores to show up
+    if _cpus() >= 4:
+        assert speedup >= 1.5  # only 2 tiles here; see test_a3p for the fan-out
+
+
+def test_a3p_parallel_speedup(benchmark, tech45, stdlib45):
+    """Parallel speedup on a block wide enough to fill a 4-worker pool
+    at the 6000 nm tiling (the acceptance row for the parallel engine)."""
+    from repro.designgen import LogicBlockSpec, generate_logic_block
+
+    spec = LogicBlockSpec(rows=3, row_width_nm=26000, net_count=24, seed=7, weak_spots=16)
+    block = generate_logic_block(tech45, spec, stdlib45)
+    model = LithoModel(tech45.litho)
+    m1 = block.top.region(tech45.layers.metal1)
+    limit = tech45.metal_width // 2
+
+    def _run():
+        t0 = time.perf_counter()
+        serial = scan_full_chip(model, m1, tile_nm=6000, pinch_limit=limit, jobs=1)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = scan_full_chip(model, m1, tile_nm=6000, pinch_limit=limit, jobs=4)
+        t_parallel = time.perf_counter() - t0
+        return serial, t_serial, parallel, t_parallel
+
+    serial, t_serial, parallel, t_parallel = run_once(benchmark, _run)
+
+    table = Table("A3p: parallel speedup, 6000 nm tiling", ["mode", "tiles", "hotspots", "time (s)"])
+    table.add_row("jobs=1", float(serial.tiles), float(len(serial.hotspots)), t_serial)
+    table.add_row("jobs=4", float(parallel.tiles), float(len(parallel.hotspots)), t_parallel)
+    print()
+    print(table.render())
+
+    speedup = t_serial / t_parallel if t_parallel > 0 else 0.0
+    benchmark.extra_info["parallel_speedup_x4"] = round(speedup, 3)
+    benchmark.extra_info["tiles"] = serial.tiles
+    benchmark.extra_info["cpus"] = _cpus()
+
+    record = ExperimentRecord("A3p", "jobs=4 scan is identical and faster")
+    record.record("speedup", speedup)
+    record.record("tiles", serial.tiles)
+    record.record("cpus", _cpus())
+    identical = parallel.hotspots == serial.hotspots
+    record.conclude(identical and (speedup >= 2.0 or _cpus() < 4))
+    print(record.render())
+
+    assert identical
+    if _cpus() >= 4:
+        assert speedup >= 2.0

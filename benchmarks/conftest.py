@@ -15,6 +15,13 @@ from repro.litho import LithoModel
 from repro.tech import make_node
 
 
+def pytest_collection_modifyitems(items):
+    """Every bench is a heavy experiment: mark them all ``slow`` so CI
+    can split quick tests from the benchmark tier (``-m "not slow"``)."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 def run_once(benchmark, fn):
     """Run an experiment exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -41,6 +41,7 @@ from repro.tech import (
 )
 
 # engines
+from repro.parallel import Tile, TileCache, TileExecutor, tile_grid
 from repro.drc import run_drc, DrcReport, Violation, score_recommended_rules, DfmScore
 from repro.patterns import (
     PatternCatalog,
@@ -110,6 +111,7 @@ __all__ = [
     "read_gds", "write_gds", "read_json", "write_json",
     "Technology", "RuleDeck", "RuleSeverity", "make_node",
     "NODE_65", "NODE_45", "NODE_32",
+    "Tile", "TileCache", "TileExecutor", "tile_grid",
     "run_drc", "DrcReport", "Violation", "score_recommended_rules", "DfmScore",
     "PatternCatalog", "PatternMatcher", "extract_patterns",
     "via_enclosure_catalog", "kl_divergence", "cluster_snippets",

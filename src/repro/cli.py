@@ -29,6 +29,41 @@ def _add_node(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--node", type=int, default=45, help="process node in nm (default 45)")
 
 
+def _add_parallel(parser: argparse.ArgumentParser, default_cache: str) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the tiled engine (0 = all CPUs, default 1)",
+    )
+    parser.add_argument(
+        "--incremental", action="store_true",
+        help="reuse per-tile results cached from a previous run; only tiles "
+             "whose geometry changed are re-verified",
+    )
+    parser.add_argument(
+        "--cache-file", default=default_cache,
+        help="where --incremental persists the tile cache between runs",
+    )
+
+
+def _load_cache(args):
+    from repro.parallel import TileCache
+
+    if not args.incremental:
+        return None
+    return TileCache.load(args.cache_file)
+
+
+def _finish_cache(args, cache, report) -> None:
+    if cache is None:
+        return
+    cache.save(args.cache_file)
+    print(
+        f"incremental: {report.tiles_cached}/{report.tiles} tiles cached "
+        f"({report.cache_hit_rate:.0%} hit rate), "
+        f"{report.tiles_computed} re-verified, cache -> {args.cache_file}"
+    )
+
+
 def _resolve_cell(layout, name: str | None):
     if name:
         return layout.cell(name)
@@ -85,8 +120,16 @@ def cmd_drc(args) -> int:
     layout = read_gds(args.gds)
     cell = _resolve_cell(layout, args.cell)
     deck = tech.rules.minimum()
-    report = run_drc(cell, deck)
+    cache = _load_cache(args)
+    report = run_drc(
+        cell,
+        deck,
+        jobs=args.jobs,
+        tile_nm=args.tile if (args.jobs != 1 or cache is not None) else None,
+        cache=cache,
+    )
     print(report.summary())
+    _finish_cache(args, cache, report)
     return 0 if report.is_clean else 1
 
 
@@ -97,10 +140,17 @@ def cmd_scan(args) -> int:
     layer = _resolve_layer(tech, args.layer)
     model = LithoModel(tech.litho)
     region = cell.region(layer)
+    cache = _load_cache(args)
     report = scan_full_chip(
-        model, region, tile_nm=args.tile, pinch_limit=tech.metal_width // 2
+        model,
+        region,
+        tile_nm=args.tile,
+        pinch_limit=tech.metal_width // 2,
+        jobs=args.jobs,
+        cache=cache,
     )
     print(report.summary())
+    _finish_cache(args, cache, report)
     for hotspot in report.hotspots[: args.limit]:
         print(f"  {hotspot}")
     if len(report.hotspots) > args.limit:
@@ -172,6 +222,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_node(p)
     p.add_argument("gds")
     p.add_argument("--cell")
+    p.add_argument("--tile", type=int, default=4000,
+                   help="tile size (nm) for the parallel/incremental engine")
+    _add_parallel(p, ".repro_drc_cache.pkl")
     p.set_defaults(func=cmd_drc)
 
     p = sub.add_parser("scan", help="tiled full-chip litho hotspot scan")
@@ -181,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layer", default="M1")
     p.add_argument("--tile", type=int, default=4000)
     p.add_argument("--limit", type=int, default=10)
+    _add_parallel(p, ".repro_scan_cache.pkl")
     p.set_defaults(func=cmd_scan)
 
     p = sub.add_parser("dpt", help="double-patterning decomposition of one layer")

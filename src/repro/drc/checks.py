@@ -149,10 +149,9 @@ def check_enclosure(inner: Region, outer: Region, rule: EnclosureRule) -> list[V
         kept = [c for c in inner.components() if c.overlaps(outer)]
         if not kept:
             return []
-        merged = Region()
-        for c in kept:
-            merged = merged | c
-        inner = merged
+        # one-pass union of the kept components (their canonical rects
+        # are already disjoint) — repeated `merged | c` is O(n^2)
+        inner = Region([r for c in kept for r in c.rects()])
     e = rule.min_enclosure
     if not rule.two_sided:
         safe = outer.grown(-e) if e > 0 else outer
@@ -183,16 +182,32 @@ def check_area(region: Region, rule: AreaRule) -> list[Violation]:
     return out
 
 
+def _density_origins(lo: int, hi: int, w: int, step: int) -> list[int]:
+    """Window origins stepped by ``step``, with the last origin clamped
+    to ``hi - w`` so every evaluated window is full size (sub-window
+    slivers at the high edge have noisy fill fractions and would raise
+    spurious violations).  An extent smaller than the window yields one
+    clipped window — there is no full-size placement to clamp to."""
+    out: list[int] = []
+    x = lo
+    while x + w <= hi:
+        out.append(x)
+        x += step
+    last = max(lo, hi - w)
+    if not out or out[-1] != last:
+        out.append(last)
+    return out
+
+
 def check_density(region: Region, rule: DensityRule, extent: Rect) -> list[Violation]:
-    """Tile the extent with ``rule.window`` squares (half-window step) and
-    flag tiles whose fill fraction leaves [min_density, max_density]."""
+    """Tile the extent with ``rule.window`` squares (half-window step,
+    high-edge windows clamped inward to stay full size) and flag tiles
+    whose fill fraction leaves [min_density, max_density]."""
     out: list[Violation] = []
     w = rule.window
     step = max(w // 2, 1)
-    x = extent.x0
-    while x < extent.x1:
-        y = extent.y0
-        while y < extent.y1:
+    for x in _density_origins(extent.x0, extent.x1, w, step):
+        for y in _density_origins(extent.y0, extent.y1, w, step):
             tile = Rect(x, y, min(x + w, extent.x1), min(y + w, extent.y1))
             if tile.area > 0:
                 density = (region & Region(tile)).area / tile.area
@@ -200,8 +215,6 @@ def check_density(region: Region, rule: DensityRule, extent: Rect) -> list[Viola
                     out.append(
                         Violation(rule, tile, measured=density, message="density")
                     )
-            y += step
-        x += step
     return out
 
 

@@ -1,37 +1,122 @@
-"""The rule-deck runner."""
+"""The rule-deck runner.
+
+Two execution modes share one rule dispatcher:
+
+* the classic single-pass mode (``run_drc_regions``) — every rule over
+  the whole extent, unchanged default;
+* a tiled parallel + incremental mode (``run_drc_tiled``) — *local*
+  rules (width, spacing, extension), whose interaction distance is
+  bounded by the rule value, fan out per tile over a worker pool with a
+  halo window and seam-ownership filtering, while *global* rules
+  (enclosure, area, density), which reason about whole connected
+  components or the whole extent, fan out one task per rule.  With a
+  :class:`~repro.parallel.TileCache`, every task is keyed by a content
+  hash of the geometry it can see, so a re-run after a local edit
+  re-checks only dirty tiles.
+
+Tiled mode reports the same violation *population* as single-pass mode,
+except that a violation spanning a tile seam is reported per owning
+tile (markers split at seams) — the standard tiled-DRC contract.  For a
+fixed tiling, serial and parallel runs are identical.
+"""
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
+from typing import Callable
+
 from repro.drc import checks
-from repro.drc.violations import DrcReport
+from repro.drc.violations import DrcReport, Violation
 from repro.geometry import Rect, Region
 from repro.layout import Cell, Layer
+from repro.parallel import Tile, TileCache, TileExecutor, digest_parts, tile_grid
 from repro.tech.rules import (
     AreaRule,
     DensityRule,
     EnclosureRule,
     ExtensionRule,
+    Rule,
     RuleDeck,
     SpacingRule,
     WidthRule,
 )
 
+# Rules whose result at a point depends only on geometry within the rule
+# value of that point: safe to evaluate on halo-clipped tiles.
+_LOCAL_KINDS = (WidthRule, SpacingRule, ExtensionRule)
 
-def run_drc(cell: Cell, deck: RuleDeck, window: Rect | None = None) -> DrcReport:
+_EMPTY = Region()
+
+
+def _rule_layers(rule: Rule) -> list[Layer]:
+    out = []
+    for attr in ("layer", "other", "inner", "outer"):
+        layer = getattr(rule, attr, None)
+        if layer is not None:
+            out.append(layer)
+    return out
+
+
+def _rule_reach(rule: Rule) -> int:
+    """Interaction distance of a local rule."""
+    if isinstance(rule, WidthRule):
+        return rule.min_width
+    if isinstance(rule, SpacingRule):
+        return rule.min_space
+    if isinstance(rule, ExtensionRule):
+        return rule.min_extension
+    return 0
+
+
+def _check_rule(
+    rule: Rule, get: Callable[[Layer], Region], extent: Rect
+) -> list[Violation]:
+    if isinstance(rule, WidthRule):
+        return checks.check_width(get(rule.layer), rule)
+    if isinstance(rule, SpacingRule):
+        if rule.other is None:
+            return checks.check_spacing(get(rule.layer), rule)
+        return checks.check_layer_spacing(get(rule.layer), get(rule.other), rule)
+    if isinstance(rule, EnclosureRule):
+        return checks.check_enclosure(get(rule.inner), get(rule.outer), rule)
+    if isinstance(rule, AreaRule):
+        return checks.check_area(get(rule.layer), rule)
+    if isinstance(rule, DensityRule):
+        return checks.check_density(get(rule.layer), rule, extent)
+    if isinstance(rule, ExtensionRule):
+        return checks.check_extension(get(rule.layer), get(rule.other), rule)
+    raise TypeError(f"no check implemented for {type(rule).__name__}")  # pragma: no cover
+
+
+def run_drc(
+    cell: Cell,
+    deck: RuleDeck,
+    window: Rect | None = None,
+    *,
+    jobs: int = 1,
+    tile_nm: int | None = None,
+    cache: TileCache | None = None,
+) -> DrcReport:
     """Flatten ``cell`` per layer and run every rule in ``deck``.
 
     ``window`` restricts checking (and flattening) to a clip region, the
-    standard way to DRC a block out of a larger chip.
+    standard way to DRC a block out of a larger chip.  ``jobs``,
+    ``tile_nm``, or ``cache`` switch to the tiled parallel/incremental
+    engine (see :func:`run_drc_tiled`); the default stays the classic
+    single-pass run.
     """
     layers_needed: set[Layer] = set()
     for rule in deck:
-        for attr in ("layer", "other", "inner", "outer"):
-            layer = getattr(rule, attr, None)
-            if layer is not None:
-                layers_needed.add(layer)
+        layers_needed.update(_rule_layers(rule))
     regions = {layer: cell.region(layer, window) for layer in layers_needed}
     extent = window or cell.bbox or Rect(0, 0, 1, 1)
-    report = run_drc_regions(regions, deck, extent)
+    if jobs <= 1 and tile_nm is None and cache is None:
+        report = run_drc_regions(regions, deck, extent)
+    else:
+        report = run_drc_tiled(
+            regions, deck, extent, jobs=jobs, tile_nm=tile_nm or 4000, cache=cache
+        )
     report.cell_name = cell.name
     return report
 
@@ -39,35 +124,139 @@ def run_drc(cell: Cell, deck: RuleDeck, window: Rect | None = None) -> DrcReport
 def run_drc_regions(
     regions: dict[Layer, Region], deck: RuleDeck, extent: Rect
 ) -> DrcReport:
-    """Run a deck against pre-extracted per-layer regions."""
+    """Run a deck against pre-extracted per-layer regions (single pass)."""
     report = DrcReport(rules_run=len(deck))
-    empty = Region()
 
     def get(layer: Layer) -> Region:
-        return regions.get(layer, empty)
+        return regions.get(layer, _EMPTY)
 
     for rule in deck:
-        if isinstance(rule, WidthRule):
-            report.extend(checks.check_width(get(rule.layer), rule))
-        elif isinstance(rule, SpacingRule):
-            if rule.other is None:
-                report.extend(checks.check_spacing(get(rule.layer), rule))
+        report.extend(_check_rule(rule, get, extent))
+    return report
+
+
+@dataclass(frozen=True)
+class _DrcPayload:
+    """Read-only per-run state shipped to each worker once."""
+
+    regions: dict[Layer, Region]
+    local_rules: tuple[Rule, ...]
+    global_rules: tuple[Rule, ...]
+    extent: Rect
+
+
+# A task is ("tile", Tile) for the local deck over one tile window, or
+# ("rule", i) for global_rules[i] over the full extent.
+_Task = tuple[str, "Tile | int"]
+
+
+def _drc_task(payload: _DrcPayload, task: _Task) -> tuple[list[Violation], float]:
+    t0 = time.perf_counter()
+    tag, obj = task
+    if tag == "tile":
+        tile: Tile = obj
+        clip = Region(tile.window)
+        clipped: dict[Layer, Region] = {}
+
+        def get(layer: Layer) -> Region:
+            if layer not in clipped:
+                clipped[layer] = payload.regions.get(layer, _EMPTY) & clip
+            return clipped[layer]
+
+        found: list[Violation] = []
+        for rule in payload.local_rules:
+            found.extend(_check_rule(rule, get, tile.window))
+        out = [v for v in found if tile.owns(v.marker.center.x, v.marker.center.y)]
+    else:
+        rule = payload.global_rules[obj]
+        out = _check_rule(
+            rule, lambda layer: payload.regions.get(layer, _EMPTY), payload.extent
+        )
+    return out, time.perf_counter() - t0
+
+
+def _task_key(payload: _DrcPayload, task: _Task) -> str:
+    tag, obj = task
+    if tag == "tile":
+        tile: Tile = obj
+        clip = Region(tile.window)
+        layers = sorted(
+            {l for rule in payload.local_rules for l in _rule_layers(rule)},
+            key=repr,
+        )
+        return digest_parts(
+            "drc-tile-v1",
+            tuple(repr(r) for r in payload.local_rules),
+            tile.core.as_tuple(),
+            tile.window.as_tuple(),
+            tile.x_edge,
+            tile.y_edge,
+            tuple((payload.regions.get(l, _EMPTY) & clip).digest() for l in layers),
+        )
+    rule = payload.global_rules[obj]
+    return digest_parts(
+        "drc-rule-v1",
+        repr(rule),
+        payload.extent.as_tuple(),
+        tuple(
+            payload.regions.get(l, _EMPTY).digest() for l in _rule_layers(rule)
+        ),
+    )
+
+
+def run_drc_tiled(
+    regions: dict[Layer, Region],
+    deck: RuleDeck,
+    extent: Rect,
+    *,
+    tile_nm: int = 4000,
+    jobs: int = 1,
+    cache: TileCache | None = None,
+) -> DrcReport:
+    """Tiled parallel/incremental deck run over per-layer regions.
+
+    Local rules run per tile with a halo window of twice the largest
+    rule reach (clip artefacts hug the window boundary, so ownership
+    filtering by marker centre discards them); global rules run as one
+    whole-extent task each.  The report's ``tiles*`` counters cover all
+    tasks — geometry tiles plus whole-extent rule tasks.
+    """
+    t_start = time.perf_counter()
+    local = tuple(r for r in deck if isinstance(r, _LOCAL_KINDS))
+    global_rules = tuple(r for r in deck if not isinstance(r, _LOCAL_KINDS))
+    payload = _DrcPayload(regions, local, global_rules, extent)
+
+    halo = max((_rule_reach(r) for r in local), default=0) * 2
+    halo = max(-(-halo // 64) * 64, 64)
+    tiles = tile_grid(extent, tile_nm, halo) if local else []
+    tasks: list[_Task] = [("tile", t) for t in tiles]
+    tasks += [("rule", i) for i in range(len(global_rules))]
+
+    report = DrcReport(rules_run=len(deck), tiles=len(tasks))
+    results: dict[int, list[Violation]] = {}
+    pending: list[tuple[int, _Task]] = list(enumerate(tasks))
+    keys: dict[int, str] = {}
+    if cache is not None:
+        pending = []
+        for i, task in enumerate(tasks):
+            key = _task_key(payload, task)
+            keys[i] = key
+            hit = cache.get(key)
+            if hit is None:
+                pending.append((i, task))
             else:
-                report.extend(
-                    checks.check_layer_spacing(get(rule.layer), get(rule.other), rule)
-                )
-        elif isinstance(rule, EnclosureRule):
-            report.extend(
-                checks.check_enclosure(get(rule.inner), get(rule.outer), rule)
-            )
-        elif isinstance(rule, AreaRule):
-            report.extend(checks.check_area(get(rule.layer), rule))
-        elif isinstance(rule, DensityRule):
-            report.extend(checks.check_density(get(rule.layer), rule, extent))
-        elif isinstance(rule, ExtensionRule):
-            report.extend(
-                checks.check_extension(get(rule.layer), get(rule.other), rule)
-            )
-        else:  # pragma: no cover - future rule kinds
-            raise TypeError(f"no check implemented for {type(rule).__name__}")
+                results[i] = hit
+
+    computed = TileExecutor(jobs).map(_drc_task, payload, [t for _, t in pending])
+    for (i, _), (violations, seconds) in zip(pending, computed):
+        results[i] = violations
+        report.compute_seconds += seconds
+        if cache is not None:
+            cache.put(keys[i], violations)
+
+    report.tiles_computed = len(pending)
+    report.tiles_cached = report.tiles - len(pending)
+    for i in range(len(tasks)):
+        report.extend(results[i])
+    report.elapsed_seconds = time.perf_counter() - t_start
     return report

@@ -35,6 +35,16 @@ class DrcReport:
     cell_name: str = ""
     violations: list[Violation] = field(default_factory=list)
     rules_run: int = 0
+    # tiled/incremental execution counters (zero for the single-pass path)
+    tiles: int = 0
+    tiles_computed: int = 0
+    tiles_cached: int = 0
+    compute_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.tiles_cached / self.tiles if self.tiles else 0.0
 
     def add(self, violation: Violation) -> None:
         self.violations.append(violation)
@@ -73,6 +83,11 @@ class DrcReport:
     def summary(self) -> str:
         lines = [f"DRC report for {self.cell_name or '<regions>'}: "
                  f"{len(self.violations)} violations across {self.rules_run} rules"]
+        if self.tiles:
+            lines.append(
+                f"  tiles: {self.tiles} ({self.tiles_computed} computed, "
+                f"{self.tiles_cached} cached, {self.cache_hit_rate:.0%} hit rate)"
+            )
         for name, vs in sorted(self.by_rule().items()):
             lines.append(f"  {name:<16} {len(vs):>6}")
         return "\n".join(lines)

@@ -18,7 +18,9 @@ width/space/enclosure checks.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
+import struct
 from typing import Iterable, Iterator, Sequence
 
 from repro.geometry.intervals import (
@@ -161,6 +163,21 @@ class Region:
         if self._hash is None:
             self._hash = hash(tuple((xa, xb, tuple(ys)) for xa, xb, ys in self._slabs))
         return self._hash
+
+    def digest(self) -> str:
+        """Stable content hash of the region's point set.
+
+        Hashes the canonical slab decomposition, so any two regions
+        describing the same area — however they were constructed — share
+        a digest.  This is what keys the incremental tile caches in
+        :mod:`repro.parallel`.
+        """
+        h = hashlib.sha256()
+        for xa, xb, ys in self._slabs:
+            h.update(struct.pack("<qqq", xa, xb, len(ys)))
+            for y0, y1 in ys:
+                h.update(struct.pack("<qq", y0, y1))
+        return h.hexdigest()
 
     def __repr__(self) -> str:
         n = len(self)

@@ -5,16 +5,25 @@ so full-chip scans tile the layout into windows with an optical halo —
 every pixel inside a tile sees its true neighbourhood, and hotspots are
 deduplicated across tile seams.  This is the "layout printability
 verification" flow run at tape-out.
+
+The tile loop is built on :mod:`repro.parallel`: tiles fan out across a
+worker pool (``jobs``) and, when a :class:`~repro.parallel.TileCache`
+is supplied, each tile's result is cached under a content hash of the
+geometry inside its optical influence window — so a re-scan after a
+local edit re-simulates only the dirty tiles, which is what makes
+in-design (rather than tape-out-only) full-chip scanning affordable.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.geometry import Rect, Region
 from repro.litho.hotspots import Hotspot, _merge_across_corners, find_hotspots
 from repro.litho.model import LithoModel
 from repro.litho.process import ProcessWindow
+from repro.parallel import Tile, TileCache, TileExecutor, digest_parts, tile_grid
 
 
 @dataclass
@@ -22,6 +31,14 @@ class FullChipScanReport:
     tiles: int = 0
     simulated_area_nm2: int = 0
     hotspots: list[Hotspot] = field(default_factory=list)
+    tiles_computed: int = 0
+    tiles_cached: int = 0
+    compute_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.tiles_cached / self.tiles if self.tiles else 0.0
 
     def by_kind(self) -> dict[str, int]:
         out: dict[str, int] = {}
@@ -31,10 +48,69 @@ class FullChipScanReport:
 
     def summary(self) -> str:
         kinds = ", ".join(f"{k}: {n}" for k, n in sorted(self.by_kind().items()))
-        return (
+        line = (
             f"full-chip scan: {self.tiles} tiles, {len(self.hotspots)} hotspots "
             f"({kinds or 'clean'})"
         )
+        if self.tiles_cached:
+            line += (
+                f" [incremental: {self.tiles_cached}/{self.tiles} cached, "
+                f"{self.cache_hit_rate:.0%} hit rate]"
+            )
+        return line
+
+
+@dataclass(frozen=True, slots=True)
+class _ScanPayload:
+    """Read-only per-scan state shipped to each worker once."""
+
+    model: LithoModel
+    drawn: Region
+    mask: Region | None
+    process: ProcessWindow
+    pinch_limit: int | None
+    grid: int | None
+
+
+def _scan_tile(payload: _ScanPayload, tile: Tile) -> tuple[list[Hotspot], float]:
+    """Detect hotspots over one tile window and keep the owned ones."""
+    t0 = time.perf_counter()
+    found = find_hotspots(
+        payload.model,
+        payload.drawn,
+        tile.window,
+        process=payload.process,
+        pinch_limit=payload.pinch_limit,
+        grid=payload.grid,
+        mask=payload.mask,
+    )
+    owned = [
+        h for h in found if tile.owns(h.marker.center.x, h.marker.center.y)
+    ]
+    return owned, time.perf_counter() - t0
+
+
+def _tile_key(payload: _ScanPayload, tile: Tile, params: str, halo_nm: int) -> str:
+    """Content hash of everything that can change this tile's result.
+
+    The geometry is clipped to the tile window expanded by the optical
+    halo — the full influence region rasterized by the aerial-image
+    model — so any edit outside that window leaves the key (and the
+    cached result) valid.
+    """
+    influence = Region(tile.window.expanded(halo_nm))
+    parts = [
+        "scan-v1",
+        params,
+        tile.core.as_tuple(),
+        tile.window.as_tuple(),
+        tile.x_edge,
+        tile.y_edge,
+        (payload.drawn & influence).digest(),
+    ]
+    if payload.mask is not None:
+        parts.append((payload.mask & influence).digest())
+    return digest_parts(*parts)
 
 
 def scan_full_chip(
@@ -47,58 +123,74 @@ def scan_full_chip(
     mask: Region | None = None,
     grid: int | None = None,
     overlap_nm: int = 200,
+    jobs: int = 1,
+    cache: TileCache | None = None,
 ) -> FullChipScanReport:
     """Scan an entire layout tile by tile.
 
     Tiles are detected over a window expanded by ``overlap_nm`` (so
     geometry clipped at a seam is seen whole by the tile that owns it)
-    and each hotspot is attributed to the tile containing its marker
-    centre — the combination that makes the result tiling-invariant.
-    The optical halo itself is handled inside :func:`find_hotspots`.
+    and each hotspot is attributed to the tile that owns its marker
+    centre (see :meth:`repro.parallel.Tile.owns`) — the combination
+    that makes the result tiling-invariant.  The optical halo itself is
+    handled inside :func:`find_hotspots`.
+
+    ``jobs > 1`` fans tiles out over a process pool; results are
+    reassembled in tile order, so the hotspot population is identical
+    to a serial scan.  Passing a :class:`~repro.parallel.TileCache`
+    makes the scan incremental: clean tiles replay their cached result
+    and only dirty tiles are re-simulated.
     """
+    t_start = time.perf_counter()
     report = FullChipScanReport()
     if extent is None:
         bb = drawn.bbox
         if bb is None:
             return report
         extent = bb
-    raw: list[Hotspot] = []
-    y = extent.y0
-    while y < extent.y1:
-        x = extent.x0
-        y1 = min(y + tile_nm, extent.y1)
-        while x < extent.x1:
-            x1 = min(x + tile_nm, extent.x1)
-            core = Rect(x, y, x1, y1)
-            window = Rect(
-                max(core.x0 - overlap_nm, extent.x0),
-                max(core.y0 - overlap_nm, extent.y0),
-                min(core.x1 + overlap_nm, extent.x1),
-                min(core.y1 + overlap_nm, extent.y1),
-            )
-            report.tiles += 1
-            report.simulated_area_nm2 += window.area
-            found = find_hotspots(
-                model,
-                drawn,
-                window,
-                process=process,
-                pinch_limit=pinch_limit,
-                grid=grid,
-                mask=mask,
-            )
-            # own only the hotspots centred in the core tile (half-open
-            # on the high edges so seam centres have a unique owner)
-            for h in found:
-                cx, cy = h.marker.center.x, h.marker.center.y
-                if core.x0 <= cx < core.x1 and core.y0 <= cy < core.y1:
-                    raw.append(h)
-                elif cx == extent.x1 and core.x1 == extent.x1 and core.y0 <= cy < core.y1:
-                    raw.append(h)
-                elif cy == extent.y1 and core.y1 == extent.y1 and core.x0 <= cx < core.x1:
-                    raw.append(h)
-            x += tile_nm
-        y += tile_nm
+    payload = _ScanPayload(model, drawn, mask, process or ProcessWindow(), pinch_limit, grid)
+    tiles = tile_grid(extent, tile_nm, overlap_nm)
+    report.tiles = len(tiles)
+    report.simulated_area_nm2 = sum(t.window.area for t in tiles)
+
+    owned_by_tile: dict[int, list[Hotspot]] = {}
+    pending: list[Tile] = tiles
+    keys: dict[int, str] = {}
+    if cache is not None:
+        g = grid or model.settings.grid_nm
+        halo = max(
+            model.halo_nm(c.defocus_nm) for c in payload.process.corners()
+        )
+        halo = -(-halo // g) * g  # pixel-grid round-up, as in aerial_image
+        params = digest_parts(
+            model.settings,
+            model.flare,
+            model.flare_ratio,
+            tuple(payload.process.corners()),
+            pinch_limit,
+            grid,
+        )
+        pending = []
+        for tile in tiles:
+            key = _tile_key(payload, tile, params, halo)
+            keys[tile.index] = key
+            hit = cache.get(key)
+            if hit is None:
+                pending.append(tile)
+            else:
+                owned_by_tile[tile.index] = hit
+
+    results = TileExecutor(jobs).map(_scan_tile, payload, pending)
+    for tile, (owned, seconds) in zip(pending, results):
+        owned_by_tile[tile.index] = owned
+        report.compute_seconds += seconds
+        if cache is not None:
+            cache.put(keys[tile.index], owned)
+
+    report.tiles_computed = len(pending)
+    report.tiles_cached = report.tiles - len(pending)
+    raw = [h for tile in tiles for h in owned_by_tile[tile.index]]
     # residual duplicates (markers straddling a seam) merge here
     report.hotspots = _merge_across_corners(raw)
+    report.elapsed_seconds = time.perf_counter() - t_start
     return report

@@ -1,0 +1,39 @@
+"""Parallel & incremental verification.
+
+The shared machinery behind the full-chip litho scan
+(:func:`repro.litho.scan_full_chip`) and tiled DRC
+(:func:`repro.drc.run_drc`), exposed on the command line as
+``--jobs`` / ``--incremental``:
+
+* :func:`tile_grid` / :class:`Tile` — cut an extent into core tiles
+  with halo windows.  Seam ownership is half-open on interior high
+  edges and closed on the extent's high edges, so every point
+  (including the extreme corner) has exactly one owning tile and tiled
+  results are independent of the tiling.
+* :class:`TileExecutor` — deterministic chunked fan-out of tile work
+  over a ``concurrent.futures`` process pool.  Results are reassembled
+  in tile order, so a ``jobs=N`` run is byte-identical to ``jobs=1``.
+* :class:`TileCache` — incremental result cache.  Each tile's entry is
+  keyed by a content hash (:meth:`repro.geometry.Region.digest`) of
+  the geometry clipped to the tile's *halo window* — the full region
+  that can influence the tile's result (optical influence radius for
+  litho, rule reach for DRC) — plus the engine parameters.  An edit
+  therefore invalidates exactly the tiles whose halo window it
+  touches: a re-scan after a local edit re-verifies only dirty tiles,
+  and an unedited re-scan re-verifies nothing (100% hit rate).  Hashes
+  are taken over canonical-form geometry, so rebuilding the same point
+  set differently still hits.
+"""
+
+from repro.parallel.cache import TileCache, digest_parts
+from repro.parallel.pool import TileExecutor, resolve_jobs
+from repro.parallel.tiles import Tile, tile_grid
+
+__all__ = [
+    "Tile",
+    "tile_grid",
+    "TileExecutor",
+    "resolve_jobs",
+    "TileCache",
+    "digest_parts",
+]

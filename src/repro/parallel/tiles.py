@@ -1,0 +1,80 @@
+"""Tile decomposition with seam ownership.
+
+Every tiled engine (full-chip litho scan, tiled DRC) cuts the chip
+extent into core tiles, analyses each core over a *window* expanded by
+an overlap so seam-clipped geometry is seen whole, and then keeps only
+the findings each tile *owns*.  Ownership is half-open on the high
+edges — a marker centred exactly on a seam belongs to the tile on its
+high side — except at the extent's own high edges, which the edge tiles
+own inclusively.  Together these rules give every point of the closed
+extent exactly one owner, which is what makes tiled results independent
+of the tiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Tile:
+    """One unit of tiled work: a core rectangle plus its halo window.
+
+    ``x_edge``/``y_edge`` record whether the core abuts the extent's
+    high edge — the only places where ownership is closed rather than
+    half-open.
+    """
+
+    index: int
+    core: Rect
+    window: Rect
+    x_edge: bool
+    y_edge: bool
+
+    def owns(self, x: int, y: int) -> bool:
+        """True when this tile owns the point ``(x, y)``.
+
+        Half-open on the high edges so interior seam points have a
+        unique owner; closed on the extent's high edges so points on
+        the outer boundary (including the extreme corner) are not
+        dropped.
+        """
+        x_ok = self.core.x0 <= x < self.core.x1 or (self.x_edge and x == self.core.x1)
+        y_ok = self.core.y0 <= y < self.core.y1 or (self.y_edge and y == self.core.y1)
+        return x_ok and y_ok
+
+
+def tile_grid(extent: Rect, tile_nm: int, overlap_nm: int = 0) -> list[Tile]:
+    """Cut ``extent`` into a row-major grid of :class:`Tile`.
+
+    Cores partition the extent exactly; windows are cores expanded by
+    ``overlap_nm`` and clamped back to the extent.  The returned order
+    (bottom-to-top rows, left-to-right within a row) is the canonical
+    deterministic ordering used to make parallel results reproducible.
+    """
+    if tile_nm <= 0:
+        raise ValueError("tile_nm must be positive")
+    if overlap_nm < 0:
+        raise ValueError("overlap_nm must be non-negative")
+    tiles: list[Tile] = []
+    index = 0
+    y = extent.y0
+    while y < extent.y1:
+        y1 = min(y + tile_nm, extent.y1)
+        x = extent.x0
+        while x < extent.x1:
+            x1 = min(x + tile_nm, extent.x1)
+            core = Rect(x, y, x1, y1)
+            window = Rect(
+                max(core.x0 - overlap_nm, extent.x0),
+                max(core.y0 - overlap_nm, extent.y0),
+                min(core.x1 + overlap_nm, extent.x1),
+                min(core.y1 + overlap_nm, extent.y1),
+            )
+            tiles.append(Tile(index, core, window, x1 == extent.x1, y1 == extent.y1))
+            index += 1
+            x += tile_nm
+        y += tile_nm
+    return tiles

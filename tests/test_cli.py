@@ -74,6 +74,51 @@ class TestScan:
         assert "full-chip scan" in out
         assert rc in (0, 1)
 
+    def test_scan_parallel_matches_serial(self, block_gds, capsys):
+        rc1 = main(["scan", str(block_gds), "--node", "45", "--tile", "3000"])
+        serial = capsys.readouterr().out
+        rc2 = main(["scan", str(block_gds), "--node", "45", "--tile", "3000",
+                    "--jobs", "2"])
+        parallel = capsys.readouterr().out
+        assert rc1 == rc2
+        assert serial.splitlines()[0] == parallel.splitlines()[0]
+
+    def test_scan_incremental_second_run_all_cached(self, block_gds, tmp_path, capsys):
+        cache = tmp_path / "scan.pkl"
+        args = ["scan", str(block_gds), "--node", "45", "--tile", "3000",
+                "--incremental", "--cache-file", str(cache)]
+        main(args)
+        first = capsys.readouterr().out
+        assert cache.exists()
+        main(args)
+        second = capsys.readouterr().out
+        assert "100% hit rate" in second
+        assert (
+            first.splitlines()[0].split("[")[0].strip()
+            == second.splitlines()[0].split("[")[0].strip()
+        )
+
+
+class TestDrcParallel:
+    def test_drc_parallel_clean(self, block_gds, capsys):
+        rc = main(["drc", str(block_gds), "--node", "45", "--jobs", "2",
+                   "--tile", "3000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 violations" in out
+        assert "tiles:" in out
+
+    def test_drc_incremental_second_run_all_cached(self, block_gds, tmp_path, capsys):
+        cache = tmp_path / "drc.pkl"
+        args = ["drc", str(block_gds), "--node", "45", "--tile", "3000",
+                "--incremental", "--cache-file", str(cache)]
+        rc = main(args)
+        capsys.readouterr()
+        assert rc == 0
+        rc = main(args)
+        out = capsys.readouterr().out
+        assert "100% hit rate" in out
+
 
 class TestParser:
     def test_requires_command(self):

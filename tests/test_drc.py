@@ -145,6 +145,31 @@ class TestEnclosure:
         via = Region(Rect(0, 0, 45, 45))
         assert len(check_enclosure(via, Region(), self.rule)) == 1
 
+    def test_conditional_skips_non_overlapping(self):
+        rule = EnclosureRule("E", V, M, 11, conditional=True)
+        metal = Region(Rect(0, 0, 67, 67))
+        poly_contact = Region(Rect(11, 11, 56, 56))     # on metal: checked
+        diff_contact = Region(Rect(500, 0, 545, 45))    # off metal: exempt
+        assert check_enclosure(poly_contact | diff_contact, metal, rule) == []
+        bad = Region(Rect(5, 11, 50, 56))               # on metal, too close
+        assert len(check_enclosure(bad | diff_contact, metal, rule)) == 1
+
+    def test_conditional_many_components(self):
+        # the kept-component union is rebuilt in one pass; results must
+        # match the per-component semantics for a large population
+        rule = EnclosureRule("E", V, M, 10)
+        vias = []
+        metals = []
+        for k in range(60):
+            x = k * 200
+            vias.append(Rect(x + 10, 10, x + 50, 50))
+            metals.append(Rect(x, 0, x + 60, 60))
+        cond = EnclosureRule("E", V, M, 10, conditional=True)
+        assert check_enclosure(Region(vias), Region(metals), cond) == []
+        shifted = Region(vias).translated(-6, 0)  # every via too close on the left
+        violations = check_enclosure(shifted, Region(metals), cond)
+        assert len(violations) == 60
+
 
 class TestAreaAndDensity:
     def test_area(self):
@@ -164,6 +189,29 @@ class TestAreaAndDensity:
         empty_ish = Region(Rect(0, 0, 10, 10))  # ~1%
         assert check_density(ok, rule, extent) == []
         assert len(check_density(empty_ish, rule, extent)) >= 1
+
+    def test_density_no_sliver_tiles_at_high_edge(self):
+        # regression: an extent that is not a multiple of the half-window
+        # step used to spawn clipped sliver tiles at the high edges whose
+        # noisy fill fractions raised spurious violations
+        rule = DensityRule("D", M, window=100, min_density=0.2, max_density=0.8)
+        extent = Rect(0, 0, 130, 100)
+        region = Region(Rect(0, 0, 65, 100))  # any full window sees 35-65%
+        # old stepping evaluated the 30 nm sliver x in [100, 130] (0% fill)
+        assert check_density(region, rule, extent) == []
+        # evaluated windows are full-size: the clamped last window still
+        # catches a genuinely sparse high edge
+        sparse = Region(Rect(0, 0, 20, 100))  # clamped window [30, 130] sees 0%
+        violations = check_density(sparse, rule, extent)
+        assert violations
+        assert all(v.marker.width == rule.window for v in violations)
+
+    def test_density_extent_smaller_than_window(self):
+        rule = DensityRule("D", M, window=100, min_density=0.2, max_density=0.8)
+        extent = Rect(0, 0, 60, 60)
+        half = Region(Rect(0, 0, 30, 60))
+        assert check_density(half, rule, extent) == []
+        assert len(check_density(Region(), rule, extent)) == 1
 
 
 class TestExtension:

@@ -65,3 +65,21 @@ class TestGridIndex:
         index = GridIndex(cell_size=64)
         index.insert(Rect(-200, -200, -190, -190), "neg")
         assert index.query(Rect(-205, -205, -180, -180)) == ["neg"]
+
+    def test_query_straddling_origin(self):
+        # bucket math must floor (not truncate toward zero) so windows
+        # spanning negative and positive space see every bucket once
+        index = GridIndex(cell_size=100)
+        index.insert(Rect(-150, -150, -140, -140), "nw")
+        index.insert(Rect(-10, -10, 10, 10), "origin")
+        index.insert(Rect(140, 140, 150, 150), "se")
+        hits = index.query(Rect(-160, -160, 160, 160))
+        assert hits == ["nw", "origin", "se"]
+        assert index.query(Rect(-50, -50, -20, -20)) == []
+        assert index.query(Rect(-11, -11, -10, -10)) == ["origin"]
+
+    def test_query_pairs_negative_coordinates(self):
+        index = GridIndex(cell_size=32)
+        index.insert(Rect(-100, -100, -90, -90), "a")
+        index.insert(Rect(-80, -100, -70, -90), "b")  # 10 apart
+        assert list(index.query_pairs(15)) == [("a", "b")]
