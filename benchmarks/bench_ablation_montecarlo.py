@@ -10,10 +10,9 @@ Expected shape: agreement within ~10% everywhere (MC noise + the
 segment-estimator's junction conservatism).
 """
 
-import numpy as np
 
 from repro.analysis import ExperimentRecord, Table
-from repro.designgen import comb_structure, line_grating
+from repro.designgen import comb_structure
 from repro.geometry import Rect, Region
 from repro.yieldmodels import estimate_fault_probability, weighted_critical_area
 from repro.yieldmodels.dsd import DefectSizeDistribution

@@ -14,10 +14,9 @@ the pattern library flags.
 from repro.analysis import ExperimentRecord, Table
 from repro.designgen import LogicBlockSpec, generate_logic_block
 from repro.drc import run_drc
-from repro.geometry import Rect, Region
+from repro.geometry import Rect
 from repro.litho import LithoModel, find_hotspots
 from repro.patterns import PatternMatcher, extract_snippets
-from repro.tech import RuleSeverity
 
 from conftest import run_once
 

@@ -65,7 +65,7 @@ def _experiment(tech, block):
     return rows
 
 
-def test_a3_fullchip_tiling(benchmark, tech45, bench_block):
+def test_a3_fullchip_tiling(benchmark, tech45, bench_block, obs_registry):
     rows = run_once(benchmark, lambda: _experiment(tech45, bench_block))
 
     table = Table(

@@ -16,7 +16,6 @@ from repro.analysis import ExperimentRecord, Table
 from repro.designgen import line_grating
 from repro.drc import score_recommended_rules
 from repro.layout import Cell
-from repro.tech.technology import DefectModel
 from repro.yieldmodels import yield_negative_binomial
 from repro.yieldmodels.yield_model import layer_defect_lambda
 

@@ -17,7 +17,7 @@ from repro.core import Verdict, evaluate_techniques
 from conftest import run_once
 
 
-def test_t1_scorecard(benchmark, bench_block, tech45):
+def test_t1_scorecard(benchmark, bench_block, tech45, obs_registry):
     card = run_once(
         benchmark,
         lambda: evaluate_techniques(bench_block.top, tech45, d0_per_cm2=1.0),

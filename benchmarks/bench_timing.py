@@ -12,7 +12,7 @@ same double-digit-percent regime on the iso-heavy path).
 """
 
 from repro.analysis import ExperimentRecord, Table
-from repro.geometry import Point, Rect, Region
+from repro.geometry import Rect, Region
 from repro.litho import LithoModel
 from repro.timing import (
     Stage,

@@ -27,6 +27,33 @@ def run_once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
 
 
+@pytest.fixture
+def obs_registry(benchmark):
+    """A fresh, enabled :class:`MetricsRegistry` scoped to one bench.
+
+    Whatever the instrumented engines record during the bench lands in
+    the benchmark JSON (``extra_info["metrics.counters"]`` and the
+    per-stage timer totals) so ``BENCH_*.json`` tracks engine-level
+    counts — tiles simulated, cache hits, OPC iterations — alongside
+    wall-clock numbers across PRs.
+    """
+    from repro.obs import MetricsRegistry, get_registry, set_registry
+
+    previous = get_registry()
+    registry = MetricsRegistry()
+    registry.enable()
+    set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+        snap = registry.snapshot()
+        benchmark.extra_info["metrics.counters"] = snap["counters"]
+        benchmark.extra_info["metrics.stages"] = {
+            name: round(stat["total"], 6) for name, stat in snap["timers"].items()
+        }
+
+
 @pytest.fixture(scope="session")
 def tech45():
     return make_node(45)

@@ -40,6 +40,9 @@ from repro.tech import (
     NODE_32,
 )
 
+# observability
+from repro.obs import MetricsRegistry, RunManifest, get_registry, get_tracer, span
+
 # engines
 from repro.parallel import Tile, TileCache, TileExecutor, tile_grid
 from repro.drc import run_drc, DrcReport, Violation, score_recommended_rules, DfmScore
@@ -111,6 +114,7 @@ __all__ = [
     "read_gds", "write_gds", "read_json", "write_json",
     "Technology", "RuleDeck", "RuleSeverity", "make_node",
     "NODE_65", "NODE_45", "NODE_32",
+    "MetricsRegistry", "RunManifest", "get_registry", "get_tracer", "span",
     "Tile", "TileCache", "TileExecutor", "tile_grid",
     "run_drc", "DrcReport", "Violation", "score_recommended_rules", "DfmScore",
     "PatternCatalog", "PatternMatcher", "extract_patterns",

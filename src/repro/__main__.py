@@ -1,7 +1,17 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    rc = main()
+except BrokenPipeError:
+    # Downstream pipe (e.g. ``| head``) closed early.  Redirect stdout to
+    # devnull so the interpreter's shutdown flush doesn't raise again,
+    # and exit with the conventional 128+SIGPIPE code.
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, sys.stdout.fileno())
+    rc = 128 + 13
+sys.exit(rc)

@@ -8,12 +8,23 @@ Commands:
 * ``scan``      — tiled full-chip litho hotspot scan
 * ``dpt``       — double-patterning decomposition of one layer
 * ``scorecard`` — the hit-or-hype evaluation on a generated block
+
+Exit-code contract (what CI gates on): ``0`` on success, and for the
+verification commands (``drc``, ``scan``, ``dpt``) ``1`` when findings
+are reported — violations, hotspots, or coloring conflicts.  Pass
+``--no-fail`` to get exit 0 regardless of findings (report-only mode).
+Usage errors exit ``2`` via argparse.
+
+Every command accepts ``--metrics-out FILE`` (write a JSON run manifest
+with per-stage timings and counters) and ``--trace`` (print the nested
+wall-time span tree after the run) — see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.analysis import Table
 from repro.designgen import LogicBlockSpec, generate_logic_block
@@ -27,6 +38,31 @@ from repro.tech import make_node
 
 def _add_node(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--node", type=int, default=45, help="process node in nm (default 45)")
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write a JSON run manifest (per-stage timings, counters) to FILE",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="print the nested wall-time span tree after the run",
+    )
+
+
+def _add_no_fail(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-fail", action="store_true",
+        help="exit 0 even when findings are reported (report-only mode)",
+    )
+
+
+def _findings_rc(args, found: bool) -> int:
+    """Exit code for a verification command: findings fail unless opted out."""
+    if getattr(args, "no_fail", False):
+        return 0
+    return 1 if found else 0
 
 
 def _add_parallel(parser: argparse.ArgumentParser, default_cache: str) -> None:
@@ -130,7 +166,7 @@ def cmd_drc(args) -> int:
     )
     print(report.summary())
     _finish_cache(args, cache, report)
-    return 0 if report.is_clean else 1
+    return _findings_rc(args, not report.is_clean)
 
 
 def cmd_scan(args) -> int:
@@ -151,11 +187,14 @@ def cmd_scan(args) -> int:
     )
     print(report.summary())
     _finish_cache(args, cache, report)
-    for hotspot in report.hotspots[: args.limit]:
-        print(f"  {hotspot}")
-    if len(report.hotspots) > args.limit:
-        print(f"  ... and {len(report.hotspots) - args.limit} more")
-    return 0 if not report.hotspots else 1
+    # --limit 0 means "summary only": print no listing and no tail
+    if args.limit > 0:
+        for hotspot in report.hotspots[: args.limit]:
+            print(f"  {hotspot}")
+        remaining = len(report.hotspots) - args.limit
+        if remaining > 0:
+            print(f"  ... and {remaining} more")
+    return _findings_rc(args, bool(report.hotspots))
 
 
 def cmd_dpt(args) -> int:
@@ -178,7 +217,7 @@ def cmd_dpt(args) -> int:
         top.add_region(layer.with_datatype(2), result.mask_b)
         write_gds(out, args.out)
         print(f"wrote masks to {args.out}")
-    return 0 if result.is_clean else 1
+    return _findings_rc(args, not result.is_clean)
 
 
 def cmd_scorecard(args) -> int:
@@ -212,10 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--weak-spots", type=int, default=0)
     p.add_argument("--out", default="block.gds")
+    _add_obs(p)
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("info", help="summarize a GDSII library")
     p.add_argument("gds")
+    _add_obs(p)
     p.set_defaults(func=cmd_info)
 
     p = sub.add_parser("drc", help="run minimum-rule DRC on a cell")
@@ -225,6 +266,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tile", type=int, default=4000,
                    help="tile size (nm) for the parallel/incremental engine")
     _add_parallel(p, ".repro_drc_cache.pkl")
+    _add_obs(p)
+    _add_no_fail(p)
     p.set_defaults(func=cmd_drc)
 
     p = sub.add_parser("scan", help="tiled full-chip litho hotspot scan")
@@ -233,8 +276,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cell")
     p.add_argument("--layer", default="M1")
     p.add_argument("--tile", type=int, default=4000)
-    p.add_argument("--limit", type=int, default=10)
+    p.add_argument("--limit", type=int, default=10,
+                   help="hotspots to list (0 = summary only)")
     _add_parallel(p, ".repro_scan_cache.pkl")
+    _add_obs(p)
+    _add_no_fail(p)
     p.set_defaults(func=cmd_scan)
 
     p = sub.add_parser("dpt", help="double-patterning decomposition of one layer")
@@ -244,6 +290,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layer", default="M1")
     p.add_argument("--space", type=int, required=True, help="same-mask spacing limit (nm)")
     p.add_argument("--out", help="write the two masks to this GDSII file")
+    _add_obs(p)
+    _add_no_fail(p)
     p.set_defaults(func=cmd_dpt)
 
     p = sub.add_parser("scorecard", help="hit-or-hype evaluation on a generated block")
@@ -254,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--weak-spots", type=int, default=12)
     p.add_argument("--d0", type=float, default=1.0)
+    _add_obs(p)
     p.set_defaults(func=cmd_scorecard)
     return parser
 
@@ -261,7 +310,47 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+
+    from repro.obs import RunManifest, get_registry, get_tracer, span
+    from repro.parallel import resolve_jobs
+
+    metrics_out = getattr(args, "metrics_out", None)
+    trace = getattr(args, "trace", False)
+    registry, tracer = get_registry(), get_tracer()
+    observing = bool(metrics_out or trace)
+    if observing:
+        registry.reset()
+        registry.enable()
+        tracer.reset()
+        if trace:
+            tracer.enable()
+    t0 = time.perf_counter()
+    try:
+        with span(args.command):
+            rc = args.func(args)
+        if trace:
+            print(tracer.render())
+        if metrics_out:
+            manifest = RunManifest.collect(
+                command=args.command,
+                argv=list(argv) if argv is not None else sys.argv[1:],
+                args=vars(args),
+                registry=registry,
+                tracer=tracer,
+                elapsed_seconds=time.perf_counter() - t0,
+                workers=resolve_jobs(args.jobs) if hasattr(args, "jobs") else 1,
+            )
+            manifest.write(metrics_out)
+            print(f"metrics -> {metrics_out}")
+    finally:
+        if observing:
+            # main() is re-entrant (tests call it repeatedly): leave the
+            # process-wide registry/tracer the way we found them
+            tracer.disable()
+            tracer.reset()
+            registry.disable()
+            registry.reset()
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,9 +9,10 @@ apart.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.geometry import Rect, Region
+from repro.obs import get_registry
 from repro.tech.technology import CmpSettings
 
 
@@ -44,6 +45,7 @@ def dummy_fill(
     adds keep-clear area that contributes nothing to density (smart-fill
     keepouts around critical nets).
     """
+    registry = get_registry()
     report = FillReport()
     window = settings.window_nm
     # fill on NON-overlapping tiles: overlapping tiles would lay down
@@ -57,30 +59,34 @@ def dummy_fill(
     fill_rects: list[Rect] = []
     fill_region = Region()
 
-    y = extent.y0
-    while y < extent.y1:
-        x = extent.x0
-        while x < extent.x1:
-            tile = Rect(x, y, min(x + window, extent.x1), min(y + window, extent.y1))
-            if tile.area == 0:
+    with registry.timer("cmp.fill"):
+        y = extent.y0
+        while y < extent.y1:
+            x = extent.x0
+            while x < extent.x1:
+                tile = Rect(x, y, min(x + window, extent.x1), min(y + window, extent.y1))
+                if tile.area == 0:
+                    x += step
+                    continue
+                tile_region = Region(tile)
+                have = (signal & tile_region).area + (fill_region & tile_region).area
+                need = int(target * tile.area) - have
+                if need > 0:
+                    added = _fill_tile(
+                        tile, blocked, fill_region, fill_size, fill_space, need
+                    )
+                    if added:
+                        report.tiles_filled += 1
+                        for rect in added:
+                            fill_rects.append(rect)
+                            report.shapes_added += 1
+                            report.fill_area += rect.area
+                        fill_region = fill_region | Region(added)
                 x += step
-                continue
-            tile_region = Region(tile)
-            have = (signal & tile_region).area + (fill_region & tile_region).area
-            need = int(target * tile.area) - have
-            if need > 0:
-                added = _fill_tile(
-                    tile, blocked, fill_region, fill_size, fill_space, need
-                )
-                if added:
-                    report.tiles_filled += 1
-                    for rect in added:
-                        fill_rects.append(rect)
-                        report.shapes_added += 1
-                        report.fill_area += rect.area
-                    fill_region = fill_region | Region(added)
-            x += step
-        y += step
+            y += step
+    registry.inc("cmp.fill_runs")
+    registry.inc("cmp.fill_shapes", report.shapes_added)
+    registry.inc("cmp.fill_tiles", report.tiles_filled)
     return fill_region, report
 
 

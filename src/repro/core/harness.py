@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from repro.core.context import DesignContext
-from repro.core.metrics import DesignMetrics, measure_design
+from repro.core.metrics import measure_design
 from repro.core.scorecard import Scorecard, ScorecardRow
 from repro.core.techniques import DFMTechnique, default_techniques
 from repro.geometry import Rect
 from repro.layout import Cell
+from repro.obs import span
 from repro.tech.technology import Technology
 
 
@@ -25,12 +26,14 @@ def evaluate_techniques(
     compared directly.
     """
     techniques = techniques if techniques is not None else default_techniques()
-    base_ctx = DesignContext.from_cell(cell, tech)
-    baseline = measure_design(base_ctx, d0_per_cm2, hotspot_window)
+    with span("scorecard.baseline"):
+        base_ctx = DesignContext.from_cell(cell, tech)
+        baseline = measure_design(base_ctx, d0_per_cm2, hotspot_window)
     card = Scorecard(design=cell.name, node=tech.name, baseline=baseline)
     for technique in techniques:
-        outcome = technique.apply(base_ctx)
-        after = measure_design(outcome.ctx, d0_per_cm2, hotspot_window)
+        with span(f"technique.{technique.name}"):
+            outcome = technique.apply(base_ctx)
+            after = measure_design(outcome.ctx, d0_per_cm2, hotspot_window)
         area_pct = (
             100.0 * outcome.area_delta_nm2 / baseline.area_nm2
             if baseline.area_nm2

@@ -22,6 +22,7 @@ from repro.core.context import DesignContext
 from repro.geometry import GridIndex, Rect, Region
 from repro.litho.hotspots import find_hotspots
 from repro.litho.model import LithoModel
+from repro.obs import get_registry, span
 from repro.yieldmodels.critical_area import weighted_critical_area
 from repro.yieldmodels.dsd import DefectSizeDistribution
 from repro.yieldmodels.via_yield import via_failure_lambda
@@ -136,45 +137,48 @@ def measure_design(
         die_scale = die_area_cm2 * NM2_PER_CM2 / ctx.area_nm2
 
     # random-defect lambda over the routing layers
-    for layer in (L.metal1, L.metal2, L.metal3):
-        region = ctx.region(layer)
-        if region.is_empty:
-            continue
-        ca_s = weighted_critical_area(region, dsd, "shorts")
-        ca_o = weighted_critical_area(region, dsd, "opens")
-        lam = die_scale * d0 * (ca_s + ca_o) / NM2_PER_CM2
-        metrics.lambda_defects += lam
-        metrics.breakdown[f"defects:{layer.name}"] = lam
+    with span("measure.defects"):
+        for layer in (L.metal1, L.metal2, L.metal3):
+            region = ctx.region(layer)
+            if region.is_empty:
+                continue
+            ca_s = weighted_critical_area(region, dsd, "shorts")
+            ca_o = weighted_critical_area(region, dsd, "opens")
+            lam = die_scale * d0 * (ca_s + ca_o) / NM2_PER_CM2
+            metrics.lambda_defects += lam
+            metrics.breakdown[f"defects:{layer.name}"] = lam
 
     # via failures
-    pitch = tech.via_size + int(1.2 * tech.via_size)
-    for layer in (L.via1, L.via2):
-        sites, redundant = count_via_sites(ctx.region(layer), pitch)
-        metrics.via_sites += sites
-        metrics.redundant_via_sites += redundant
-        lam = die_scale * via_failure_lambda(
-            sites - redundant, redundant, defects.via_fail_prob
-        )
-        metrics.lambda_vias += lam
-        metrics.breakdown[f"vias:{layer.name}"] = lam
+    with span("measure.vias"):
+        pitch = tech.via_size + int(1.2 * tech.via_size)
+        for layer in (L.via1, L.via2):
+            sites, redundant = count_via_sites(ctx.region(layer), pitch)
+            metrics.via_sites += sites
+            metrics.redundant_via_sites += redundant
+            lam = die_scale * via_failure_lambda(
+                sites - redundant, redundant, defects.via_fail_prob
+            )
+            metrics.lambda_vias += lam
+            metrics.breakdown[f"vias:{layer.name}"] = lam
 
     # litho hotspots in a sample window on M1: expose the mask, judge
     # against the drawn intent
     window = hotspot_window or _default_window(ctx)
     m1 = ctx.region(L.metal1)
     if not m1.is_empty:
-        model = LithoModel(tech.litho)
-        mask = ctx.mask_for(L.metal1)
-        # fixed pinch limit: detection sensitivity must not depend on the
-        # technique under test
-        hotspots = find_hotspots(
-            model, m1, window, mask=mask, pinch_limit=tech.metal_width // 2
-        )
-        metrics.hotspot_count = len(hotspots)
-        window_scale = (ctx.area_nm2 / window.area) if window.area else 1.0
-        lam = die_scale * window_scale * len(hotspots) * HOTSPOT_FAULT_PROB
-        metrics.lambda_hotspots = lam
-        metrics.breakdown["hotspots:M1"] = lam
+        with span("measure.hotspots"):
+            model = LithoModel(tech.litho)
+            mask = ctx.mask_for(L.metal1)
+            # fixed pinch limit: detection sensitivity must not depend on the
+            # technique under test
+            hotspots = find_hotspots(
+                model, m1, window, mask=mask, pinch_limit=tech.metal_width // 2
+            )
+            metrics.hotspot_count = len(hotspots)
+            window_scale = (ctx.area_nm2 / window.area) if window.area else 1.0
+            lam = die_scale * window_scale * len(hotspots) * HOTSPOT_FAULT_PROB
+            metrics.lambda_hotspots = lam
+            metrics.breakdown["hotspots:M1"] = lam
 
     # CMP thickness variability on M1 (including any dummy fill, which
     # lands on datatype 20 of the same GDS layer)
@@ -182,18 +186,24 @@ def measure_design(
     fill = ctx.region(L.metal1.with_datatype(20))
     m1_full = m1 | fill
     if not m1_full.is_empty:
-        from repro.cmp.density import density_map
-        from repro.cmp.model import thickness_map
+        with span("measure.cmp"):
+            from repro.cmp.density import density_map
+            from repro.cmp.model import thickness_map
 
-        window_nm = min(tech.cmp.window_nm, max(min(extent.width, extent.height) // 2, 1000))
-        dmap = density_map(m1_full, extent, window_nm)
-        thickness = thickness_map(dmap, tech.cmp)
-        metrics.thickness_range_nm = thickness.range
-        lam = CMP_FAULT_PER_NM * thickness.range
-        metrics.lambda_cmp = lam
-        metrics.breakdown["cmp:M1"] = lam
+            window_nm = min(tech.cmp.window_nm, max(min(extent.width, extent.height) // 2, 1000))
+            dmap = density_map(m1_full, extent, window_nm)
+            thickness = thickness_map(dmap, tech.cmp)
+            metrics.thickness_range_nm = thickness.range
+            lam = CMP_FAULT_PER_NM * thickness.range
+            metrics.lambda_cmp = lam
+            metrics.breakdown["cmp:M1"] = lam
 
     metrics.measure_seconds = time.perf_counter() - t0
+    registry = get_registry()
+    registry.inc("measure.runs")
+    registry.inc("measure.hotspots", metrics.hotspot_count)
+    registry.inc("measure.via_sites", metrics.via_sites)
+    registry.observe("measure.design", metrics.measure_seconds)
     return metrics
 
 

@@ -15,10 +15,7 @@ from repro.core.context import DesignContext
 from repro.geometry import Rect, Region
 from repro.litho.model import LithoModel
 from repro.opc.modelbased import ModelOpcSettings, apply_model_opc
-from repro.opc.rulebased import RuleOpcSettings, apply_rule_opc
-from repro.patterns.matcher import PatternMatcher
-from repro.patterns.topology import pattern_of
-from repro.patterns.window import Snippet, extract_snippet, grid_anchors
+from repro.opc.rulebased import apply_rule_opc
 from repro.yieldmodels.redundant_via import insert_redundant_vias
 from repro.yieldmodels.wire_spread import spread_wires, widen_wires
 from repro.cmp.density import density_map

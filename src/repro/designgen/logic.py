@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.geometry import Point, Rect, Region, Transform
+from repro.geometry import Point, Rect, Transform
 from repro.layout import Cell, Layout
 from repro.designgen.stdcells import StdCellLibrary, make_stdcell_library
 from repro.tech.technology import Technology

@@ -4,7 +4,7 @@ DPT torture patterns — the calibration workloads of every DFM experiment."""
 from __future__ import annotations
 
 from repro.geometry import Point, Rect, Region
-from repro.layout import Cell, Layer
+from repro.layout import Cell
 from repro.tech.technology import Technology
 
 

@@ -9,11 +9,13 @@ hunts).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import networkx as nx
 
 from repro.geometry import GridIndex, Rect, Region
+from repro.obs import get_registry
 
 
 @dataclass
@@ -100,21 +102,25 @@ def build_conflict_graph(region: Region, same_mask_space: int) -> ConflictGraph:
     Features are connected components; an edge joins two features whose
     Chebyshev separation is below ``same_mask_space``.
     """
-    features = region.components()
-    graph = nx.Graph()
-    graph.add_nodes_from(range(len(features)))
-    index: GridIndex[int] = GridIndex(cell_size=max(4 * same_mask_space, 512))
-    boxes: list[list[Rect]] = []
-    for i, feat in enumerate(features):
-        rects = list(feat.rects())
-        boxes.append(rects)
-        bb = feat.bbox
-        index.insert(bb, i)
-    for i, j in index.query_pairs(same_mask_space):
-        if graph.has_edge(i, j):
-            continue
-        if _feature_distance(boxes[i], boxes[j], same_mask_space) < same_mask_space:
-            graph.add_edge(i, j)
+    registry = get_registry()
+    with registry.timer("dpt.conflict_graph"):
+        features = region.components()
+        graph = nx.Graph()
+        graph.add_nodes_from(range(len(features)))
+        index: GridIndex[int] = GridIndex(cell_size=max(4 * same_mask_space, 512))
+        boxes: list[list[Rect]] = []
+        for i, feat in enumerate(features):
+            rects = list(feat.rects())
+            boxes.append(rects)
+            bb = feat.bbox
+            index.insert(bb, i)
+        for i, j in index.query_pairs(same_mask_space):
+            if graph.has_edge(i, j):
+                continue
+            if _feature_distance(boxes[i], boxes[j], same_mask_space) < same_mask_space:
+                graph.add_edge(i, j)
+    registry.inc("dpt.features", len(features))
+    registry.inc("dpt.conflict_edges", graph.number_of_edges())
     return ConflictGraph(features, graph)
 
 
@@ -133,6 +139,8 @@ def _feature_distance(a: list[Rect], b: list[Rect], limit: int) -> int:
 def decompose_dpt(region: Region, same_mask_space: int) -> DecompositionResult:
     """Two-color a layer; conflicted components go (arbitrarily but
     deterministically) to alternating masks with their cycles reported."""
+    registry = get_registry()
+    t0 = time.perf_counter()
     cg = build_conflict_graph(region, same_mask_space)
     coloring: dict[int, int] = {}
     conflict_features: set[int] = set()
@@ -175,6 +183,9 @@ def decompose_dpt(region: Region, same_mask_space: int) -> DecompositionResult:
             mask_a = mask_a | feat
         else:
             mask_b = mask_b | feat
+    registry.observe("dpt.decompose", time.perf_counter() - t0)
+    registry.inc("dpt.odd_cycles", len(cycles))
+    registry.inc("dpt.conflict_features", len(conflict_features))
     return DecompositionResult(
         mask_a=mask_a,
         mask_b=mask_b,

@@ -11,10 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import networkx as nx
-
 from repro.geometry import Rect, Region
-from repro.dpt.decompose import DecompositionResult, build_conflict_graph, decompose_dpt
+from repro.dpt.decompose import DecompositionResult, decompose_dpt
 
 
 @dataclass(frozen=True, slots=True)

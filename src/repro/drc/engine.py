@@ -30,6 +30,7 @@ from repro.drc import checks
 from repro.drc.violations import DrcReport, Violation
 from repro.geometry import Rect, Region
 from repro.layout import Cell, Layer
+from repro.obs import get_registry, span
 from repro.parallel import Tile, TileCache, TileExecutor, digest_parts, tile_grid
 from repro.tech.rules import (
     AreaRule,
@@ -109,15 +110,21 @@ def run_drc(
     layers_needed: set[Layer] = set()
     for rule in deck:
         layers_needed.update(_rule_layers(rule))
-    regions = {layer: cell.region(layer, window) for layer in layers_needed}
+    with span("drc.flatten"):
+        regions = {layer: cell.region(layer, window) for layer in layers_needed}
     extent = window or cell.bbox or Rect(0, 0, 1, 1)
-    if jobs <= 1 and tile_nm is None and cache is None:
-        report = run_drc_regions(regions, deck, extent)
-    else:
-        report = run_drc_tiled(
-            regions, deck, extent, jobs=jobs, tile_nm=tile_nm or 4000, cache=cache
-        )
+    with span("drc.check"):
+        if jobs <= 1 and tile_nm is None and cache is None:
+            report = run_drc_regions(regions, deck, extent)
+        else:
+            report = run_drc_tiled(
+                regions, deck, extent, jobs=jobs, tile_nm=tile_nm or 4000, cache=cache
+            )
     report.cell_name = cell.name
+    registry = get_registry()
+    registry.inc("drc.runs")
+    registry.inc("drc.rules_run", report.rules_run)
+    registry.inc("drc.violations", len(report.violations))
     return report
 
 
@@ -151,6 +158,7 @@ _Task = tuple[str, "Tile | int"]
 
 
 def _drc_task(payload: _DrcPayload, task: _Task) -> tuple[list[Violation], float]:
+    registry = get_registry()
     t0 = time.perf_counter()
     tag, obj = task
     if tag == "tile":
@@ -172,7 +180,12 @@ def _drc_task(payload: _DrcPayload, task: _Task) -> tuple[list[Violation], float
         out = _check_rule(
             rule, lambda layer: payload.regions.get(layer, _EMPTY), payload.extent
         )
-    return out, time.perf_counter() - t0
+    seconds = time.perf_counter() - t0
+    registry.inc(f"drc.tasks.{tag}")
+    registry.inc("drc.violations_owned", len(out))
+    registry.observe("drc.task", seconds)
+    registry.observe_hist("drc.task_seconds", seconds)
+    return out, seconds
 
 
 def _task_key(payload: _DrcPayload, task: _Task) -> str:
@@ -237,17 +250,19 @@ def run_drc_tiled(
     pending: list[tuple[int, _Task]] = list(enumerate(tasks))
     keys: dict[int, str] = {}
     if cache is not None:
-        pending = []
-        for i, task in enumerate(tasks):
-            key = _task_key(payload, task)
-            keys[i] = key
-            hit = cache.get(key)
-            if hit is None:
-                pending.append((i, task))
-            else:
-                results[i] = hit
+        with span("drc.key"):
+            pending = []
+            for i, task in enumerate(tasks):
+                key = _task_key(payload, task)
+                keys[i] = key
+                hit = cache.get(key)
+                if hit is None:
+                    pending.append((i, task))
+                else:
+                    results[i] = hit
 
-    computed = TileExecutor(jobs).map(_drc_task, payload, [t for _, t in pending])
+    with span("drc.compute"):
+        computed = TileExecutor(jobs).map(_drc_task, payload, [t for _, t in pending])
     for (i, _), (violations, seconds) in zip(pending, computed):
         results[i] = violations
         report.compute_seconds += seconds
@@ -259,4 +274,8 @@ def run_drc_tiled(
     for i in range(len(tasks)):
         report.extend(results[i])
     report.elapsed_seconds = time.perf_counter() - t_start
+    registry = get_registry()
+    registry.inc("drc.tiles", report.tiles)
+    registry.inc("drc.tiles_computed", report.tiles_computed)
+    registry.inc("drc.tiles_cached", report.tiles_cached)
     return report

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.geometry import Orientation, Point, Polygon, Rect, Transform
 from repro.gdsii import records as rec
-from repro.gdsii.records import GdsFormatError, Record
+from repro.gdsii.records import GdsFormatError
 from repro.layout import Cell, Layer, Layout
 
 # GDSII ANGLE is CCW rotation applied after the (optional) x-axis mirror —

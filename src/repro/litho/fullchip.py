@@ -23,6 +23,7 @@ from repro.geometry import Rect, Region
 from repro.litho.hotspots import Hotspot, _merge_across_corners, find_hotspots
 from repro.litho.model import LithoModel
 from repro.litho.process import ProcessWindow
+from repro.obs import get_registry, span
 from repro.parallel import Tile, TileCache, TileExecutor, digest_parts, tile_grid
 
 
@@ -74,6 +75,7 @@ class _ScanPayload:
 
 def _scan_tile(payload: _ScanPayload, tile: Tile) -> tuple[list[Hotspot], float]:
     """Detect hotspots over one tile window and keep the owned ones."""
+    registry = get_registry()
     t0 = time.perf_counter()
     found = find_hotspots(
         payload.model,
@@ -87,7 +89,13 @@ def _scan_tile(payload: _ScanPayload, tile: Tile) -> tuple[list[Hotspot], float]
     owned = [
         h for h in found if tile.owns(h.marker.center.x, h.marker.center.y)
     ]
-    return owned, time.perf_counter() - t0
+    seconds = time.perf_counter() - t0
+    registry.inc("scan.tiles_simulated")
+    registry.inc("scan.hotspots_raw", len(found))
+    registry.inc("scan.hotspots_owned", len(owned))
+    registry.observe("scan.tile", seconds)
+    registry.observe_hist("scan.tile_seconds", seconds)
+    return owned, seconds
 
 
 def _tile_key(payload: _ScanPayload, tile: Tile, params: str, halo_nm: int) -> str:
@@ -149,38 +157,40 @@ def scan_full_chip(
             return report
         extent = bb
     payload = _ScanPayload(model, drawn, mask, process or ProcessWindow(), pinch_limit, grid)
-    tiles = tile_grid(extent, tile_nm, overlap_nm)
-    report.tiles = len(tiles)
-    report.simulated_area_nm2 = sum(t.window.area for t in tiles)
+    with span("scan.plan"):
+        tiles = tile_grid(extent, tile_nm, overlap_nm)
+        report.tiles = len(tiles)
+        report.simulated_area_nm2 = sum(t.window.area for t in tiles)
 
-    owned_by_tile: dict[int, list[Hotspot]] = {}
-    pending: list[Tile] = tiles
-    keys: dict[int, str] = {}
-    if cache is not None:
-        g = grid or model.settings.grid_nm
-        halo = max(
-            model.halo_nm(c.defocus_nm) for c in payload.process.corners()
-        )
-        halo = -(-halo // g) * g  # pixel-grid round-up, as in aerial_image
-        params = digest_parts(
-            model.settings,
-            model.flare,
-            model.flare_ratio,
-            tuple(payload.process.corners()),
-            pinch_limit,
-            grid,
-        )
-        pending = []
-        for tile in tiles:
-            key = _tile_key(payload, tile, params, halo)
-            keys[tile.index] = key
-            hit = cache.get(key)
-            if hit is None:
-                pending.append(tile)
-            else:
-                owned_by_tile[tile.index] = hit
+        owned_by_tile: dict[int, list[Hotspot]] = {}
+        pending: list[Tile] = tiles
+        keys: dict[int, str] = {}
+        if cache is not None:
+            g = grid or model.settings.grid_nm
+            halo = max(
+                model.halo_nm(c.defocus_nm) for c in payload.process.corners()
+            )
+            halo = -(-halo // g) * g  # pixel-grid round-up, as in aerial_image
+            params = digest_parts(
+                model.settings,
+                model.flare,
+                model.flare_ratio,
+                tuple(payload.process.corners()),
+                pinch_limit,
+                grid,
+            )
+            pending = []
+            for tile in tiles:
+                key = _tile_key(payload, tile, params, halo)
+                keys[tile.index] = key
+                hit = cache.get(key)
+                if hit is None:
+                    pending.append(tile)
+                else:
+                    owned_by_tile[tile.index] = hit
 
-    results = TileExecutor(jobs).map(_scan_tile, payload, pending)
+    with span("scan.compute"):
+        results = TileExecutor(jobs).map(_scan_tile, payload, pending)
     for tile, (owned, seconds) in zip(pending, results):
         owned_by_tile[tile.index] = owned
         report.compute_seconds += seconds
@@ -189,8 +199,15 @@ def scan_full_chip(
 
     report.tiles_computed = len(pending)
     report.tiles_cached = report.tiles - len(pending)
-    raw = [h for tile in tiles for h in owned_by_tile[tile.index]]
-    # residual duplicates (markers straddling a seam) merge here
-    report.hotspots = _merge_across_corners(raw)
+    with span("scan.merge"):
+        raw = [h for tile in tiles for h in owned_by_tile[tile.index]]
+        # residual duplicates (markers straddling a seam) merge here
+        report.hotspots = _merge_across_corners(raw)
     report.elapsed_seconds = time.perf_counter() - t_start
+    registry = get_registry()
+    registry.inc("scan.runs")
+    registry.inc("scan.tiles", report.tiles)
+    registry.inc("scan.tiles_computed", report.tiles_computed)
+    registry.inc("scan.tiles_cached", report.tiles_cached)
+    registry.inc("scan.hotspots", len(report.hotspots))
     return report

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.geometry import GridIndex, Point, Rect, Region
+from repro.geometry import GridIndex, Rect, Region
 from repro.litho.cd import Cutline
 from repro.litho.model import LithoModel
 

@@ -1,0 +1,45 @@
+"""Observability: metrics, tracing, and run manifests.
+
+The accounting layer under the hit-or-hype question — a DFM step is a
+*hit* only if you can measure what it cost and what it caught:
+
+* :class:`MetricsRegistry` (:func:`get_registry`) — process-wide
+  counters, gauges, timers (count/total/min/max/mean), and histograms.
+  Disabled by default and nearly free while disabled, so every pipeline
+  hot path stays instrumented unconditionally.  Pool workers accumulate
+  into their own process registry; :class:`repro.parallel.TileExecutor`
+  ships each chunk's snapshot back with the results and merges it in
+  submission order, so ``jobs=N`` reports counter values identical to
+  ``jobs=1``.
+* :func:`span` (:func:`get_tracer`) — nested wall-time spans forming a
+  trace tree per run; each span also lands in the registry as a timer,
+  which is how per-stage timings reach the manifest even without full
+  tracing.
+* :class:`RunManifest` — one JSON document per run: command, args,
+  host, seed, worker count, per-stage timer table, counters, and the
+  trace tree.  The CLI writes it via ``--metrics-out FILE``; benches
+  feed the same snapshots into ``extra_info``.
+"""
+
+from repro.obs.manifest import RunManifest
+from repro.obs.registry import (
+    Histogram,
+    MetricsRegistry,
+    TimerStat,
+    get_registry,
+    set_registry,
+)
+from repro.obs.trace import Span, Tracer, get_tracer, span
+
+__all__ = [
+    "MetricsRegistry",
+    "TimerStat",
+    "Histogram",
+    "get_registry",
+    "set_registry",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "RunManifest",
+]

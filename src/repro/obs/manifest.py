@@ -1,0 +1,170 @@
+"""Run manifests: one JSON document per pipeline run.
+
+A :class:`RunManifest` is the durable record of *what a run cost and
+what it caught*: the command and arguments, the host and interpreter,
+the per-stage timer table, every counter and gauge the run incremented
+(tile counts, cache hit/miss, violations, hotspots), and — when tracing
+was on — the full span tree.  The CLI writes one wherever
+``--metrics-out FILE`` points; CI uploads it as an artifact so stage-
+level cost trajectories are comparable across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
+
+SCHEMA = "repro-run-manifest-v1"
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of CLI-args values for the manifest."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+@dataclass
+class RunManifest:
+    """Everything worth keeping about one run, JSON-serializable."""
+
+    command: str
+    schema: str = SCHEMA
+    created_unix: float = 0.0
+    node: str = ""
+    platform: str = ""
+    python: str = ""
+    repro_version: str = ""
+    argv: list[str] = field(default_factory=list)
+    args: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    workers: int | None = None
+    elapsed_seconds: float = 0.0
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    stages: dict[str, dict[str, float]] = field(default_factory=dict)
+    histograms: dict[str, Any] = field(default_factory=dict)
+    trace: list[dict[str, Any]] | None = None
+
+    @classmethod
+    def collect(
+        cls,
+        command: str,
+        argv: list[str] | None = None,
+        args: dict[str, Any] | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        elapsed_seconds: float = 0.0,
+        workers: int | None = None,
+    ) -> "RunManifest":
+        """Snapshot the registry/tracer state into a manifest."""
+        args = dict(args or {})
+        args.pop("func", None)  # argparse callback, not an input
+        seed = args.get("seed")
+        manifest = cls(
+            command=command,
+            created_unix=time.time(),
+            node=platform.node(),
+            platform=platform.platform(),
+            python=sys.version.split()[0],
+            argv=list(argv or []),
+            args={k: _jsonable(v) for k, v in sorted(args.items())},
+            seed=seed if isinstance(seed, int) else None,
+            workers=workers,
+            elapsed_seconds=elapsed_seconds,
+        )
+        try:
+            from repro import __version__
+
+            manifest.repro_version = __version__
+        except ImportError:  # pragma: no cover - partial installs
+            manifest.repro_version = "unknown"
+        if registry is not None:
+            snap = registry.snapshot()
+            manifest.counters = snap["counters"]
+            manifest.gauges = snap["gauges"]
+            manifest.stages = snap["timers"]
+            manifest.histograms = snap["histograms"]
+        if tracer is not None and tracer.enabled:
+            manifest.trace = tracer.to_dict()
+        return manifest
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        out = {
+            "schema": self.schema,
+            "command": self.command,
+            "created_unix": self.created_unix,
+            "node": self.node,
+            "platform": self.platform,
+            "python": self.python,
+            "repro_version": self.repro_version,
+            "argv": self.argv,
+            "args": self.args,
+            "seed": self.seed,
+            "workers": self.workers,
+            "elapsed_seconds": self.elapsed_seconds,
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "stages": self.stages,
+            "histograms": self.histograms,
+        }
+        if self.trace is not None:
+            out["trace"] = self.trace
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunManifest":
+        manifest = cls(command=data.get("command", ""))
+        for name in (
+            "schema", "created_unix", "node", "platform", "python",
+            "repro_version", "argv", "args", "seed", "workers",
+            "elapsed_seconds", "counters", "gauges", "stages",
+            "histograms", "trace",
+        ):
+            if name in data:
+                setattr(manifest, name, data[name])
+        return manifest
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "RunManifest":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def write(self, path: str | os.PathLike) -> None:
+        """Write atomically (temp file + rename), creating parent dirs."""
+        path = os.fspath(path)
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".manifest-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(self.to_json())
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

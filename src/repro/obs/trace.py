@@ -1,0 +1,141 @@
+"""Nested span tracing: the wall-time tree of a pipeline run.
+
+A :func:`span` wraps one pipeline stage.  Spans nest with the call
+stack, so a traced run produces a tree — e.g. ``scorecard`` containing
+``technique.model-opc`` containing ``measure.hotspots`` — whose node
+durations answer "where did the time go" directly.
+
+Every span also records its duration into the process registry
+(:mod:`repro.obs.registry`) under its own name, which is how per-stage
+timings reach the :class:`~repro.obs.manifest.RunManifest` even when
+full tracing is off.  Inside pool workers only the registry side runs
+(the tree lives in the parent); worker stage times are merged back via
+the chunk-result snapshots, so the manifest's stage table covers the
+whole run regardless of ``jobs``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+
+@dataclass
+class Span:
+    """One timed stage; ``children`` are the stages it contained."""
+
+    name: str
+    seconds: float = 0.0
+    children: list["Span"] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"name": self.name, "seconds": self.seconds}
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def walk(self) -> Iterator[tuple[int, "Span"]]:
+        """(depth, span) pairs in pre-order."""
+        stack: list[tuple[int, Span]] = [(0, self)]
+        while stack:
+            depth, node = stack.pop()
+            yield depth, node
+            for child in reversed(node.children):
+                stack.append((depth + 1, child))
+
+
+class Tracer:
+    """Builds the span tree for one process.
+
+    Disabled by default; when disabled, :func:`span` skips tree
+    construction entirely (the registry timer may still fire).
+    """
+
+    def __init__(self, enabled: bool = False):
+        self._enabled = enabled
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> "Tracer":
+        self._enabled = True
+        return self
+
+    def disable(self) -> "Tracer":
+        self._enabled = False
+        return self
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+
+    def push(self, name: str) -> Span:
+        node = Span(name)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        return node
+
+    def pop(self, node: Span, seconds: float) -> None:
+        node.seconds = seconds
+        # tolerate mismatched exits (a span leaked across an exception)
+        while self._stack and self._stack[-1] is not node:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    def to_dict(self) -> list[dict[str, Any]]:
+        return [root.to_dict() for root in self.roots]
+
+    def render(self) -> str:
+        """The tree as indented text, millisecond durations."""
+        lines = ["trace:"]
+        for root in self.roots:
+            for depth, node in root.walk():
+                lines.append(f"{'  ' * (depth + 1)}{node.name:<32} {node.seconds * 1e3:9.2f} ms")
+        return "\n".join(lines)
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled until someone enables it)."""
+    return _TRACER
+
+
+@contextmanager
+def span(
+    name: str,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> Iterator[Span | None]:
+    """Time a pipeline stage into the trace tree and the registry.
+
+    Yields the :class:`Span` node when tracing is enabled, else ``None``.
+    With both the registry and tracer disabled this is a few attribute
+    checks — safe to leave on hot-but-not-inner-loop paths.
+    """
+    reg = registry if registry is not None else get_registry()
+    tr = tracer if tracer is not None else get_tracer()
+    if not (reg.enabled or tr.enabled):
+        yield None
+        return
+    node = tr.push(name) if tr.enabled else None
+    t0 = time.perf_counter()
+    try:
+        yield node
+    finally:
+        seconds = time.perf_counter() - t0
+        if node is not None:
+            tr.pop(node, seconds)
+        reg.observe(name, seconds)

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.geometry import Rect, Region
 from repro.litho.model import LithoModel
+from repro.obs import get_registry
 from repro.opc.fragments import Fragment, fragment_region, reconstruct_mask
 
 
@@ -165,31 +166,39 @@ def apply_model_opc(
         ]
     else:
         conditions = [(1.0, 0.0, 1.0)]
+    registry = get_registry()
+    registry.inc("opc.runs")
+    registry.inc("opc.fragments", len(fragments))
     history: list[float] = []
     for _ in range(settings.iterations):
-        mask = reconstruct_mask(drawn, fragments)
-        if context is not None:
-            mask = mask | context
-        epes = np.zeros(len(fragments))
-        for dose, defocus, weight in conditions:
-            image = model.aerial_image(mask, window, defocus, g)
-            threshold = base_threshold / dose
-            epes += weight * np.array(
-                [
-                    _fragment_epe(image, window, g, f, threshold) if active[k] else 0.0
-                    for k, f in enumerate(fragments)
-                ]
-            )
-        epes += settings.target_bias_nm  # aim inside the drawn edge
-        active_epes = epes[[k for k in range(len(fragments)) if active[k]]]
-        if len(active_epes):
-            history.append(float(np.sqrt(np.mean(np.square(active_epes)))))
-        else:
-            history.append(0.0)
-        fragments = [
-            f.moved(_clamp(f.offset - settings.gain * e, settings.max_offset)) if active[k] else f
-            for k, (f, e) in enumerate(zip(fragments, epes))
-        ]
+        with registry.timer("opc.iteration"):
+            mask = reconstruct_mask(drawn, fragments)
+            if context is not None:
+                mask = mask | context
+            epes = np.zeros(len(fragments))
+            for dose, defocus, weight in conditions:
+                with registry.timer("opc.simulate"):
+                    image = model.aerial_image(mask, window, defocus, g)
+                threshold = base_threshold / dose
+                epes += weight * np.array(
+                    [
+                        _fragment_epe(image, window, g, f, threshold) if active[k] else 0.0
+                        for k, f in enumerate(fragments)
+                    ]
+                )
+            epes += settings.target_bias_nm  # aim inside the drawn edge
+            active_epes = epes[[k for k in range(len(fragments)) if active[k]]]
+            if len(active_epes):
+                history.append(float(np.sqrt(np.mean(np.square(active_epes)))))
+            else:
+                history.append(0.0)
+            fragments = [
+                f.moved(_clamp(f.offset - settings.gain * e, settings.max_offset)) if active[k] else f
+                for k, (f, e) in enumerate(zip(fragments, epes))
+            ]
+    registry.inc("opc.iterations", settings.iterations)
+    if history:
+        registry.gauge("opc.final_rms_epe_nm", history[-1])
     mask = reconstruct_mask(drawn, fragments)
     # the caller combines the context (SRAFs) back in; keeping the result
     # to the corrected main features makes masks composable

@@ -18,7 +18,10 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import tempfile
 from typing import Any
+
+from repro.obs import get_registry
 
 
 def digest_parts(*parts: Any) -> str:
@@ -58,8 +61,10 @@ class TileCache:
         """Look up ``key``, counting the hit or miss; None on miss."""
         if key in self._store:
             self.hits += 1
+            get_registry().inc("tilecache.hits")
             return self._store[key]
         self.misses += 1
+        get_registry().inc("tilecache.misses")
         return None
 
     def put(self, key: str, value: Any) -> None:
@@ -71,9 +76,27 @@ class TileCache:
 
     # -- persistence ----------------------------------------------------
     def save(self, path: str | os.PathLike) -> None:
-        """Persist entries (not counters) for a later process to reuse."""
-        with open(path, "wb") as fh:
-            pickle.dump(self._store, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        """Persist entries (not counters) for a later process to reuse.
+
+        Parent directories are created as needed, and the write is
+        atomic (temp file + rename in the target directory): a run
+        killed mid-save leaves the previous cache intact instead of a
+        truncated file that would poison the next ``--incremental`` run.
+        """
+        path = os.fspath(path)
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tilecache-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(self._store, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "TileCache":

@@ -12,6 +12,13 @@ Python, so threads would serialize on the GIL.  ``jobs <= 1`` (the
 default everywhere) runs inline with zero pool overhead, and any
 failure to stand a pool up (restricted sandboxes without semaphores,
 missing fork support) degrades to the serial path rather than erroring.
+
+Observability: when the parent's :class:`~repro.obs.MetricsRegistry` is
+enabled, workers enable their own process registry, reset it at each
+chunk boundary, and ship the chunk's metric snapshot back alongside the
+results.  The parent merges snapshots in submission order, so counters
+(and gauge last-writes) from a ``jobs=N`` run are identical to a serial
+run — only wall-clock timings differ.
 """
 
 from __future__ import annotations
@@ -21,6 +28,8 @@ from concurrent.futures import ProcessPoolExecutor
 from functools import partial
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
+from repro.obs import get_registry
+
 Item = TypeVar("Item")
 Result = TypeVar("Result")
 
@@ -28,13 +37,28 @@ Result = TypeVar("Result")
 _PAYLOAD: Any = None
 
 
-def _init_worker(payload: Any) -> None:
+def _init_worker(payload: Any, obs_enabled: bool = False) -> None:
     global _PAYLOAD
     _PAYLOAD = payload
+    if obs_enabled:
+        get_registry().enable()
 
 
-def _run_chunk(fn: Callable[[Any, Any], Any], chunk: Sequence[Any]) -> list[Any]:
-    return [fn(_PAYLOAD, item) for item in chunk]
+def _run_chunk(
+    fn: Callable[[Any, Any], Any], chunk: Sequence[Any]
+) -> tuple[list[Any], dict | None]:
+    """Run one chunk; return (results, metric snapshot or None).
+
+    The worker registry is reset at the chunk boundary so the snapshot
+    covers exactly this chunk's work — every event is merged into the
+    parent exactly once, whichever worker ran the chunk.
+    """
+    registry = get_registry()
+    if registry.enabled:
+        registry.reset()
+    results = [fn(_PAYLOAD, item) for item in chunk]
+    snapshot = registry.snapshot() if registry.enabled else None
+    return results, snapshot
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -68,6 +92,7 @@ class TileExecutor:
         work = list(items)
         if self.jobs <= 1 or len(work) <= 1:
             return [fn(payload, item) for item in work]
+        registry = get_registry()
         # ~4 chunks per worker balances scheduling slack against IPC cost
         chunk = self.chunk_size or max(1, -(-len(work) // (self.jobs * 4)))
         chunks = [work[i : i + chunk] for i in range(0, len(work), chunk)]
@@ -75,10 +100,16 @@ class TileExecutor:
             with ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(chunks)),
                 initializer=_init_worker,
-                initargs=(payload,),
+                initargs=(payload, registry.enabled),
             ) as pool:
                 parts = list(pool.map(partial(_run_chunk, fn), chunks))
         except (OSError, ImportError, PermissionError):
             # no usable multiprocessing primitives here — stay correct
             return [fn(payload, item) for item in work]
-        return [result for part in parts for result in part]
+        # merge worker metric snapshots in submission order: counters and
+        # timers are order-independent, gauges become last-write-wins in
+        # the same order a serial run would have written them
+        for _, snapshot in parts:
+            if snapshot is not None:
+                registry.merge(snapshot)
+        return [result for part, _ in parts for result in part]

@@ -9,7 +9,7 @@ from same-topology-different-size near-misses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.geometry import Point, Rect
 from repro.layout import Cell, Layer

@@ -109,7 +109,9 @@ def _grid_variants(x_dims, y_dims):
 
     Yields (x_dims', y_dims', bitmap_transform).
     """
-    rev = lambda t: tuple(reversed(t))
+    def rev(t):
+        return tuple(reversed(t))
+
     yield (x_dims, y_dims, lambda bm: bm)                                    # R0
     yield (rev(x_dims), y_dims, _flip_cols)                                  # MX180 (x -> -x)
     yield (x_dims, rev(y_dims), _flip_rows)                                  # MX (y -> -y)

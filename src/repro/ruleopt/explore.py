@@ -16,7 +16,6 @@ from repro.designgen.stdcells import make_stdcell_library
 from repro.drc import run_drc
 from repro.geometry import Rect
 from repro.litho import LithoModel, find_hotspots
-from repro.tech import make_node
 from repro.tech.technology import Technology
 
 # the rule knobs the sweep understands, as Technology field overrides

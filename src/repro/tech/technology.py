@@ -3,7 +3,7 @@ process node in one place."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.layout import Layer
 from repro.tech.rules import RuleDeck

@@ -120,6 +120,114 @@ class TestDrcParallel:
         assert "100% hit rate" in out
 
 
+class TestScanLimit:
+    def test_limit_zero_suppresses_listing_and_tail(self, block_gds, capsys):
+        main(["scan", str(block_gds), "--node", "45", "--tile", "6000",
+              "--limit", "0"])
+        out = capsys.readouterr().out
+        assert "full-chip scan" in out
+        assert "more" not in out
+        # nothing but the summary/diagnostic lines: no indented hotspot rows
+        assert not any(line.startswith("  ") for line in out.splitlines())
+
+    def test_positive_limit_still_prints_tail(self, block_gds, capsys):
+        rc = main(["scan", str(block_gds), "--node", "45", "--tile", "6000",
+                   "--limit", "1"])
+        out = capsys.readouterr().out
+        if rc == 1:  # hotspots found on this block
+            assert "... and" in out or out.count("\n  ") <= 1
+
+
+class TestExitCodeContract:
+    @pytest.fixture(scope="class")
+    def bad_gds(self, tmp_path_factory):
+        from repro.gdsii import write_gds
+        from repro.geometry import Rect
+        from repro.layout import Layer, Layout
+
+        lib = Layout("BAD")
+        cell = lib.new_cell("TOP")
+        cell.add_rect(Layer(10, 0, "M1"), Rect(0, 0, 1000, 20))
+        path = tmp_path_factory.mktemp("cli-rc") / "bad.gds"
+        write_gds(lib, path)
+        return path
+
+    def test_drc_findings_fail_by_default(self, bad_gds, capsys):
+        assert main(["drc", str(bad_gds), "--node", "45"]) == 1
+        capsys.readouterr()
+
+    def test_drc_no_fail_opts_out(self, bad_gds, capsys):
+        assert main(["drc", str(bad_gds), "--node", "45", "--no-fail"]) == 0
+        out = capsys.readouterr().out
+        assert "M1.W.1" in out  # findings still reported, just not fatal
+
+    def test_scan_no_fail_opts_out(self, block_gds, capsys):
+        rc = main(["scan", str(block_gds), "--node", "45", "--tile", "6000",
+                   "--limit", "0", "--no-fail"])
+        capsys.readouterr()
+        assert rc == 0
+
+
+class TestObservabilityFlags:
+    def test_metrics_out_writes_manifest(self, block_gds, tmp_path, capsys):
+        from repro.obs import RunManifest
+
+        target = tmp_path / "deep" / "m.json"
+        main(["scan", str(block_gds), "--node", "45", "--tile", "3000",
+              "--limit", "0", "--no-fail", "--metrics-out", str(target)])
+        capsys.readouterr()
+        manifest = RunManifest.load(target)
+        assert manifest.command == "scan"
+        assert manifest.counters["scan.tiles"] >= 1
+        assert "scan.compute" in manifest.stages
+
+    def test_scorecard_manifest_has_five_plus_stages(self, tmp_path, capsys):
+        from repro.obs import RunManifest
+
+        target = tmp_path / "card.json"
+        rc = main(["scorecard", "--node", "45", "--rows", "2", "--width", "4000",
+                   "--nets", "4", "--seed", "3", "--weak-spots", "4",
+                   "--metrics-out", str(target)])
+        capsys.readouterr()
+        assert rc == 0
+        manifest = RunManifest.load(target)
+        assert len(manifest.stages) >= 5
+        assert manifest.seed == 3
+        for stage in ("scorecard", "scorecard.baseline", "measure.hotspots"):
+            assert stage in manifest.stages
+
+    def test_metrics_counters_match_across_jobs(self, block_gds, tmp_path, capsys):
+        from repro.obs import RunManifest
+
+        manifests = []
+        for jobs in (1, 4):
+            target = tmp_path / f"scan-j{jobs}.json"
+            main(["scan", str(block_gds), "--node", "45", "--tile", "2000",
+                  "--limit", "0", "--no-fail", "--jobs", str(jobs),
+                  "--metrics-out", str(target)])
+            capsys.readouterr()
+            manifests.append(RunManifest.load(target))
+        assert manifests[0].counters == manifests[1].counters
+        assert manifests[1].workers == 4
+
+    def test_trace_prints_tree(self, block_gds, capsys):
+        main(["scan", str(block_gds), "--node", "45", "--tile", "6000",
+              "--limit", "0", "--no-fail", "--trace"])
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "scan.compute" in out
+
+    def test_obs_state_restored_after_run(self, block_gds, tmp_path, capsys):
+        from repro.obs import get_registry, get_tracer
+
+        main(["scan", str(block_gds), "--node", "45", "--tile", "6000",
+              "--limit", "0", "--no-fail",
+              "--metrics-out", str(tmp_path / "m.json"), "--trace"])
+        capsys.readouterr()
+        assert get_registry().enabled is False
+        assert get_tracer().enabled is False
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -12,13 +12,12 @@ from repro.designgen import (
     line_end_pairs,
     line_grating,
     make_sram_bitcell,
-    make_stdcell_library,
     serpentine,
     via_chain,
 )
 from repro.drc import run_drc
 from repro.geometry import Rect, Region
-from repro.tech import RuleDeck, WidthRule, SpacingRule
+from repro.tech import RuleDeck, WidthRule
 
 
 class TestStdCells:

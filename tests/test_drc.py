@@ -1,7 +1,6 @@
 """Unit tests for the DRC engine: each check primitive, the deck runner,
 violation reporting, and at-the-limit semantics."""
 
-import pytest
 
 from repro.drc import (
     check_area,

@@ -7,7 +7,6 @@ import pytest
 from repro.designgen import isolated_line, line_grating
 from repro.geometry import Point, Rect, Region
 from repro.litho import (
-    LithoModel,
     build_metrology_plan,
     cd_statistics,
     find_hotspots,

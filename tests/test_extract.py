@@ -1,14 +1,13 @@
 """Tests for connectivity extraction and LVS-lite comparison."""
 
-import pytest
 
-from repro.designgen import LogicBlockSpec, generate_logic_block, via_chain
+from repro.designgen import via_chain
 from repro.extract import (
     check_connectivity,
     electrical_hotspot_impact,
     extract_nets,
 )
-from repro.geometry import Point, Rect, Region
+from repro.geometry import Point, Rect
 from repro.layout import Cell
 from repro.litho.hotspots import Hotspot, HotspotKind
 from repro.litho.process import ProcessCondition

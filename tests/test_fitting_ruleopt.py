@@ -5,7 +5,6 @@ import pytest
 
 from repro.designgen import comb_structure, serpentine
 from repro.ruleopt import rule_area_sensitivity, sweep_rule_values
-from repro.tech import make_node
 from repro.yieldmodels import (
     MonitorObservation,
     fit_d0,

@@ -18,7 +18,7 @@ from repro.gdsii.records import (
     ENDLIB,
 )
 from repro.geometry import Orientation, Point, Polygon, Rect, Transform
-from repro.layout import Cell, Layer, Layout
+from repro.layout import Layer, Layout
 
 M1 = Layer(10, 0, "M1")
 V1 = Layer(11, 0, "V1")

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.gdsii import read_gds, read_json, write_gds, write_json
 from repro.geometry import Orientation, Rect, Transform
-from repro.layout import Cell, Layer, Layout
+from repro.layout import Layer, Layout
 
 layer_strategy = st.sampled_from([Layer(10, 0, "M1"), Layer(12, 0, "M2"), Layer(3, 0, "POLY")])
 

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.geometry import Orientation, Point, Polygon, Rect, Region, Transform
+from repro.geometry import Orientation, Point, Polygon, Rect, Transform
 
 
 class TestPolygon:

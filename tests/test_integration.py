@@ -1,6 +1,5 @@
 """Cross-module integration tests: full flows over generated designs."""
 
-import pytest
 
 from repro.core import DesignContext, evaluate_techniques, measure_design
 from repro.core.techniques import RedundantViaTechnique
@@ -10,8 +9,8 @@ from repro.gdsii import read_gds, write_gds
 from repro.geometry import Rect, Region
 from repro.litho import LithoModel, find_hotspots
 from repro.opc import apply_rule_opc
-from repro.patterns import cluster_snippets, extract_snippets, PatternMatcher, via_anchors
-from repro.tech import RuleSeverity, make_node
+from repro.patterns import cluster_snippets, extract_snippets, PatternMatcher
+from repro.tech import make_node
 from repro.designgen import generate_logic_block, generate_sram_array, LogicBlockSpec
 from repro.yieldmodels import insert_redundant_vias
 from repro.yieldmodels.yield_model import layer_defect_lambda

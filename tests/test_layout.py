@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.geometry import Orientation, Point, Polygon, Rect, Region, Transform
+from repro.geometry import Orientation, Polygon, Rect, Region, Transform
 from repro.layout import Cell, CellReference, Layer, Layout
 
 M1 = Layer(10, 0, "M1")

@@ -8,7 +8,6 @@ from repro.geometry import Point, Rect, Region
 from repro.litho import (
     Cutline,
     HotspotKind,
-    LithoModel,
     ProcessCondition,
     ProcessWindow,
     find_hotspots,

@@ -5,7 +5,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.drc.checks import check_spacing, check_width
-from repro.geometry import Point, Rect, Region
+from repro.geometry import Rect, Region
 from repro.layout import Layer
 from repro.litho.raster import rasterize
 from repro.patterns import canonical_pattern, extract_snippet, pattern_of

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.geometry import Point, Rect, Region
-from repro.litho import Cutline, LithoModel
+from repro.litho import Cutline
 from repro.litho.cd import line_end_pullback
 from repro.opc import (
     ModelOpcSettings,

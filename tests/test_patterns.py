@@ -9,7 +9,6 @@ from repro.layout import Cell, Layer
 from repro.patterns import (
     PatternCatalog,
     PatternMatcher,
-    Snippet,
     canonical_pattern,
     cluster_snippets,
     extract_snippet,

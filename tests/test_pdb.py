@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.geometry import Point, Rect, Region
+from repro.geometry import Rect
 from repro.layout import Cell
 from repro.patterns import (
-    PatternCatalog,
     PatternDatabase,
     kl_divergence,
     load_catalog,

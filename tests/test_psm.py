@@ -1,6 +1,5 @@
 """Tests for alternating phase-shift mask assignment."""
 
-import pytest
 
 from repro.dpt import assign_phases, critical_gates
 from repro.geometry import Rect, Region

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.designgen import line_grating
-from repro.geometry import Point, Region
+from repro.geometry import Point
 from repro.litho import Cutline
 from repro.timing import Stage, TimingPath, path_delay_ps
 from repro.variation import (
