@@ -58,7 +58,7 @@ def main() -> None:
             report.rms_epe_nm,
             report.max_epe_nm,
             float(len(report.hotspots)),
-            "PASS" if report.passed else "FAIL",
+            "PASS" if report.ok else "FAIL",
         )
     print(table.render())
     print(f"\n(SRAF bars inserted for the OPC'd masks: {len(srafs.components())}; "

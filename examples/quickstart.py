@@ -30,7 +30,7 @@ def main() -> None:
 
     # 2. sign-off checks
     report = run_drc(block.top, tech.rules.minimum().for_layer(tech.layers.metal2))
-    print(f"DRC (M2 minimum rules): {'CLEAN' if report.is_clean else report.summary()}")
+    print(f"DRC (M2 minimum rules): {'CLEAN' if report.ok else report.summary()}")
 
     # 3. manufacturability measurement (defects + vias + litho + CMP)
     ctx = DesignContext.from_cell(block.top, tech)

@@ -43,8 +43,20 @@ from repro.tech import (
 # observability
 from repro.obs import MetricsRegistry, RunManifest, get_registry, get_tracer, span
 
+# unified report API
+from repro.core.report import BaseReport
+
 # engines
-from repro.parallel import Tile, TileCache, TileExecutor, tile_grid
+from repro.parallel import (
+    AbortRun,
+    Checkpoint,
+    FaultPlan,
+    QuarantinedTile,
+    Tile,
+    TileCache,
+    TileExecutor,
+    tile_grid,
+)
 from repro.drc import run_drc, DrcReport, Violation, score_recommended_rules, DfmScore
 from repro.patterns import (
     PatternCatalog,
@@ -96,6 +108,9 @@ from repro.variation import (
     statistical_path_delays,
 )
 
+# the stable high-level facade
+from repro import api
+
 # the contribution
 from repro.core import (
     DesignContext,
@@ -115,7 +130,9 @@ __all__ = [
     "Technology", "RuleDeck", "RuleSeverity", "make_node",
     "NODE_65", "NODE_45", "NODE_32",
     "MetricsRegistry", "RunManifest", "get_registry", "get_tracer", "span",
+    "api", "BaseReport",
     "Tile", "TileCache", "TileExecutor", "tile_grid",
+    "AbortRun", "Checkpoint", "FaultPlan", "QuarantinedTile",
     "run_drc", "DrcReport", "Violation", "score_recommended_rules", "DfmScore",
     "PatternCatalog", "PatternMatcher", "extract_patterns",
     "via_enclosure_catalog", "kl_divergence", "cluster_snippets",

@@ -1,0 +1,180 @@
+"""Stable, high-level entry points — the supported programmatic API.
+
+Everything the command line can do is callable from here with the same
+semantics, and this module is the compatibility contract: function
+names, positional parameters, and result types are stable across
+releases; new capabilities arrive as new keyword-only options with
+defaults that preserve old behavior.  Internal modules
+(:mod:`repro.drc.engine`, :mod:`repro.litho.fullchip`, ...) may
+reorganize freely underneath it.
+
+Every verification entry point returns a
+:class:`repro.core.report.BaseReport` subclass, so callers can rely on
+``report.ok``, ``report.findings_count``, ``report.summary()`` and
+``report.to_dict()`` / ``to_json()`` uniformly.
+
+The fault-tolerance options (``timeout``, ``max_retries``,
+``fault_plan``, ``checkpoint_file``, ``resume``) are shared by
+:func:`run_drc` and :func:`scan_full_chip` and documented on
+:meth:`repro.parallel.TileExecutor.run`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.drc.engine import run_drc as _run_drc
+from repro.dpt.decompose import decompose_dpt
+from repro.dpt.stitch import decompose_with_stitches
+from repro.litho.fullchip import scan_full_chip as _scan_full_chip
+from repro.litho.model import LithoModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.scorecard import Scorecard
+    from repro.core.techniques import DFMTechnique
+    from repro.dpt.decompose import DecompositionResult
+    from repro.dpt.stitch import Stitch
+    from repro.drc.violations import DrcReport
+    from repro.geometry import Rect, Region
+    from repro.layout import Cell
+    from repro.litho.fullchip import FullChipScanReport
+    from repro.litho.process import ProcessWindow
+    from repro.parallel import FaultPlan, TileCache
+    from repro.tech.rules import RuleDeck
+    from repro.tech.technology import Technology
+
+__all__ = ["run_drc", "scan_full_chip", "decompose", "scorecard"]
+
+
+def run_drc(
+    cell: "Cell",
+    deck: "RuleDeck",
+    *,
+    window: "Rect | None" = None,
+    jobs: int = 1,
+    tile_nm: int | None = None,
+    cache: "TileCache | None" = None,
+    timeout: float | None = None,
+    max_retries: int = 2,
+    fault_plan: "FaultPlan | None" = None,
+    checkpoint_file: str | None = None,
+    resume: bool = False,
+) -> "DrcReport":
+    """Run every rule in ``deck`` against ``cell``.
+
+    Defaults to the classic single-pass run; ``jobs``/``tile_nm``/
+    ``cache`` or any fault-tolerance option selects the tiled
+    parallel + incremental engine.  Returns a
+    :class:`~repro.drc.violations.DrcReport`; ``report.ok`` is False
+    when violations were found *or* tasks were quarantined.
+    """
+    return _run_drc(
+        cell,
+        deck,
+        window,
+        jobs=jobs,
+        tile_nm=tile_nm,
+        cache=cache,
+        timeout=timeout,
+        max_retries=max_retries,
+        fault_plan=fault_plan,
+        checkpoint_file=checkpoint_file,
+        resume=resume,
+    )
+
+
+def scan_full_chip(
+    model: "LithoModel | Technology",
+    drawn: "Region",
+    *,
+    extent: "Rect | None" = None,
+    tile_nm: int = 4000,
+    process: "ProcessWindow | None" = None,
+    pinch_limit: int | None = None,
+    mask: "Region | None" = None,
+    grid: int | None = None,
+    overlap_nm: int = 200,
+    jobs: int = 1,
+    cache: "TileCache | None" = None,
+    timeout: float | None = None,
+    max_retries: int = 2,
+    fault_plan: "FaultPlan | None" = None,
+    checkpoint_file: str | None = None,
+    resume: bool = False,
+) -> "FullChipScanReport":
+    """Tiled full-chip litho hotspot scan of ``drawn``.
+
+    ``model`` accepts a :class:`~repro.litho.model.LithoModel` or a
+    :class:`~repro.tech.technology.Technology` (whose litho settings
+    build one).  Returns a
+    :class:`~repro.litho.fullchip.FullChipScanReport`; ``report.ok`` is
+    False when hotspots were found *or* tiles were quarantined.
+    """
+    if not isinstance(model, LithoModel):
+        model = LithoModel(model.litho)
+    return _scan_full_chip(
+        model,
+        drawn,
+        extent=extent,
+        tile_nm=tile_nm,
+        process=process,
+        pinch_limit=pinch_limit,
+        mask=mask,
+        grid=grid,
+        overlap_nm=overlap_nm,
+        jobs=jobs,
+        cache=cache,
+        timeout=timeout,
+        max_retries=max_retries,
+        fault_plan=fault_plan,
+        checkpoint_file=checkpoint_file,
+        resume=resume,
+    )
+
+
+def decompose(
+    region: "Region",
+    same_mask_space: int,
+    *,
+    stitches: bool = True,
+    stitch_overlap: int = 20,
+    max_rounds: int = 4,
+) -> "tuple[DecompositionResult, list[Stitch]]":
+    """Double-patterning decomposition of one layer.
+
+    With ``stitches`` (the default) conflicting features may be split at
+    stitch points to rescue an odd cycle; without it the plain two-
+    coloring runs and the stitch list is always empty.  Returns
+    ``(result, stitches)`` in both modes so callers need one code path.
+    """
+    if stitches:
+        return decompose_with_stitches(
+            region,
+            same_mask_space,
+            stitch_overlap=stitch_overlap,
+            max_rounds=max_rounds,
+        )
+    return decompose_dpt(region, same_mask_space), []
+
+
+def scorecard(
+    cell: "Cell",
+    tech: "Technology",
+    *,
+    techniques: "list[DFMTechnique] | None" = None,
+    d0_per_cm2: float | None = None,
+    hotspot_window: "Rect | None" = None,
+) -> "Scorecard":
+    """The paper's hit-or-hype evaluation: run every DFM technique on
+    ``cell`` and score cost against benefit.  Returns a
+    :class:`~repro.core.scorecard.Scorecard` (render with
+    ``card.render()``)."""
+    from repro.core import evaluate_techniques
+
+    return evaluate_techniques(
+        cell,
+        tech,
+        techniques=techniques,
+        d0_per_cm2=d0_per_cm2,
+        hotspot_window=hotspot_window,
+    )

@@ -13,7 +13,11 @@ Exit-code contract (what CI gates on): ``0`` on success, and for the
 verification commands (``drc``, ``scan``, ``dpt``) ``1`` when findings
 are reported — violations, hotspots, or coloring conflicts.  Pass
 ``--no-fail`` to get exit 0 regardless of findings (report-only mode).
-Usage errors exit ``2`` via argparse.
+Quarantined tiles (tasks that kept failing and were excluded — see
+``--max-retries``) also exit ``1``, *even with* ``--no-fail``: a
+quarantine means the verification is incomplete, not that the layout is
+clean.  Usage errors exit ``2`` via argparse; an interrupted run whose
+state was checkpointed (resume with ``--resume``) exits ``3``.
 
 Every command accepts ``--metrics-out FILE`` (write a JSON run manifest
 with per-stage timings and counters) and ``--trace`` (print the nested
@@ -26,13 +30,13 @@ import argparse
 import sys
 import time
 
+from repro import api
 from repro.analysis import Table
 from repro.designgen import LogicBlockSpec, generate_logic_block
-from repro.dpt import decompose_with_stitches, score_decomposition
-from repro.drc import run_drc
+from repro.dpt import score_decomposition
 from repro.gdsii import read_gds, write_gds
 from repro.layout import Layer
-from repro.litho import LithoModel, scan_full_chip
+from repro.parallel import AbortRun
 from repro.tech import make_node
 
 
@@ -58,8 +62,15 @@ def _add_no_fail(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _findings_rc(args, found: bool) -> int:
-    """Exit code for a verification command: findings fail unless opted out."""
+def _findings_rc(args, found: bool, report=None) -> int:
+    """Exit code for a verification command: findings fail unless opted out.
+
+    A quarantined tile always fails — the run is *incomplete*, which
+    ``--no-fail`` (a statement about findings, not about coverage) does
+    not excuse.
+    """
+    if report is not None and getattr(report, "quarantined", None):
+        return 1
     if getattr(args, "no_fail", False):
         return 0
     return 1 if found else 0
@@ -79,6 +90,41 @@ def _add_parallel(parser: argparse.ArgumentParser, default_cache: str) -> None:
         "--cache-file", default=default_cache,
         help="where --incremental persists the tile cache between runs",
     )
+
+
+def _add_faults(parser: argparse.ArgumentParser, default_checkpoint: str) -> None:
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry a work chunk running longer than this "
+             "(default: no timeout)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries per tile before it is quarantined (default 2)",
+    )
+    parser.add_argument(
+        "--checkpoint-file", default=None, metavar="FILE",
+        help="periodically checkpoint completed tiles to FILE "
+             f"(default with --resume: {default_checkpoint})",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from the checkpoint file, recomputing only unfinished "
+             "tiles (stale/mismatched checkpoints are ignored)",
+    )
+    parser.set_defaults(default_checkpoint=default_checkpoint)
+
+
+def _checkpoint_file(args) -> str | None:
+    """The checkpoint path: explicit flag, or the default when resuming."""
+    if args.checkpoint_file:
+        return args.checkpoint_file
+    return args.default_checkpoint if args.resume else None
+
+
+def _print_quarantine(report) -> None:
+    for q in getattr(report, "quarantined", ()):
+        print(f"  QUARANTINED {q}", file=sys.stderr)
 
 
 def _load_cache(args):
@@ -157,16 +203,28 @@ def cmd_drc(args) -> int:
     cell = _resolve_cell(layout, args.cell)
     deck = tech.rules.minimum()
     cache = _load_cache(args)
-    report = run_drc(
+    checkpoint_file = _checkpoint_file(args)
+    tiled = (
+        args.jobs != 1
+        or cache is not None
+        or args.timeout is not None
+        or checkpoint_file is not None
+    )
+    report = api.run_drc(
         cell,
         deck,
         jobs=args.jobs,
-        tile_nm=args.tile if (args.jobs != 1 or cache is not None) else None,
+        tile_nm=args.tile if tiled else None,
         cache=cache,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        checkpoint_file=checkpoint_file,
+        resume=args.resume,
     )
     print(report.summary())
     _finish_cache(args, cache, report)
-    return _findings_rc(args, not report.is_clean)
+    _print_quarantine(report)
+    return _findings_rc(args, bool(report.violations), report)
 
 
 def cmd_scan(args) -> int:
@@ -174,19 +232,23 @@ def cmd_scan(args) -> int:
     layout = read_gds(args.gds)
     cell = _resolve_cell(layout, args.cell)
     layer = _resolve_layer(tech, args.layer)
-    model = LithoModel(tech.litho)
     region = cell.region(layer)
     cache = _load_cache(args)
-    report = scan_full_chip(
-        model,
+    report = api.scan_full_chip(
+        tech,
         region,
         tile_nm=args.tile,
         pinch_limit=tech.metal_width // 2,
         jobs=args.jobs,
         cache=cache,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        checkpoint_file=_checkpoint_file(args),
+        resume=args.resume,
     )
     print(report.summary())
     _finish_cache(args, cache, report)
+    _print_quarantine(report)
     # --limit 0 means "summary only": print no listing and no tail
     if args.limit > 0:
         for hotspot in report.hotspots[: args.limit]:
@@ -194,7 +256,7 @@ def cmd_scan(args) -> int:
         remaining = len(report.hotspots) - args.limit
         if remaining > 0:
             print(f"  ... and {remaining} more")
-    return _findings_rc(args, bool(report.hotspots))
+    return _findings_rc(args, bool(report.hotspots), report)
 
 
 def cmd_dpt(args) -> int:
@@ -203,7 +265,7 @@ def cmd_dpt(args) -> int:
     cell = _resolve_cell(layout, args.cell)
     layer = _resolve_layer(tech, args.layer)
     region = cell.region(layer)
-    result, stitches = decompose_with_stitches(region, args.space)
+    result, stitches = api.decompose(region, args.space)
     score = score_decomposition(result, stitches)
     print(result.summary())
     print(f"stitches: {len(stitches)}")
@@ -221,8 +283,6 @@ def cmd_dpt(args) -> int:
 
 
 def cmd_scorecard(args) -> int:
-    from repro.core import evaluate_techniques
-
     tech = make_node(args.node)
     spec = LogicBlockSpec(
         rows=args.rows,
@@ -232,7 +292,7 @@ def cmd_scorecard(args) -> int:
         weak_spots=args.weak_spots,
     )
     block = generate_logic_block(tech, spec)
-    card = evaluate_techniques(block.top, tech, d0_per_cm2=args.d0)
+    card = api.scorecard(block.top, tech, d0_per_cm2=args.d0)
     print(card.render())
     return 0
 
@@ -266,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tile", type=int, default=4000,
                    help="tile size (nm) for the parallel/incremental engine")
     _add_parallel(p, ".repro_drc_cache.pkl")
+    _add_faults(p, ".repro_drc_ckpt.pkl")
     _add_obs(p)
     _add_no_fail(p)
     p.set_defaults(func=cmd_drc)
@@ -279,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=10,
                    help="hotspots to list (0 = summary only)")
     _add_parallel(p, ".repro_scan_cache.pkl")
+    _add_faults(p, ".repro_scan_ckpt.pkl")
     _add_obs(p)
     _add_no_fail(p)
     p.set_defaults(func=cmd_scan)
@@ -326,8 +388,15 @@ def main(argv: list[str] | None = None) -> int:
             tracer.enable()
     t0 = time.perf_counter()
     try:
-        with span(args.command):
-            rc = args.func(args)
+        try:
+            with span(args.command):
+                rc = args.func(args)
+        except AbortRun as exc:
+            # interrupted mid-run; completed tiles were checkpointed
+            print(f"run aborted: {exc}", file=sys.stderr)
+            print("completed tiles are checkpointed; rerun with --resume",
+                  file=sys.stderr)
+            rc = 3
         if trace:
             print(tracer.render())
         if metrics_out:

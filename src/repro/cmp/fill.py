@@ -11,13 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.report import BaseReport
 from repro.geometry import Rect, Region
 from repro.obs import get_registry
 from repro.tech.technology import CmpSettings
 
 
 @dataclass
-class FillReport:
+class FillReport(BaseReport):
     tiles_filled: int = 0
     shapes_added: int = 0
     fill_area: int = 0

@@ -12,12 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cmp.fill import FillReport, dummy_fill
+from repro.core.report import BaseReport
 from repro.geometry import Rect, Region
 from repro.tech.technology import CmpSettings
 
 
 @dataclass
-class CouplingReport:
+class CouplingReport(BaseReport):
     """Fill-to-signal adjacency, the first-order coupling-cap proxy.
 
     ``coupling_perimeter_nm`` is the total signal boundary length with

@@ -2,41 +2,57 @@
 harness that measures, for each DFM technique of the 2008 era, the benefit
 it delivers and the cost it charges — and renders the hit-or-hype verdict
 the panel could only argue about.
+
+:mod:`repro.core.report` also lives here: the :class:`BaseReport`
+contract every engine report implements.  It is imported eagerly (it is
+dependency-free); the evaluation harness below is imported lazily so
+low-level modules (``repro.drc``, ``repro.litho``, ...) can import
+``repro.core.report`` without creating an import cycle with the
+technique implementations, which themselves build on those engines.
 """
 
-from repro.core.context import DesignContext
-from repro.core.metrics import DesignMetrics, measure_design
-from repro.core.techniques import (
-    DFMTechnique,
-    TechniqueOutcome,
-    RecommendedRulesTechnique,
-    PatternCheckTechnique,
-    RuleOpcTechnique,
-    ModelOpcTechnique,
-    RedundantViaTechnique,
-    WireSpreadTechnique,
-    DummyFillTechnique,
-    default_techniques,
-)
-from repro.core.scorecard import Scorecard, ScorecardRow, Verdict
-from repro.core.harness import evaluate_techniques
+from importlib import import_module
+
+from repro.core.report import BaseReport, deprecated_alias, jsonable
+
+# Lazy exports (PEP 562): name -> defining submodule.  Resolved on first
+# attribute access, after which the value is cached in module globals.
+_LAZY = {
+    "DesignContext": "repro.core.context",
+    "DesignMetrics": "repro.core.metrics",
+    "measure_design": "repro.core.metrics",
+    "DFMTechnique": "repro.core.techniques",
+    "TechniqueOutcome": "repro.core.techniques",
+    "RecommendedRulesTechnique": "repro.core.techniques",
+    "PatternCheckTechnique": "repro.core.techniques",
+    "RuleOpcTechnique": "repro.core.techniques",
+    "ModelOpcTechnique": "repro.core.techniques",
+    "RedundantViaTechnique": "repro.core.techniques",
+    "WireSpreadTechnique": "repro.core.techniques",
+    "DummyFillTechnique": "repro.core.techniques",
+    "default_techniques": "repro.core.techniques",
+    "Scorecard": "repro.core.scorecard",
+    "ScorecardRow": "repro.core.scorecard",
+    "Verdict": "repro.core.scorecard",
+    "evaluate_techniques": "repro.core.harness",
+}
 
 __all__ = [
-    "DesignContext",
-    "DesignMetrics",
-    "measure_design",
-    "DFMTechnique",
-    "TechniqueOutcome",
-    "RecommendedRulesTechnique",
-    "PatternCheckTechnique",
-    "RuleOpcTechnique",
-    "ModelOpcTechnique",
-    "RedundantViaTechnique",
-    "WireSpreadTechnique",
-    "DummyFillTechnique",
-    "default_techniques",
-    "Scorecard",
-    "ScorecardRow",
-    "Verdict",
-    "evaluate_techniques",
+    "BaseReport",
+    "deprecated_alias",
+    "jsonable",
+    *_LAZY,
 ]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

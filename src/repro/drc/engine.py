@@ -31,7 +31,15 @@ from repro.drc.violations import DrcReport, Violation
 from repro.geometry import Rect, Region
 from repro.layout import Cell, Layer
 from repro.obs import get_registry, span
-from repro.parallel import Tile, TileCache, TileExecutor, digest_parts, tile_grid
+from repro.parallel import (
+    Checkpoint,
+    FaultPlan,
+    Tile,
+    TileCache,
+    TileExecutor,
+    digest_parts,
+    tile_grid,
+)
 from repro.tech.rules import (
     AreaRule,
     DensityRule,
@@ -98,14 +106,25 @@ def run_drc(
     jobs: int = 1,
     tile_nm: int | None = None,
     cache: TileCache | None = None,
+    timeout: float | None = None,
+    max_retries: int = 2,
+    fault_plan: FaultPlan | None = None,
+    checkpoint_file: str | None = None,
+    resume: bool = False,
 ) -> DrcReport:
     """Flatten ``cell`` per layer and run every rule in ``deck``.
 
     ``window`` restricts checking (and flattening) to a clip region, the
     standard way to DRC a block out of a larger chip.  ``jobs``,
-    ``tile_nm``, or ``cache`` switch to the tiled parallel/incremental
-    engine (see :func:`run_drc_tiled`); the default stays the classic
-    single-pass run.
+    ``tile_nm``, ``cache``, or any fault-tolerance option switches to
+    the tiled parallel/incremental engine (see :func:`run_drc_tiled`);
+    the default stays the classic single-pass run.
+
+    Fault tolerance follows :meth:`TileExecutor.run
+    <repro.parallel.TileExecutor.run>`: tasks failing more than
+    ``max_retries`` times are quarantined on ``report.quarantined``,
+    ``timeout`` bounds each chunk's wall time, and ``checkpoint_file``
+    (+ ``resume``) lets an interrupted run restart where it left off.
     """
     layers_needed: set[Layer] = set()
     for rule in deck:
@@ -113,12 +132,27 @@ def run_drc(
     with span("drc.flatten"):
         regions = {layer: cell.region(layer, window) for layer in layers_needed}
     extent = window or cell.bbox or Rect(0, 0, 1, 1)
+    fault_tolerant = (
+        timeout is not None
+        or fault_plan is not None
+        or checkpoint_file is not None
+    )
     with span("drc.check"):
-        if jobs <= 1 and tile_nm is None and cache is None:
+        if jobs <= 1 and tile_nm is None and cache is None and not fault_tolerant:
             report = run_drc_regions(regions, deck, extent)
         else:
             report = run_drc_tiled(
-                regions, deck, extent, jobs=jobs, tile_nm=tile_nm or 4000, cache=cache
+                regions,
+                deck,
+                extent,
+                jobs=jobs,
+                tile_nm=tile_nm or 4000,
+                cache=cache,
+                timeout=timeout,
+                max_retries=max_retries,
+                fault_plan=fault_plan,
+                checkpoint_file=checkpoint_file,
+                resume=resume,
             )
     report.cell_name = cell.name
     registry = get_registry()
@@ -225,6 +259,11 @@ def run_drc_tiled(
     tile_nm: int = 4000,
     jobs: int = 1,
     cache: TileCache | None = None,
+    timeout: float | None = None,
+    max_retries: int = 2,
+    fault_plan: FaultPlan | None = None,
+    checkpoint_file: str | None = None,
+    resume: bool = False,
 ) -> DrcReport:
     """Tiled parallel/incremental deck run over per-layer regions.
 
@@ -233,6 +272,11 @@ def run_drc_tiled(
     filtering by marker centre discards them); global rules run as one
     whole-extent task each.  The report's ``tiles*`` counters cover all
     tasks — geometry tiles plus whole-extent rule tasks.
+
+    Fault tolerance is the executor's (:meth:`TileExecutor.run
+    <repro.parallel.TileExecutor.run>`): exhausted tasks land on
+    ``report.quarantined`` instead of raising, and ``checkpoint_file``
+    (+ ``resume``) persists completed tasks for interrupted runs.
     """
     t_start = time.perf_counter()
     local = tuple(r for r in deck if isinstance(r, _LOCAL_KINDS))
@@ -261,21 +305,56 @@ def run_drc_tiled(
                 else:
                     results[i] = hit
 
+    checkpoint: Checkpoint | None = None
+    if checkpoint_file is not None:
+        signature = digest_parts(
+            "drc-ckpt-v1",
+            tuple(repr(r) for r in deck),
+            extent.as_tuple(),
+            tile_nm,
+            tuple(
+                (layer, region.digest())
+                for layer, region in sorted(regions.items(), key=lambda kv: repr(kv[0]))
+            ),
+        )
+        checkpoint = Checkpoint.open(checkpoint_file, signature, resume=resume)
+
     with span("drc.compute"):
-        computed = TileExecutor(jobs).map(_drc_task, payload, [t for _, t in pending])
-    for (i, _), (violations, seconds) in zip(pending, computed):
+        outcome = TileExecutor(jobs).run(
+            _drc_task,
+            payload,
+            [t for _, t in pending],
+            keys=[i for i, _ in pending],
+            timeout=timeout,
+            max_retries=max_retries,
+            fault_plan=fault_plan,
+            checkpoint=checkpoint,
+        )
+    for (i, _), value in zip(pending, outcome.results):
+        if value is None:  # quarantined: no result for this task
+            continue
+        violations, seconds = value
         results[i] = violations
-        report.compute_seconds += seconds
+        if i in outcome.resumed_keys:
+            continue  # replayed from checkpoint; costs belong to the prior run
+        report.compute_s += seconds
         if cache is not None:
             cache.put(keys[i], violations)
 
-    report.tiles_computed = len(pending)
+    report.quarantined = outcome.quarantined
+    report.tiles_resumed = len(outcome.resumed_keys)
+    report.tiles_computed = outcome.computed
     report.tiles_cached = report.tiles - len(pending)
     for i in range(len(tasks)):
-        report.extend(results[i])
-    report.elapsed_seconds = time.perf_counter() - t_start
+        report.extend(results.get(i, []))
+    report.elapsed_s = time.perf_counter() - t_start
+    if checkpoint is not None:
+        # the run completed (quarantine included): nothing left to resume
+        checkpoint.clear()
     registry = get_registry()
     registry.inc("drc.tiles", report.tiles)
     registry.inc("drc.tiles_computed", report.tiles_computed)
     registry.inc("drc.tiles_cached", report.tiles_cached)
+    registry.inc("drc.tiles_resumed", report.tiles_resumed)
+    registry.inc("drc.tiles_quarantined", len(report.quarantined))
     return report

@@ -5,7 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.core.report import BaseReport, deprecated_alias
 from repro.geometry import Rect
+from repro.parallel.faults import QuarantinedTile
 from repro.tech.rules import Rule, RuleSeverity
 
 
@@ -29,7 +31,7 @@ class Violation:
 
 
 @dataclass
-class DrcReport:
+class DrcReport(BaseReport):
     """Aggregated result of a DRC run."""
 
     cell_name: str = ""
@@ -39,8 +41,19 @@ class DrcReport:
     tiles: int = 0
     tiles_computed: int = 0
     tiles_cached: int = 0
-    compute_seconds: float = 0.0
-    elapsed_seconds: float = 0.0
+    tiles_resumed: int = 0
+    quarantined: list[QuarantinedTile] = field(default_factory=list)
+    compute_s: float = 0.0
+    elapsed_s: float = 0.0
+
+    # legacy spellings (pre-BaseReport), kept as warning aliases
+    compute_seconds = deprecated_alias("compute_seconds", "compute_s")
+    elapsed_seconds = deprecated_alias("elapsed_seconds", "elapsed_s")
+    is_clean = deprecated_alias("is_clean", "ok")
+
+    @property
+    def findings(self) -> list[Violation]:
+        return self.violations
 
     @property
     def cache_hit_rate(self) -> float:
@@ -57,10 +70,6 @@ class DrcReport:
 
     def __iter__(self) -> Iterator[Violation]:
         return iter(self.violations)
-
-    @property
-    def is_clean(self) -> bool:
-        return not self.violations
 
     def by_rule(self) -> dict[str, list[Violation]]:
         out: dict[str, list[Violation]] = {}
@@ -84,10 +93,15 @@ class DrcReport:
         lines = [f"DRC report for {self.cell_name or '<regions>'}: "
                  f"{len(self.violations)} violations across {self.rules_run} rules"]
         if self.tiles:
-            lines.append(
+            line = (
                 f"  tiles: {self.tiles} ({self.tiles_computed} computed, "
                 f"{self.tiles_cached} cached, {self.cache_hit_rate:.0%} hit rate)"
             )
+            if self.tiles_resumed:
+                line += f" [resumed: {self.tiles_resumed}]"
+            lines.append(line)
+        if self.quarantined:
+            lines.append(f"  QUARANTINED: {len(self.quarantined)} tasks failed")
         for name, vs in sorted(self.by_rule().items()):
             lines.append(f"  {name:<16} {len(vs):>6}")
         return "\n".join(lines)

@@ -5,6 +5,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.report import BaseReport, deprecated_alias
 from repro.extract.connectivity import ExtractedNetlist, NetNode
 from repro.geometry import Point, Region
 from repro.layout import Layer
@@ -12,22 +13,25 @@ from repro.litho.hotspots import Hotspot, HotspotKind
 
 
 @dataclass
-class ConnectivityReport:
+class ConnectivityReport(BaseReport):
     """Result of checking expected net groups against the extraction."""
 
     opens: list[str] = field(default_factory=list)    # intended nets that split
     shorts: list[tuple[str, str]] = field(default_factory=list)  # merged pairs
     missing: list[str] = field(default_factory=list)  # probe points on nothing
 
+    # legacy spelling (pre-BaseReport), kept as a warning alias
+    is_clean = deprecated_alias("is_clean", "ok")
+
     @property
-    def is_clean(self) -> bool:
-        return not (self.opens or self.shorts or self.missing)
+    def findings_count(self) -> int:
+        return len(self.opens) + len(self.shorts) + len(self.missing)
 
     def summary(self) -> str:
         return (
             f"connectivity: {len(self.opens)} opens, {len(self.shorts)} shorts, "
             f"{len(self.missing)} missing probes -> "
-            f"{'CLEAN' if self.is_clean else 'FAIL'}"
+            f"{'CLEAN' if self.ok else 'FAIL'}"
         )
 
 

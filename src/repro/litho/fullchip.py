@@ -12,6 +12,11 @@ is supplied, each tile's result is cached under a content hash of the
 geometry inside its optical influence window — so a re-scan after a
 local edit re-simulates only the dirty tiles, which is what makes
 in-design (rather than tape-out-only) full-chip scanning affordable.
+
+The loop is fault-tolerant: a tile that keeps failing is quarantined
+(recorded on the report) instead of killing the scan, hung chunks can
+be timed out, and ``checkpoint_file``/``resume`` let an interrupted
+scan pick up from its last checkpoint with byte-identical results.
 """
 
 from __future__ import annotations
@@ -19,23 +24,43 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.core.report import BaseReport, deprecated_alias
 from repro.geometry import Rect, Region
 from repro.litho.hotspots import Hotspot, _merge_across_corners, find_hotspots
 from repro.litho.model import LithoModel
 from repro.litho.process import ProcessWindow
 from repro.obs import get_registry, span
-from repro.parallel import Tile, TileCache, TileExecutor, digest_parts, tile_grid
+from repro.parallel import (
+    Checkpoint,
+    FaultPlan,
+    QuarantinedTile,
+    Tile,
+    TileCache,
+    TileExecutor,
+    digest_parts,
+    tile_grid,
+)
 
 
 @dataclass
-class FullChipScanReport:
+class FullChipScanReport(BaseReport):
     tiles: int = 0
     simulated_area_nm2: int = 0
     hotspots: list[Hotspot] = field(default_factory=list)
     tiles_computed: int = 0
     tiles_cached: int = 0
-    compute_seconds: float = 0.0
-    elapsed_seconds: float = 0.0
+    tiles_resumed: int = 0
+    quarantined: list[QuarantinedTile] = field(default_factory=list)
+    compute_s: float = 0.0
+    elapsed_s: float = 0.0
+
+    # legacy spellings (pre-BaseReport), kept as warning aliases
+    compute_seconds = deprecated_alias("compute_seconds", "compute_s")
+    elapsed_seconds = deprecated_alias("elapsed_seconds", "elapsed_s")
+
+    @property
+    def findings(self) -> list[Hotspot]:
+        return self.hotspots
 
     @property
     def cache_hit_rate(self) -> float:
@@ -58,6 +83,10 @@ class FullChipScanReport:
                 f" [incremental: {self.tiles_cached}/{self.tiles} cached, "
                 f"{self.cache_hit_rate:.0%} hit rate]"
             )
+        if self.tiles_resumed:
+            line += f" [resumed: {self.tiles_resumed} tiles from checkpoint]"
+        if self.quarantined:
+            line += f" [QUARANTINED: {len(self.quarantined)} tiles failed]"
         return line
 
 
@@ -121,6 +150,18 @@ def _tile_key(payload: _ScanPayload, tile: Tile, params: str, halo_nm: int) -> s
     return digest_parts(*parts)
 
 
+def _scan_params(payload: _ScanPayload, pinch_limit: int | None, grid: int | None) -> str:
+    model = payload.model
+    return digest_parts(
+        model.settings,
+        model.flare,
+        model.flare_ratio,
+        tuple(payload.process.corners()),
+        pinch_limit,
+        grid,
+    )
+
+
 def scan_full_chip(
     model: LithoModel,
     drawn: Region,
@@ -133,6 +174,11 @@ def scan_full_chip(
     overlap_nm: int = 200,
     jobs: int = 1,
     cache: TileCache | None = None,
+    timeout: float | None = None,
+    max_retries: int = 2,
+    fault_plan: FaultPlan | None = None,
+    checkpoint_file: str | None = None,
+    resume: bool = False,
 ) -> FullChipScanReport:
     """Scan an entire layout tile by tile.
 
@@ -148,6 +194,16 @@ def scan_full_chip(
     to a serial scan.  Passing a :class:`~repro.parallel.TileCache`
     makes the scan incremental: clean tiles replay their cached result
     and only dirty tiles are re-simulated.
+
+    Execution is fault-tolerant (see :meth:`TileExecutor.run
+    <repro.parallel.TileExecutor.run>`): a tile failing more than
+    ``max_retries`` times is quarantined on ``report.quarantined``
+    rather than aborting the scan, ``timeout`` bounds each chunk's wall
+    time, and ``checkpoint_file`` (+ ``resume``) persists completed
+    tiles so an interrupted scan restarts where it left off.  The
+    checkpoint is signature-guarded: it is only replayed against the
+    same geometry and scan parameters, and is deleted once the scan
+    completes.
     """
     t_start = time.perf_counter()
     report = FullChipScanReport()
@@ -157,10 +213,23 @@ def scan_full_chip(
             return report
         extent = bb
     payload = _ScanPayload(model, drawn, mask, process or ProcessWindow(), pinch_limit, grid)
+    checkpoint: Checkpoint | None = None
     with span("scan.plan"):
         tiles = tile_grid(extent, tile_nm, overlap_nm)
         report.tiles = len(tiles)
         report.simulated_area_nm2 = sum(t.window.area for t in tiles)
+
+        if checkpoint_file is not None:
+            signature = digest_parts(
+                "scan-ckpt-v1",
+                _scan_params(payload, pinch_limit, grid),
+                extent.as_tuple(),
+                tile_nm,
+                overlap_nm,
+                drawn.digest(),
+                mask.digest() if mask is not None else None,
+            )
+            checkpoint = Checkpoint.open(checkpoint_file, signature, resume=resume)
 
         owned_by_tile: dict[int, list[Hotspot]] = {}
         pending: list[Tile] = tiles
@@ -171,14 +240,7 @@ def scan_full_chip(
                 model.halo_nm(c.defocus_nm) for c in payload.process.corners()
             )
             halo = -(-halo // g) * g  # pixel-grid round-up, as in aerial_image
-            params = digest_parts(
-                model.settings,
-                model.flare,
-                model.flare_ratio,
-                tuple(payload.process.corners()),
-                pinch_limit,
-                grid,
-            )
+            params = _scan_params(payload, pinch_limit, grid)
             pending = []
             for tile in tiles:
                 key = _tile_key(payload, tile, params, halo)
@@ -190,24 +252,45 @@ def scan_full_chip(
                     owned_by_tile[tile.index] = hit
 
     with span("scan.compute"):
-        results = TileExecutor(jobs).map(_scan_tile, payload, pending)
-    for tile, (owned, seconds) in zip(pending, results):
+        outcome = TileExecutor(jobs).run(
+            _scan_tile,
+            payload,
+            pending,
+            keys=[t.index for t in pending],
+            timeout=timeout,
+            max_retries=max_retries,
+            fault_plan=fault_plan,
+            checkpoint=checkpoint,
+        )
+    for tile, value in zip(pending, outcome.results):
+        if value is None:  # quarantined: no result for this tile
+            continue
+        owned, seconds = value
         owned_by_tile[tile.index] = owned
-        report.compute_seconds += seconds
+        if tile.index in outcome.resumed_keys:
+            continue  # replayed from checkpoint; costs belong to the prior run
+        report.compute_s += seconds
         if cache is not None:
             cache.put(keys[tile.index], owned)
 
-    report.tiles_computed = len(pending)
+    report.quarantined = outcome.quarantined
+    report.tiles_resumed = len(outcome.resumed_keys)
+    report.tiles_computed = outcome.computed
     report.tiles_cached = report.tiles - len(pending)
     with span("scan.merge"):
-        raw = [h for tile in tiles for h in owned_by_tile[tile.index]]
+        raw = [h for tile in tiles for h in owned_by_tile.get(tile.index, [])]
         # residual duplicates (markers straddling a seam) merge here
         report.hotspots = _merge_across_corners(raw)
-    report.elapsed_seconds = time.perf_counter() - t_start
+    report.elapsed_s = time.perf_counter() - t_start
+    if checkpoint is not None:
+        # the run completed (quarantine included): nothing left to resume
+        checkpoint.clear()
     registry = get_registry()
     registry.inc("scan.runs")
     registry.inc("scan.tiles", report.tiles)
     registry.inc("scan.tiles_computed", report.tiles_computed)
     registry.inc("scan.tiles_cached", report.tiles_cached)
+    registry.inc("scan.tiles_resumed", report.tiles_resumed)
+    registry.inc("scan.tiles_quarantined", len(report.quarantined))
     registry.inc("scan.hotspots", len(report.hotspots))
     return report

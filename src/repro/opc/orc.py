@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.report import BaseReport, deprecated_alias
 from repro.geometry import Rect, Region
 from repro.litho.hotspots import Hotspot, find_hotspots
 from repro.litho.model import LithoModel
@@ -21,23 +22,26 @@ from repro.opc.modelbased import edge_placement_errors
 
 
 @dataclass
-class OrcReport:
+class OrcReport(BaseReport):
     rms_epe_nm: float = 0.0
     max_epe_nm: float = 0.0
     epe_violations: int = 0
     hotspots: list[Hotspot] = field(default_factory=list)
     printing_srafs: int = 0
 
+    # legacy spelling (pre-BaseReport), kept as a warning alias
+    passed = deprecated_alias("passed", "ok")
+
     @property
-    def passed(self) -> bool:
-        return self.epe_violations == 0 and not self.hotspots and self.printing_srafs == 0
+    def findings_count(self) -> int:
+        return self.epe_violations + len(self.hotspots) + self.printing_srafs
 
     def summary(self) -> str:
         return (
             f"ORC: rms EPE {self.rms_epe_nm:.2f} nm, max {self.max_epe_nm:.2f} nm, "
             f"{self.epe_violations} EPE violations, {len(self.hotspots)} hotspots, "
             f"{self.printing_srafs} printing SRAFs -> "
-            f"{'PASS' if self.passed else 'FAIL'}"
+            f"{'PASS' if self.ok else 'FAIL'}"
         )
 
 

@@ -1,9 +1,9 @@
-"""Parallel & incremental verification.
+"""Parallel, incremental, and fault-tolerant verification.
 
 The shared machinery behind the full-chip litho scan
 (:func:`repro.litho.scan_full_chip`) and tiled DRC
 (:func:`repro.drc.run_drc`), exposed on the command line as
-``--jobs`` / ``--incremental``:
+``--jobs`` / ``--incremental`` / ``--timeout`` / ``--resume``:
 
 * :func:`tile_grid` / :class:`Tile` — cut an extent into core tiles
   with halo windows.  Seam ownership is half-open on interior high
@@ -11,8 +11,11 @@ The shared machinery behind the full-chip litho scan
   (including the extreme corner) has exactly one owning tile and tiled
   results are independent of the tiling.
 * :class:`TileExecutor` — deterministic chunked fan-out of tile work
-  over a ``concurrent.futures`` process pool.  Results are reassembled
-  in tile order, so a ``jobs=N`` run is byte-identical to ``jobs=1``.
+  over a ``multiprocessing`` pool.  Results are reassembled in tile
+  order, so a ``jobs=N`` run is byte-identical to ``jobs=1``.
+  :meth:`TileExecutor.run` adds the fault-tolerant contract: per-chunk
+  timeouts, bounded retry with exponential backoff, poison-tile
+  quarantine (:class:`QuarantinedTile`), and checkpoint/resume.
 * :class:`TileCache` — incremental result cache.  Each tile's entry is
   keyed by a content hash (:meth:`repro.geometry.Region.digest`) of
   the geometry clipped to the tile's *halo window* — the full region
@@ -23,17 +26,46 @@ The shared machinery behind the full-chip litho scan
   and an unedited re-scan re-verifies nothing (100% hit rate).  Hashes
   are taken over canonical-form geometry, so rebuilding the same point
   set differently still hits.
+* :class:`Checkpoint` — signature-guarded persistence of completed tile
+  results, so an interrupted run resumes instead of starting over.
+* :class:`FaultPlan` — deterministic fault injection (``fail`` /
+  ``hang`` / ``abort`` at exact tiles), driven programmatically or via
+  ``$REPRO_FAULT_SPEC``, so the retry/timeout/quarantine matrix is
+  testable in CI.
 """
 
 from repro.parallel.cache import TileCache, digest_parts
-from repro.parallel.pool import TileExecutor, resolve_jobs
+from repro.parallel.checkpoint import Checkpoint
+from repro.parallel.faults import (
+    AbortRun,
+    FaultPlan,
+    FaultRule,
+    InjectedAbort,
+    InjectedFault,
+    QuarantinedTile,
+)
+from repro.parallel.pool import (
+    ExecutionOutcome,
+    TileExecutor,
+    WorkerFailure,
+    resolve_jobs,
+)
 from repro.parallel.tiles import Tile, tile_grid
 
 __all__ = [
     "Tile",
     "tile_grid",
     "TileExecutor",
+    "ExecutionOutcome",
+    "WorkerFailure",
     "resolve_jobs",
     "TileCache",
     "digest_parts",
+    "Checkpoint",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "InjectedAbort",
+    "AbortRun",
+    "QuarantinedTile",
 ]

@@ -1,0 +1,116 @@
+"""Checkpointing of completed tile results for interruptible runs.
+
+A full-chip scan that dies three hours in should not cost three hours
+again.  The executor periodically persists every completed tile's
+result to a :class:`Checkpoint` file; a rerun with ``resume=True``
+replays those results and computes only the unfinished tiles, producing
+a report byte-identical to an uninterrupted run.
+
+Correctness hinges on the *signature*: a digest of everything that
+determines tile results (engine parameters, tiling, geometry content).
+:meth:`Checkpoint.open` silently discards a checkpoint whose signature
+does not match — resuming against edited geometry or different settings
+degrades to a fresh run instead of splicing stale results in.
+
+Writes are atomic (temp file + rename), so a run killed mid-flush
+leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Any, Iterator
+
+SCHEMA = "repro-checkpoint-v1"
+
+
+class Checkpoint:
+    """A signature-guarded store of ``{tile key: result}`` on disk."""
+
+    def __init__(self, path: str | os.PathLike, signature: str):
+        self.path = os.fspath(path)
+        self.signature = signature
+        self._results: dict[Any, Any] = {}
+        self._dirty = False
+
+    @classmethod
+    def open(
+        cls, path: str | os.PathLike, signature: str, resume: bool = True
+    ) -> "Checkpoint":
+        """Open a checkpoint file for this run signature.
+
+        With ``resume`` the existing file's results are adopted when its
+        schema and signature match; a missing, corrupt, or stale file
+        yields an empty checkpoint (the run starts fresh).
+        """
+        checkpoint = cls(path, signature)
+        if resume:
+            try:
+                with open(checkpoint.path, "rb") as fh:
+                    data = pickle.load(fh)
+                if (
+                    isinstance(data, dict)
+                    and data.get("schema") == SCHEMA
+                    and data.get("signature") == signature
+                ):
+                    checkpoint._results = dict(data.get("results", {}))
+            except Exception:
+                # missing file, truncated pickle, unreadable path — all
+                # mean the same thing: nothing usable to resume from
+                pass
+        return checkpoint
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._results
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._results)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._results.get(key, default)
+
+    def record(self, key: Any, value: Any) -> None:
+        """Store one completed tile's result (buffered until flush)."""
+        self._results[key] = value
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Atomically persist the current results, if anything changed."""
+        if not self._dirty:
+            return
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".checkpoint-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(
+                    {
+                        "schema": SCHEMA,
+                        "signature": self.signature,
+                        "results": self._results,
+                    },
+                    fh,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+
+    def clear(self) -> None:
+        """Drop all results and delete the file (run completed)."""
+        self._results.clear()
+        self._dirty = False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass

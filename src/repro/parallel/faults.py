@@ -1,0 +1,188 @@
+"""Deterministic fault injection for the tile executor.
+
+Long-running batch verification has to survive flaky tiles, hung
+workers, and operator interrupts — and that behavior has to be testable
+in CI without real flakiness.  A :class:`FaultPlan` injects failures at
+exact, reproducible points of a run: *tile 17 raises twice then
+succeeds*, *chunk 3 hangs*, *tile 40 aborts the run*.  The executor
+consults the plan immediately before executing each tile (and each
+chunk), keyed by the tile's stable key and its execution ordinal — so a
+given plan produces the same fault sequence on every run.
+
+Plans come from the ``REPRO_FAULT_SPEC`` environment variable (parsed
+by :meth:`FaultPlan.from_env`, picked up automatically by
+:meth:`TileExecutor.run <repro.parallel.TileExecutor.run>`) or are
+passed explicitly as ``fault_plan=``.  The grammar::
+
+    spec   := entry ("," entry)*
+    entry  := scope ":" index ":" action [":" arg]
+    scope  := "tile" | "chunk"
+    action := "fail" | "hang" | "abort"
+
+* ``fail`` — raise :class:`InjectedFault`; ``arg`` is how many
+  executions fail before succeeding (``forever`` or omitted = always).
+* ``hang`` — sleep ``arg`` seconds (default 3600) before proceeding,
+  simulating a hung worker for the timeout path to kill.
+* ``abort`` — raise :class:`InjectedAbort`, which the executor converts
+  into :class:`AbortRun` after flushing the checkpoint: a deterministic
+  stand-in for an operator interrupt, used to test ``--resume``.
+
+Example: ``REPRO_FAULT_SPEC="tile:5:fail:1,tile:40:fail"`` makes tile 5
+transiently fail once (a retry recovers it) and tile 40 fail permanently
+(quarantined after retries are exhausted).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+ENV_VAR = "REPRO_FAULT_SPEC"
+
+_SCOPES = ("tile", "chunk")
+_ACTIONS = ("fail", "hang", "abort")
+_FOREVER = float("inf")
+_DEFAULT_HANG_S = 3600.0
+
+
+class InjectedFault(RuntimeError):
+    """A failure raised on purpose by a :class:`FaultPlan`."""
+
+
+class InjectedAbort(RuntimeError):
+    """An injected run interrupt (simulates Ctrl-C / operator kill)."""
+
+
+class AbortRun(RuntimeError):
+    """The run was interrupted; completed tiles are in the checkpoint.
+
+    Raised by the executor after an :class:`InjectedAbort` (or any
+    interrupt) once the checkpoint has been flushed — re-running with
+    ``resume=True`` recomputes only the unfinished tiles.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantinedTile:
+    """A tile (or task) excluded from the run after exhausting retries.
+
+    ``index`` is the tile's stable key (the :class:`~repro.parallel.Tile`
+    index for scans, the task index for tiled DRC); ``error`` is the
+    last failure observed; ``attempts`` is how many executions were
+    tried before giving up.
+    """
+
+    index: int
+    error: str
+    attempts: int
+
+    def __str__(self) -> str:
+        return f"tile {self.index}: {self.error} (after {self.attempts} attempts)"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRule:
+    """One injection point: ``scope:index:action:arg``."""
+
+    scope: str
+    index: int
+    action: str
+    # fail/abort: executions that fire (inf = every one); hang: seconds
+    arg: float
+
+    def __post_init__(self) -> None:
+        if self.scope not in _SCOPES:
+            raise ValueError(f"unknown fault scope {self.scope!r} (expected {_SCOPES})")
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r} (expected {_ACTIONS})")
+
+
+class FaultPlan:
+    """An immutable, picklable set of :class:`FaultRule` entries."""
+
+    def __init__(self, rules: Iterable[FaultRule] = ()):
+        self._rules = tuple(rules)
+
+    @property
+    def rules(self) -> tuple[FaultRule, ...]:
+        return self._rules
+
+    def __bool__(self) -> bool:
+        return bool(self._rules)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({list(self._rules)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultPlan) and self._rules == other._rules
+
+    def __hash__(self) -> int:
+        return hash(self._rules)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``REPRO_FAULT_SPEC``-grammar string (see module doc)."""
+        rules: list[FaultRule] = []
+        for raw in spec.split(","):
+            raw = raw.strip()
+            if not raw:
+                continue
+            parts = raw.split(":")
+            if len(parts) not in (3, 4):
+                raise ValueError(
+                    f"bad fault entry {raw!r}: expected scope:index:action[:arg]"
+                )
+            scope, index_text, action = parts[0], parts[1], parts[2]
+            try:
+                index = int(index_text)
+            except ValueError:
+                raise ValueError(f"bad fault index in {raw!r}") from None
+            arg_text = parts[3] if len(parts) == 4 else None
+            if action == "hang":
+                arg = float(arg_text) if arg_text is not None else _DEFAULT_HANG_S
+            elif arg_text is None or arg_text == "forever":
+                arg = _FOREVER
+            else:
+                try:
+                    arg = float(int(arg_text))
+                except ValueError:
+                    raise ValueError(f"bad fault count in {raw!r}") from None
+            rules.append(FaultRule(scope, index, action, arg))
+        return cls(rules)
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> "FaultPlan | None":
+        """The plan in ``$REPRO_FAULT_SPEC``, or None when unset/empty."""
+        spec = (os.environ if environ is None else environ).get(ENV_VAR, "").strip()
+        return cls.parse(spec) if spec else None
+
+    def _match(self, scope: str, index: int, attempt: int) -> FaultRule | None:
+        for rule in self._rules:
+            if rule.scope != scope or rule.index != index:
+                continue
+            if rule.action == "hang" or attempt < rule.arg:
+                return rule
+        return None
+
+    def fire(self, scope: str, index: int, attempt: int) -> None:
+        """Trigger the matching rule, if any, for this execution.
+
+        ``attempt`` is the zero-based execution ordinal of the tile (or
+        chunk): ``fail:2`` fires on attempts 0 and 1 and lets attempt 2
+        through — *raises twice then succeeds*.
+        """
+        rule = self._match(scope, index, attempt)
+        if rule is None:
+            return
+        if rule.action == "hang":
+            time.sleep(rule.arg)
+        elif rule.action == "abort":
+            raise InjectedAbort(
+                f"injected abort at {scope} {index} (attempt {attempt})"
+            )
+        else:
+            raise InjectedFault(
+                f"injected fault at {scope} {index} (attempt {attempt})"
+            )

@@ -51,7 +51,7 @@ def _measure(tech: Technology, cells: tuple[str, ...], litho_check: bool) -> tup
         bb = std.cell.bbox
         area += bb.area / 1e6
         report = run_drc(std.cell, tech.rules.minimum())
-        clean = clean and report.is_clean
+        clean = clean and report.ok
         if model is not None:
             m1 = std.cell.region(tech.layers.metal1)
             window = Rect(bb.x0 - 100, bb.y0 - 100, bb.x1 + 100, bb.y1 + 100)

@@ -11,19 +11,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.report import BaseReport
 from repro.geometry import GridIndex, Rect, Region
 from repro.layout import Cell, Layer
 from repro.tech.technology import Technology
 
 
 @dataclass
-class RedundantViaReport:
+class RedundantViaReport(BaseReport):
     total_vias: int = 0
     already_redundant: int = 0
     inserted: int = 0
     unfixable: int = 0
     added_metal_area: int = 0
     insertions: list[Rect] = field(default_factory=list)
+
+    @property
+    def findings_count(self) -> int:
+        return self.unfixable
 
     @property
     def coverage(self) -> float:

@@ -10,11 +10,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.report import BaseReport
 from repro.geometry import GridIndex, Rect, Region
 
 
 @dataclass
-class SpreadReport:
+class SpreadReport(BaseReport):
     features: int = 0
     moved: int = 0
     widened: int = 0

@@ -168,6 +168,76 @@ class TestExitCodeContract:
         assert rc == 0
 
 
+class TestFaultTolerance:
+    def test_quarantine_exits_one_even_with_no_fail(self, block_gds, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "tile:0:fail")
+        rc = main(["scan", str(block_gds), "--node", "45", "--tile", "2000",
+                   "--limit", "0", "--no-fail"])
+        captured = capsys.readouterr()
+        assert rc == 1  # quarantine = incomplete run, --no-fail does not excuse it
+        assert "QUARANTINED" in captured.out
+        assert "QUARANTINED tile 0" in captured.err
+
+    def test_transient_fault_recovers_to_clean_exit(self, block_gds, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "tile:0:fail:1")
+        rc = main(["scan", str(block_gds), "--node", "45", "--tile", "6000",
+                   "--limit", "0", "--no-fail"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "QUARANTINED" not in captured.out
+
+    def test_abort_exits_three_and_resume_completes(
+        self, block_gds, tmp_path, capsys, monkeypatch
+    ):
+        ckpt = tmp_path / "scan.ckpt"
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "tile:1:abort")
+        rc = main(["scan", str(block_gds), "--node", "45", "--tile", "2000",
+                   "--limit", "0", "--checkpoint-file", str(ckpt)])
+        captured = capsys.readouterr()
+        assert rc == 3
+        assert "rerun with --resume" in captured.err
+        assert ckpt.exists()
+
+        monkeypatch.delenv("REPRO_FAULT_SPEC")
+        rc = main(["scan", str(block_gds), "--node", "45", "--tile", "2000",
+                   "--limit", "0", "--no-fail", "--checkpoint-file", str(ckpt),
+                   "--resume"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resumed" in out
+        assert not ckpt.exists()  # completed run clears its checkpoint
+
+    def test_resume_uses_default_checkpoint_path(self, block_gds, capsys,
+                                                 monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["scan", str(block_gds), "--node", "45", "--tile", "6000",
+                   "--limit", "0", "--no-fail", "--resume"])
+        capsys.readouterr()
+        assert rc == 0  # nothing to resume: behaves as a fresh run
+
+    def test_drc_quarantine_exits_one(self, block_gds, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "tile:0:fail")
+        rc = main(["drc", str(block_gds), "--node", "45", "--jobs", "2",
+                   "--max-retries", "1", "--no-fail"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "QUARANTINED" in captured.out
+
+    def test_manifest_records_quarantine_counters(self, block_gds, tmp_path,
+                                                  capsys, monkeypatch):
+        from repro.obs import RunManifest
+
+        target = tmp_path / "m.json"
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "tile:0:fail,tile:1:fail:1")
+        main(["scan", str(block_gds), "--node", "45", "--tile", "2000",
+              "--limit", "0", "--metrics-out", str(target)])
+        capsys.readouterr()
+        manifest = RunManifest.load(target)
+        assert manifest.counters["scan.tiles_quarantined"] == 1
+        assert manifest.counters["pool.retries"] >= 1
+        assert manifest.counters["pool.quarantined"] == 1
+
+
 class TestObservabilityFlags:
     def test_metrics_out_writes_manifest(self, block_gds, tmp_path, capsys):
         from repro.obs import RunManifest

@@ -56,7 +56,7 @@ class TestStdCells:
         deck = RuleDeck("m1w", [WidthRule("W", L.metal1, tech45.metal_width)])
         for name in stdlib45.names():
             report = run_drc(stdlib45[name].cell, deck)
-            assert report.is_clean, f"{name}: {report.summary()}"
+            assert report.ok, f"{name}: {report.summary()}"
 
 
 class TestLogicBlock:
@@ -103,7 +103,7 @@ class TestLogicBlock:
         """The generator's headline property: minimum-rule clean by
         construction (weak spots are *at* the rules, not beyond them)."""
         report = run_drc(small_block.top, tech45.rules.minimum())
-        assert report.is_clean, report.summary()
+        assert report.ok, report.summary()
 
     def test_weak_spots_present(self, small_block, tech45):
         # weak spots are tip pairs above the rows

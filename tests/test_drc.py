@@ -233,7 +233,7 @@ class TestEngine:
         cell = Cell("T")
         cell.add_rect(L.metal1, Rect(0, 0, 1000, 30))  # too narrow
         report = run_drc(cell, tech45.rules.minimum().for_layer(L.metal1))
-        assert not report.is_clean
+        assert not report.ok
         assert report.count() >= 1
         assert "M1.W.1" in report.by_rule()
         assert "M1.W.1" in report.summary()
@@ -243,7 +243,7 @@ class TestEngine:
         cell = Cell("OK")
         cell.add_rect(L.metal1, Rect(0, 0, 1000, 45))
         report = run_drc(cell, tech45.rules.minimum().for_layer(L.metal1))
-        assert report.is_clean
+        assert report.ok
 
     def test_severity_filtering(self, tech45):
         L = tech45.layers

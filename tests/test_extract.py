@@ -119,7 +119,7 @@ class TestCheckConnectivity:
             netlist, {"net": [(L.metal1, Point(50, 20)), (L.metal1, Point(250, 20))]}
         )
         assert report.opens == ["net"]
-        assert not report.is_clean
+        assert not report.ok
 
     def test_detects_short(self, tech45):
         L = tech45.layers
@@ -157,7 +157,7 @@ class TestCheckConnectivity:
                 "b": [(L.metal1, Point(10, 220))],
             },
         )
-        assert report.is_clean
+        assert report.ok
 
 
 class TestElectricalImpact:

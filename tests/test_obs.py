@@ -355,7 +355,8 @@ class TestObsInPool:
         def boom(*a, **k):
             raise OSError("no semaphores here")
 
-        monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", boom)
+        monkeypatch.setattr(TileExecutor, "_make_pool", boom)
+        assert pool_mod  # the fallback lives in TileExecutor now
         fresh = MetricsRegistry(enabled=True)
         previous = set_registry(fresh)
         try:
@@ -364,6 +365,7 @@ class TestObsInPool:
             set_registry(previous)
         assert out == [0, 1, 2, 3, 4, 5, 6, 7]
         assert fresh.counter("pool.items") == 8
+        assert fresh.gauge_value("pool_fallback") == 1
 
 
 def _count_item(payload, item):

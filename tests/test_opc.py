@@ -174,10 +174,10 @@ class TestOrc:
         line = Region(Rect(0, 0, 45, 800))
         window = Rect(-150, -150, 195, 950)
         raw = verify_opc(litho45, line, line, window)
-        assert not raw.passed  # un-OPC'd line fails at the ends
+        assert not raw.ok  # un-OPC'd line fails at the ends
         result = apply_model_opc(line, litho45, window, ModelOpcSettings(pw_aware=True, iterations=8))
         good = verify_opc(litho45, result.mask, line, window)
-        assert good.passed
+        assert good.ok
         assert good.rms_epe_nm < raw.rms_epe_nm
 
     def test_sraf_printing_detected(self, litho45):

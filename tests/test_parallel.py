@@ -225,7 +225,7 @@ class TestParallelDrc:
         deck = tech45.rules.minimum()
         flat = run_drc(small_block.top, deck)
         tiled = run_drc(small_block.top, deck, jobs=2, tile_nm=2500)
-        assert flat.is_clean == tiled.is_clean
+        assert flat.ok == tiled.ok
 
     def test_incremental_rerun_hits_every_task(self, small_block, tech45):
         deck = tech45.rules.minimum()
@@ -245,8 +245,8 @@ class TestParallelDrc:
         deck = tech45.rules.minimum()
         flat = run_drc(cell, deck)
         tiled = run_drc(cell, deck, jobs=2, tile_nm=600)
-        assert not flat.is_clean
-        assert not tiled.is_clean
+        assert not flat.ok
+        assert not tiled.ok
         flat_rules = {v.rule.name for v in flat}
         tiled_rules = {v.rule.name for v in tiled}
         assert flat_rules == tiled_rules

@@ -112,4 +112,4 @@ class TestFillers:
         )
         insert_fillers(tech45, block)
         report = run_drc(block.top, tech45.rules.minimum())
-        assert report.is_clean, report.summary()
+        assert report.ok, report.summary()
