@@ -109,6 +109,141 @@ def test_a3_fullchip_tiling(benchmark, tech45, bench_block, obs_registry):
         assert speedup >= 1.5  # only 2 tiles here; see test_a3p for the fan-out
 
 
+def test_a3f_fastpath_ablation(benchmark, tech45, stdlib45, obs_registry):
+    """Before/after rows for the aerial-image fast path.
+
+    ``fast_path=False`` is the reference engine — whole-chip sweep per
+    tile, one independent simulation per corner, pairwise detection and
+    merge loops — the "before" of the PR that introduced SimCache
+    condition reuse and indexed geometry windowing (the vectorized
+    rasterizer serves both engines, so the old-code baseline was slower
+    still).  Both engines must report the identical hotspot population;
+    the speedup, the raster-reuse rate, and the per-tile cache-key cost
+    land in ``extra_info`` so ``BENCH_*.json`` tracks the fast path
+    across PRs.  The block is the wide a3p one: geometry windowing only
+    shows its O(chip) -> O(tile) win when the chip is many tiles wide.
+    """
+    from repro.designgen import LogicBlockSpec, generate_logic_block
+    from repro.geometry import GridIndex, Rect
+    from repro.litho import ProcessWindow
+    from repro.litho.fullchip import _ScanGeometry, _ScanPayload, _scan_params, _tile_key
+    from repro.parallel import tile_grid
+
+    spec = LogicBlockSpec(rows=3, row_width_nm=26000, net_count=24, seed=7, weak_spots=16)
+    block = generate_logic_block(tech45, spec, stdlib45)
+    model = LithoModel(tech45.litho)
+    m1 = block.top.region(tech45.layers.metal1)
+    limit = tech45.metal_width // 2
+
+    def _run():
+        t0 = time.perf_counter()
+        legacy = scan_full_chip(
+            model, m1, tile_nm=6000, pinch_limit=limit, fast_path=False
+        )
+        t_legacy = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fast = scan_full_chip(
+            model, m1, tile_nm=6000, pinch_limit=limit, fast_path=True
+        )
+        t_fast = time.perf_counter() - t0
+
+        # cache-key cost: digesting every tile's influence clip from the
+        # whole-chip region (legacy, O(chip) per tile) vs from the
+        # spatial index (O(local)) — this is the entire per-tile cost of
+        # a warm incremental re-scan, measured at a fine 2000 nm tiling
+        # where a production scan has many tiles
+        process = ProcessWindow()
+        g = model.settings.grid_nm
+        halo = max(model.halo_nm(c.defocus_nm) for c in process.corners())
+        halo = -(-halo // g) * g
+        pay_fast = _ScanPayload(
+            model, _ScanGeometry(m1), None, process, limit, None, halo, True
+        )
+        pay_legacy = _ScanPayload(model, m1, None, process, limit, None, halo, False)
+        params = _scan_params(pay_fast, limit, None)
+        tiles = tile_grid(m1.bbox, 2000, 200)
+        pay_fast.drawn.near(m1.bbox)  # build the index outside the timer
+        t_key_legacy = t_key_fast = float("inf")
+        keys_legacy: list = []
+        keys_fast: list = []
+        for _ in range(5):  # min-of-5: the keys take milliseconds
+            t0 = time.perf_counter()
+            keys_legacy = [_tile_key(pay_legacy, t, params, halo) for t in tiles]
+            t_key_legacy = min(t_key_legacy, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            keys_fast = [_tile_key(pay_fast, t, params, halo) for t in tiles]
+            t_key_fast = min(t_key_fast, time.perf_counter() - t0)
+        assert keys_fast == keys_legacy  # caches stay interchangeable
+
+        # micro-bench: allocation-free query_into vs allocating query on
+        # the scan's own geometry and tiling
+        index: GridIndex[Rect] = GridIndex(cell_size=2048)
+        for r in m1.rects():
+            index.insert(r, r)
+        windows = [t.window.expanded(halo) for t in tiles] * 200
+        buf: list[Rect] = []
+        t0 = time.perf_counter()
+        for w in windows:
+            index.query(w)
+        t_query = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for w in windows:
+            index.query_into(w, buf)
+        t_query_into = time.perf_counter() - t0
+
+        return (
+            legacy, t_legacy, fast, t_fast,
+            t_key_legacy, t_key_fast, t_query, t_query_into, len(tiles),
+        )
+
+    (
+        legacy, t_legacy, fast, t_fast,
+        t_key_legacy, t_key_fast, t_query, t_query_into, n_tiles,
+    ) = run_once(benchmark, _run)
+
+    table = Table(
+        "A3f: fast path before/after, 6000 nm tiling",
+        ["engine", "tiles", "hotspots", "time (s)", "tiles/s"],
+    )
+    table.add_row("legacy", float(legacy.tiles), float(len(legacy.hotspots)), t_legacy,
+                  legacy.tiles / t_legacy if t_legacy > 0 else 0.0)
+    table.add_row("fast", float(fast.tiles), float(len(fast.hotspots)), t_fast,
+                  fast.tiles / t_fast if t_fast > 0 else 0.0)
+    print()
+    print(table.render())
+
+    counters = obs_registry.snapshot()["counters"]
+    reuse = counters.get("sim.raster_reuse", 0)
+    # the fast engine rasterizes once per simulated tile and touches the
+    # raster once per unique blur sigma (two here: defocus 0 and 80 nm),
+    # so every second access is a reuse hit
+    reuse_rate = reuse / max(reuse + fast.tiles_computed, 1)
+    speedup = t_legacy / t_fast if t_fast > 0 else 0.0
+
+    benchmark.extra_info["fastpath_speedup"] = round(speedup, 3)
+    benchmark.extra_info["tiles_per_s_legacy"] = round(legacy.tiles / t_legacy, 3)
+    benchmark.extra_info["tiles_per_s_fast"] = round(fast.tiles / t_fast, 3)
+    benchmark.extra_info["raster_reuse_rate"] = round(reuse_rate, 4)
+    benchmark.extra_info["tile_key_s_legacy"] = round(t_key_legacy, 6)
+    benchmark.extra_info["tile_key_s_indexed"] = round(t_key_fast, 6)
+    benchmark.extra_info["query_into_speedup"] = round(
+        t_query / t_query_into if t_query_into > 0 else 0.0, 3
+    )
+
+    record = ExperimentRecord("A3f", "fast path is faster and bit-identical")
+    record.record("speedup", speedup)
+    record.record("raster_reuse_rate", reuse_rate)
+    record.record("tile_key_speedup", t_key_legacy / t_key_fast if t_key_fast > 0 else 0.0)
+    record.record("query_into_speedup", t_query / t_query_into if t_query_into > 0 else 0.0)
+    identical = fast.hotspots == legacy.hotspots
+    record.conclude(identical and speedup >= 2.0)
+    print(record.render())
+
+    assert identical
+    assert speedup >= 2.0  # the PR's acceptance floor, single-job
+    assert reuse_rate >= 0.5  # 2 unique sigmas -> 1 raster + 1 reuse per tile
+
+
 def test_a3p_parallel_speedup(benchmark, tech45, stdlib45):
     """Parallel speedup on a block wide enough to fill a 4-worker pool
     at the 6000 nm tiling (the acceptance row for the parallel engine)."""

@@ -217,8 +217,38 @@ class Region:
     difference = __sub__
 
     def overlaps(self, other: "Region") -> bool:
-        """True when interiors intersect."""
-        return bool(self & other)
+        """True when interiors intersect.
+
+        A two-pointer sweep over both canonical slab lists that stops at
+        the first intersecting (slab, slab) pair — unlike ``self & other``
+        it never materializes the intersection, so disjoint-but-close
+        regions (the common case in hotspot bridging and fill checks)
+        answer in O(slabs scanned) with no allocation.
+        """
+        a, b = self._slabs, other._slabs
+        ia = ib = 0
+        while ia < len(a) and ib < len(b):
+            ax0, ax1, ay = a[ia]
+            bx0, bx1, by = b[ib]
+            if ax1 <= bx0:
+                ia += 1
+                continue
+            if bx1 <= ax0:
+                ib += 1
+                continue
+            i = j = 0
+            while i < len(ay) and j < len(by):
+                if max(ay[i][0], by[j][0]) < min(ay[i][1], by[j][1]):
+                    return True
+                if ay[i][1] <= by[j][1]:
+                    i += 1
+                else:
+                    j += 1
+            if ax1 <= bx1:
+                ia += 1
+            else:
+                ib += 1
+        return False
 
     def covers(self, other: "Region") -> bool:
         """True when ``other`` is a subset of this region."""

@@ -12,8 +12,8 @@ pinch/bridge hotspots all emerge with the correct shapes.
 """
 
 from repro.litho.raster import rasterize, raster_to_region
-from repro.litho.model import LithoModel, simulate
-from repro.litho.process import ProcessCondition, ProcessWindow, pv_bands
+from repro.litho.model import LithoModel, SimCache, simulate
+from repro.litho.process import ProcessCondition, ProcessWindow, pv_bands, sweep_contours
 from repro.litho.cd import measure_cd, cd_error, Cutline
 from repro.litho.hotspots import Hotspot, HotspotKind, find_hotspots
 from repro.litho.fullchip import FullChipScanReport, scan_full_chip
@@ -30,10 +30,12 @@ __all__ = [
     "rasterize",
     "raster_to_region",
     "LithoModel",
+    "SimCache",
     "simulate",
     "ProcessCondition",
     "ProcessWindow",
     "pv_bands",
+    "sweep_contours",
     "measure_cd",
     "cd_error",
     "Cutline",

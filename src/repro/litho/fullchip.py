@@ -25,7 +25,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.report import BaseReport, deprecated_alias
-from repro.geometry import Rect, Region
+from repro.geometry import GridIndex, Rect, Region
+from repro.geometry.region import _merge_slabs
 from repro.litho.hotspots import Hotspot, _merge_across_corners, find_hotspots
 from repro.litho.model import LithoModel
 from repro.litho.process import ProcessWindow
@@ -90,30 +91,114 @@ class FullChipScanReport(BaseReport):
         return line
 
 
+class _ScanGeometry:
+    """One layer's canonical rects plus a lazily-built spatial index.
+
+    Shipped to workers instead of the whole-chip :class:`Region`: only
+    the flat rect list travels over the wire (the grid buckets are
+    rebuilt on first use in each process), and every per-tile operation
+    — window clipping, cache-key digesting — queries the index so it
+    touches only the geometry near the tile instead of sweeping the
+    full chip.
+    """
+
+    __slots__ = ("rects", "cell_nm", "_index", "_buf")
+
+    def __init__(self, region: Region, cell_nm: int = 2048):
+        self.rects: list[Rect] = list(region.rects())
+        self.cell_nm = cell_nm
+        self._index: GridIndex[Rect] | None = None
+        self._buf: list[Rect] = []
+
+    def __getstate__(self):
+        return (self.rects, self.cell_nm)
+
+    def __setstate__(self, state):
+        self.rects, self.cell_nm = state
+        self._index = None
+        self._buf = []
+
+    def near(self, window: Rect) -> list[Rect]:
+        """Canonical rects whose bbox touches ``window`` (a shared
+        buffer, valid until the next call in this process)."""
+        if self._index is None:
+            self._index = GridIndex(cell_size=self.cell_nm)
+            for r in self.rects:
+                self._index.insert(r, r)
+        return self._index.query_into(window, self._buf)
+
+    def clipped(self, window: Rect) -> Region:
+        """``region & Region(window)`` computed from local rects only.
+
+        Exact: canonical rects are disjoint, and rects not touching the
+        window contribute nothing to the intersection, so the local
+        point set (hence the canonical form and digest) is identical to
+        the full-chip sweep's.
+
+        The local rects are fragments of the source region's canonical
+        slabs — rects sharing an x-range belong to one slab, distinct
+        x-ranges never partially overlap — so the slab list is rebuilt
+        by grouping instead of a from-scratch plane sweep, and only the
+        window intersection pays for a sweep.
+        """
+        by_slab: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for r in self.near(window):
+            by_slab.setdefault((r.x0, r.x1), []).append((r.y0, r.y1))
+        slabs = [(x0, x1, sorted(ys)) for (x0, x1), ys in sorted(by_slab.items())]
+        local = Region._from_slabs(_merge_slabs(slabs))
+        return local & Region(window)
+
+
 @dataclass(frozen=True, slots=True)
 class _ScanPayload:
-    """Read-only per-scan state shipped to each worker once."""
+    """Read-only per-scan state shipped to each worker once.
+
+    On the fast path (the default) ``drawn``/``mask`` are
+    :class:`_ScanGeometry` indexes and ``halo_nm`` is the widest corner
+    halo (pixel-aligned): each tile simulates from the geometry inside
+    its influence window only.  With ``fast_path=False`` they are the
+    whole-chip regions and every tile re-sweeps the full chip — the
+    legacy path, kept as the verification baseline.
+    """
 
     model: LithoModel
-    drawn: Region
-    mask: Region | None
+    drawn: "_ScanGeometry | Region"
+    mask: "_ScanGeometry | Region | None"
     process: ProcessWindow
     pinch_limit: int | None
     grid: int | None
+    halo_nm: int = 0
+    fast_path: bool = True
 
 
 def _scan_tile(payload: _ScanPayload, tile: Tile) -> tuple[list[Hotspot], float]:
     """Detect hotspots over one tile window and keep the owned ones."""
     registry = get_registry()
     t0 = time.perf_counter()
+    if payload.fast_path:
+        # geometry local to the tile's optical influence window; exact
+        # because rects beyond it cannot affect the rasterized halo
+        influence = tile.window.expanded(payload.halo_nm)
+        drawn_local = payload.drawn.near(influence)
+        registry.inc("scan.clip_candidates", len(drawn_local))
+        drawn = Region(drawn_local)
+        mask = None
+        if payload.mask is not None:
+            mask_local = payload.mask.near(influence)
+            registry.inc("scan.clip_candidates", len(mask_local))
+            mask = Region(mask_local)
+    else:
+        drawn = payload.drawn
+        mask = payload.mask
     found = find_hotspots(
         payload.model,
-        payload.drawn,
+        drawn,
         tile.window,
         process=payload.process,
         pinch_limit=payload.pinch_limit,
         grid=payload.grid,
-        mask=payload.mask,
+        mask=mask,
+        use_cache=payload.fast_path,
     )
     owned = [
         h for h in found if tile.owns(h.marker.center.x, h.marker.center.y)
@@ -127,15 +212,25 @@ def _scan_tile(payload: _ScanPayload, tile: Tile) -> tuple[list[Hotspot], float]
     return owned, seconds
 
 
+def _clip_influence(geometry: "_ScanGeometry | Region", influence: Rect) -> Region:
+    if isinstance(geometry, _ScanGeometry):
+        return geometry.clipped(influence)
+    return geometry & Region(influence)
+
+
 def _tile_key(payload: _ScanPayload, tile: Tile, params: str, halo_nm: int) -> str:
     """Content hash of everything that can change this tile's result.
 
     The geometry is clipped to the tile window expanded by the optical
     halo — the full influence region rasterized by the aerial-image
     model — so any edit outside that window leaves the key (and the
-    cached result) valid.
+    cached result) valid.  The clip is computed from the spatial index
+    (local geometry only), which keeps cache-hit tiles O(local area)
+    instead of O(full chip); the digest — hence the key — is identical
+    to the full-sweep clip's, so caches written by either path replay
+    under the other.
     """
-    influence = Region(tile.window.expanded(halo_nm))
+    influence = tile.window.expanded(halo_nm)
     parts = [
         "scan-v1",
         params,
@@ -143,10 +238,10 @@ def _tile_key(payload: _ScanPayload, tile: Tile, params: str, halo_nm: int) -> s
         tile.window.as_tuple(),
         tile.x_edge,
         tile.y_edge,
-        (payload.drawn & influence).digest(),
+        _clip_influence(payload.drawn, influence).digest(),
     ]
     if payload.mask is not None:
-        parts.append((payload.mask & influence).digest())
+        parts.append(_clip_influence(payload.mask, influence).digest())
     return digest_parts(*parts)
 
 
@@ -179,6 +274,7 @@ def scan_full_chip(
     fault_plan: FaultPlan | None = None,
     checkpoint_file: str | None = None,
     resume: bool = False,
+    fast_path: bool = True,
 ) -> FullChipScanReport:
     """Scan an entire layout tile by tile.
 
@@ -204,6 +300,14 @@ def scan_full_chip(
     checkpoint is signature-guarded: it is only replayed against the
     same geometry and scan parameters, and is deleted once the scan
     completes.
+
+    ``fast_path`` (the default) runs the layered aerial-image fast path:
+    geometry is pre-binned into a spatial index so each tile touches only
+    the rects inside its optical influence window, and each tile's corner
+    sweep reuses one mask raster and one blur per unique defocus (see
+    :class:`~repro.litho.model.SimCache`).  ``fast_path=False`` runs the
+    legacy whole-chip-sweep-per-tile engine; both produce bit-identical
+    reports and interchangeable tile-cache entries.
     """
     t_start = time.perf_counter()
     report = FullChipScanReport()
@@ -212,7 +316,25 @@ def scan_full_chip(
         if bb is None:
             return report
         extent = bb
-    payload = _ScanPayload(model, drawn, mask, process or ProcessWindow(), pinch_limit, grid)
+    process = process or ProcessWindow()
+    g = grid or model.settings.grid_nm
+    halo = max(model.halo_nm(c.defocus_nm) for c in process.corners())
+    halo = -(-halo // g) * g  # pixel-grid round-up, as in aerial_image
+    if fast_path:
+        payload = _ScanPayload(
+            model,
+            _ScanGeometry(drawn),
+            _ScanGeometry(mask) if mask is not None else None,
+            process,
+            pinch_limit,
+            grid,
+            halo,
+            True,
+        )
+    else:
+        payload = _ScanPayload(
+            model, drawn, mask, process, pinch_limit, grid, halo, False
+        )
     checkpoint: Checkpoint | None = None
     with span("scan.plan"):
         tiles = tile_grid(extent, tile_nm, overlap_nm)
@@ -235,11 +357,6 @@ def scan_full_chip(
         pending: list[Tile] = tiles
         keys: dict[int, str] = {}
         if cache is not None:
-            g = grid or model.settings.grid_nm
-            halo = max(
-                model.halo_nm(c.defocus_nm) for c in payload.process.corners()
-            )
-            halo = -(-halo // g) * g  # pixel-grid round-up, as in aerial_image
             params = _scan_params(payload, pinch_limit, grid)
             pending = []
             for tile in tiles:

@@ -17,9 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
-from repro.geometry import Rect, Region
+from repro.geometry import GridIndex, Rect, Region
 from repro.litho.model import LithoModel
-from repro.litho.process import ProcessCondition, ProcessWindow
+from repro.litho.process import ProcessCondition, ProcessWindow, sweep_contours
 
 
 class HotspotKind(Enum):
@@ -51,6 +51,7 @@ def find_hotspots(
     grid: int | None = None,
     mask: Region | None = None,
     min_severity: float = 50.0,
+    use_cache: bool = True,
 ) -> list[Hotspot]:
     """Detect pinch/bridge/missing hotspots over the process corners.
 
@@ -64,6 +65,14 @@ def find_hotspots(
     ``min_severity`` drops sub-threshold detections (area in nm^2):
     contour micro-necks at the raster noise floor are metrology noise,
     and filtering them keeps results window- and tiling-invariant.
+
+    The corner sweep runs through a :class:`~repro.litho.model.SimCache`
+    (one rasterization, one blur per unique defocus) with indexed
+    detection; ``use_cache=False`` runs the *reference engine* instead —
+    one independent simulation per corner, pairwise detection and merge
+    loops — an independent implementation that must produce identical
+    results, kept as the verification baseline (and the before/after
+    "before" row in the full-chip bench).
     """
     process = process or ProcessWindow()
     g = grid or model.settings.grid_nm
@@ -75,19 +84,76 @@ def find_hotspots(
     pinch_limit = pinch_limit if pinch_limit is not None else max(min_width // 2, g)
 
     raw: list[Hotspot] = []
-    for condition in process.corners():
-        printed = model.print_contour(exposed, window, condition.dose, condition.defocus_nm, g)
+    contours = sweep_contours(
+        model, exposed, window, process.corners(), g, use_cache=use_cache
+    )
+    if use_cache:
+        # everything derived from the drawn layer alone is corner-invariant:
+        # compute it once here instead of once per corner
+        ctx = _DrawnContext(drawn_in_window, min_width)
+        for condition, printed in contours:
+            raw.extend(
+                h
+                for h in _hotspots_at_condition(printed, drawn_in_window, condition, pinch_limit, ctx=ctx)
+                if h.severity >= min_severity
+            )
+        return _merge_across_corners(raw)
+    for condition, printed in contours:
         raw.extend(
             h
-            for h in _hotspots_at_condition(printed, drawn_in_window, condition, pinch_limit)
+            for h in _hotspots_at_condition_reference(printed, drawn_in_window, condition, pinch_limit)
             if h.severity >= min_severity
         )
-    return _merge_across_corners(raw)
+    return _merge_across_corners_reference(raw)
 
 
 def _merge_across_corners(raw: list[Hotspot]) -> list[Hotspot]:
     """Coalesce hotspots of the same kind whose markers overlap or touch
-    (the same physical site seen at several corners); keep the worst."""
+    (the same physical site seen at several corners); keep the worst.
+
+    Clustering is the closure of "touches the cluster's growing bounding
+    box (expanded by 1)" — a bbox-indexed frontier walk, so merging n
+    markers costs near-linear index queries instead of the O(n²)
+    pairwise rescans the naive loop needs.
+    """
+    out: list[Hotspot] = []
+    by_kind: dict[HotspotKind, list[Hotspot]] = {}
+    for h in raw:
+        by_kind.setdefault(h.kind, []).append(h)
+    buf: list[int] = []
+    for kind, group in by_kind.items():
+        index: GridIndex[int] = GridIndex(cell_size=512)
+        for i, h in enumerate(group):
+            index.insert(h.marker, i)
+        claimed = [False] * len(group)
+        for seed in range(len(group)):
+            if claimed[seed]:
+                continue
+            claimed[seed] = True
+            cluster = [group[seed]]
+            marker = group[seed].marker
+            changed = True
+            while changed:
+                changed = False
+                # query == "bbox touches the probe window", exactly the
+                # old absorption test, so the closure is identical
+                for j in index.query_into(marker.expanded(1), buf):
+                    if not claimed[j]:
+                        claimed[j] = True
+                        cluster.append(group[j])
+                        marker = marker.union_bbox(group[j].marker)
+                        changed = True
+            worst = max(cluster, key=lambda h: h.severity)
+            out.append(Hotspot(kind, marker, worst.severity, worst.condition))
+    out.sort(key=lambda h: (-h.severity, h.marker.as_tuple()))
+    return out
+
+
+def _merge_across_corners_reference(raw: list[Hotspot]) -> list[Hotspot]:
+    """The original pairwise-rescan merge: every absorption rescans the
+    whole remaining list.  O(n²) — kept as the independent reference for
+    :func:`_merge_across_corners`, which must produce identical output.
+    """
     out: list[Hotspot] = []
     by_kind: dict[HotspotKind, list[Hotspot]] = {}
     for h in raw:
@@ -113,24 +179,22 @@ def _merge_across_corners(raw: list[Hotspot]) -> list[Hotspot]:
     return out
 
 
-def _min_feature_width(region: Region) -> int:
-    return min(min(r.width, r.height) for r in region.rects())
-
-
-def _hotspots_at_condition(
+def _hotspots_at_condition_reference(
     printed: Region,
     drawn: Region,
     condition: ProcessCondition,
     pinch_limit: int,
     boundary_tol: int = 6,
 ) -> list[Hotspot]:
+    """The original single-condition detector: plain pairwise loops, no
+    index, no cross-corner reuse.  An independent implementation of
+    :func:`_hotspots_at_condition` (same fixed ``_min_feature_width``),
+    kept as the verification baseline the fast path is tested against.
+    """
     out: list[Hotspot] = []
     drawn_components = drawn.components()
 
-    # pinch: printed image of drawn features necks below the limit.
-    # Work in the doubled lattice for parity-free opening.  Necks that
-    # never reach the feature core (drawn shrunk by the tolerance) are
-    # contour staircase artefacts at the boundary, not electrical necks.
+    # pinch (identical formulation to the indexed engine)
     printed_on_drawn = printed & drawn
     doubled = printed_on_drawn.scaled(2)
     necked = doubled - doubled.opened(max(pinch_limit - 1, 1))
@@ -142,7 +206,7 @@ def _hotspots_at_condition(
         marker = Rect(bb.x0 // 2, bb.y0 // 2, -(-bb.x1 // 2), -(-bb.y1 // 2))
         out.append(Hotspot(HotspotKind.PINCH, marker, comp.area / 4.0, condition))
 
-    # bridge: one printed component shorting >= 2 distinct drawn features
+    # bridge: every (printed, drawn) component pair pays an exact test
     for comp in printed.components():
         touched = [d for d in drawn_components if comp.overlaps(d)]
         if len(touched) >= 2:
@@ -155,5 +219,117 @@ def _hotspots_at_condition(
     # missing: an entire drawn component printed nothing
     for comp in drawn_components:
         if (printed & comp).is_empty:
+            out.append(Hotspot(HotspotKind.MISSING, comp.bbox, comp.area, condition))
+    return out
+
+
+def _min_feature_width(region: Region) -> int:
+    """Smallest drawn feature width in the region.
+
+    The canonical slab decomposition slices wide features at every x
+    coordinate where *any* feature's boundary changes, so the raw rect
+    list understates widths (a 1000-wide bar crossed by another
+    feature's edges decomposes into arbitrarily narrow slab rects).
+    Re-merge x-adjacent rects that carry an identical y-interval — the
+    pieces of one horizontal run — and take the min caliper of the
+    merged extents instead.
+    """
+    best: int | None = None
+    run: tuple[int, int, int, int] | None = None  # (x0, y0, x1, y1)
+    for r in sorted(region.rects(), key=lambda r: (r.y0, r.y1, r.x0)):
+        if run is not None and r.y0 == run[1] and r.y1 == run[3] and r.x0 == run[2]:
+            run = (run[0], run[1], r.x1, run[3])  # continues the current run
+        else:
+            if run is not None:
+                w = min(run[2] - run[0], run[3] - run[1])
+                best = w if best is None else min(best, w)
+            run = (r.x0, r.y0, r.x1, r.y1)
+    assert run is not None  # callers guard against empty regions
+    w = min(run[2] - run[0], run[3] - run[1])
+    return w if best is None else min(best, w)
+
+
+class _DrawnContext:
+    """Corner-invariant precomputation for one drawn window.
+
+    The corner sweep calls :func:`_hotspots_at_condition` once per
+    process corner with the *same* drawn region — its component split,
+    the bbox index over those components, and the pinch core (drawn
+    shrunk by the boundary tolerance) never change across corners, so
+    they are computed once per window here instead of once per corner.
+    """
+
+    __slots__ = ("components", "index", "core", "buf")
+
+    def __init__(self, drawn: Region, min_width: int, boundary_tol: int = 6):
+        self.components = drawn.components()
+        self.index: GridIndex[int] = GridIndex(cell_size=2048)
+        for i, d in enumerate(self.components):
+            self.index.insert(d.bbox, i)
+        self.core = (
+            drawn.grown(-min(boundary_tol, min_width // 2 - 1)).scaled(2)
+            if not drawn.is_empty
+            else Region()
+        )
+        self.buf: list[int] = []
+
+
+def _hotspots_at_condition(
+    printed: Region,
+    drawn: Region,
+    condition: ProcessCondition,
+    pinch_limit: int,
+    boundary_tol: int = 6,
+    ctx: _DrawnContext | None = None,
+) -> list[Hotspot]:
+    out: list[Hotspot] = []
+    if ctx is None:
+        min_width = _min_feature_width(drawn) if not drawn.is_empty else 0
+        ctx = _DrawnContext(drawn, min_width, boundary_tol)
+    drawn_components = ctx.components
+
+    # pinch: printed image of drawn features necks below the limit.
+    # Work in the doubled lattice for parity-free opening.  Necks that
+    # never reach the feature core (drawn shrunk by the tolerance) are
+    # contour staircase artefacts at the boundary, not electrical necks.
+    printed_on_drawn = printed & drawn
+    doubled = printed_on_drawn.scaled(2)
+    necked = doubled - doubled.opened(max(pinch_limit - 1, 1))
+    core = ctx.core
+    for comp in necked.components():
+        if not comp.overlaps(core):
+            continue
+        bb = comp.bbox
+        marker = Rect(bb.x0 // 2, bb.y0 // 2, -(-bb.x1 // 2), -(-bb.y1 // 2))
+        out.append(Hotspot(HotspotKind.PINCH, marker, comp.area / 4.0, condition))
+
+    # bridge: one printed component shorting >= 2 distinct drawn features.
+    # The overlap tests are bbox-prefiltered through a GridIndex — only
+    # drawn components whose bbox touches the printed component's bbox
+    # pay for an exact overlap sweep; the same pass marks which drawn
+    # components printed at all, giving the missing check for free.
+    drawn_index = ctx.index
+    printed_any = [False] * len(drawn_components)
+    buf = ctx.buf
+    for comp in printed.components():
+        bb = comp.bbox
+        touched = [
+            i
+            for i in sorted(drawn_index.query_into(bb, buf))
+            if comp.overlaps(drawn_components[i])
+        ]
+        for i in touched:
+            printed_any[i] = True
+        if len(touched) >= 2:
+            gap_fill = comp - drawn
+            marker_src = gap_fill if not gap_fill.is_empty else comp
+            out.append(
+                Hotspot(HotspotKind.BRIDGE, marker_src.bbox, marker_src.area, condition)
+            )
+
+    # missing: an entire drawn component printed nothing (equivalently,
+    # no printed component overlaps it)
+    for i, comp in enumerate(drawn_components):
+        if not printed_any[i]:
             out.append(Hotspot(HotspotKind.MISSING, comp.bbox, comp.area, condition))
     return out

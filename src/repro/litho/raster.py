@@ -1,33 +1,50 @@
-"""Exact area-weighted rasterization of regions, and the inverse."""
+"""Exact area-weighted rasterization of regions, and the inverse.
+
+Both directions are vectorized: :func:`rasterize` scatters each
+rectangle's separable coverage profile into a 2-D difference array (a
+constant number of ``np.add.at`` updates per rectangle, then one
+inclusive 2-D prefix sum), and :func:`raster_to_region` extracts every
+row's True-runs from a single whole-array transition scan instead of a
+Python loop per row.
+
+Coverage is accumulated in *integer* area units (nm² — all layout
+coordinates are integers) and divided by the pixel area exactly once at
+the end.  That makes the result independent of how the region happens to
+be decomposed into rectangles and of window translation by whole pixels:
+the raster of a window is bit-identical to the centred slice of the
+raster of any larger, pixel-aligned window.  The litho fast path
+(:class:`repro.litho.model.SimCache`) relies on exactly this property to
+rasterize once per tile and reuse slices across process conditions.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.geometry import Rect, Region
-from repro.geometry.intervals import merge_intervals
 
 
-def _axis_coverage(lo: float, hi: float, origin: int, n: int, grid: int) -> tuple[int, int, np.ndarray]:
-    """Fractional coverage of pixels [start, stop) along one axis.
+def _axis_profile(
+    lo: np.ndarray, hi: np.ndarray, grid: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Difference-array form of per-pixel covered length along one axis.
 
-    Returns (start, stop, weights) where weights[i] is the covered
-    fraction of pixel start+i.
+    ``lo``/``hi`` are window-relative integer coordinates (already
+    clipped to ``[0, n*grid]``).  Returns ``(positions, values)`` of
+    shape ``(R, 4)``: scattering ``values`` at ``positions`` into a
+    length ``n+1`` array and prefix-summing yields, for every pixel, the
+    integer length of ``[lo, hi]`` covering it.  The four-entry form
+    ``(+a at c0, g-a at c0+1, b-g at c1-1, -b at c1)`` is exact for
+    single-pixel spans too: the inverted middle range cancels the
+    double-counted partial weights.
     """
-    a = (lo - origin) / grid
-    b = (hi - origin) / grid
-    a = max(a, 0.0)
-    b = min(b, float(n))
-    if b <= a:
-        return 0, 0, np.empty(0)
-    start = int(np.floor(a))
-    stop = int(np.ceil(b))
-    weights = np.ones(stop - start)
-    weights[0] -= a - start
-    weights[-1] -= stop - b
-    # single-pixel span: both trims apply to the same entry (handled by the
-    # two in-place subtractions above)
-    return start, stop, weights
+    c0 = lo // grid
+    c1 = -(-hi // grid)
+    a = (c0 + 1) * grid - lo  # covered length in the first pixel column
+    b = hi - (c1 - 1) * grid  # covered length in the last pixel column
+    positions = np.stack([c0, c0 + 1, c1 - 1, c1], axis=1)
+    values = np.stack([a, grid - a, b - grid, -b], axis=1)
+    return positions, values
 
 
 def rasterize(region: Region, window: Rect, grid: int) -> np.ndarray:
@@ -41,13 +58,22 @@ def rasterize(region: Region, window: Rect, grid: int) -> np.ndarray:
         raise ValueError("grid must be positive")
     nx = -(-(window.x1 - window.x0) // grid)
     ny = -(-(window.y1 - window.y0) // grid)
-    img = np.zeros((ny, nx))
     clipped = region & Region(window)
-    for rect in clipped.rects():
-        ix0, ix1, wx = _axis_coverage(rect.x0, rect.x1, window.x0, nx, grid)
-        iy0, iy1, wy = _axis_coverage(rect.y0, rect.y1, window.y0, ny, grid)
-        if ix1 > ix0 and iy1 > iy0:
-            img[iy0:iy1, ix0:ix1] += np.outer(wy, wx)
+    if clipped.is_empty:
+        return np.zeros((ny, nx))
+    boxes = np.array(
+        [(r.x0, r.y0, r.x1, r.y1) for r in clipped.rects()], dtype=np.int64
+    )
+    px, vx = _axis_profile(boxes[:, 0] - window.x0, boxes[:, 2] - window.x0, grid)
+    py, vy = _axis_profile(boxes[:, 1] - window.y0, boxes[:, 3] - window.y0, grid)
+    # separable 2-D scatter: the outer product of the two axis profiles
+    diff = np.zeros((ny + 1, nx + 1), dtype=np.int64)
+    rows = np.broadcast_to(py[:, :, None], (len(boxes), 4, 4))
+    cols = np.broadcast_to(px[:, None, :], (len(boxes), 4, 4))
+    vals = vy[:, :, None] * vx[:, None, :]
+    np.add.at(diff, (rows.ravel(), cols.ravel()), vals.ravel())
+    area = diff.cumsum(axis=0).cumsum(axis=1)[:ny, :nx]
+    img = area / float(grid * grid)
     np.clip(img, 0.0, 1.0, out=img)
     return img
 
@@ -55,19 +81,21 @@ def rasterize(region: Region, window: Rect, grid: int) -> np.ndarray:
 def raster_to_region(mask: np.ndarray, window: Rect, grid: int) -> Region:
     """Convert a boolean raster back into a Region (pixel-resolution)."""
     ny, nx = mask.shape
-    rects: list[Rect] = []
+    if ny == 0 or nx == 0 or not mask.any():
+        return Region()
+    # one whole-array transition scan: +1 marks a run start, -1 the pixel
+    # after a run end; np.nonzero is row-major, so starts and ends align
+    # pairwise and arrive already sorted by (row, column)
+    transitions = np.diff(mask.astype(np.int8), axis=1, prepend=0, append=0)
+    jj, ii = np.nonzero(transitions)
+    rising = transitions[jj, ii] > 0
+    j_start, i_start = jj[rising], ii[rising]
+    i_stop = ii[~rising]
     x0w, y0w = window.x0, window.y0
-    for j in range(ny):
-        row = mask[j]
-        y0 = y0w + j * grid
-        y1 = min(y0 + grid, window.y1)
-        runs = _row_runs(row)
-        for a, b in runs:
-            rects.append(Rect(x0w + a * grid, y0, min(x0w + b * grid, window.x1), y1))
-    return Region(rects)
-
-
-def _row_runs(row: np.ndarray) -> list[tuple[int, int]]:
-    """Start/stop indices of True runs in a boolean row."""
-    idx = np.flatnonzero(np.diff(np.concatenate(([False], row, [False]))))
-    return merge_intervals([(int(idx[k]), int(idx[k + 1])) for k in range(0, len(idx), 2)])
+    x0 = x0w + i_start * grid
+    x1 = np.minimum(x0w + i_stop * grid, window.x1)
+    y0 = y0w + j_start * grid
+    y1 = np.minimum(y0 + grid, window.y1)
+    return Region(
+        [Rect(int(a), int(b), int(c), int(d)) for a, b, c, d in zip(x0, y0, x1, y1)]
+    )

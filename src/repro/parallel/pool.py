@@ -216,6 +216,20 @@ class TileExecutor:
         """Stand up a worker pool; raises ``_POOL_ERRORS`` when the host
         cannot (``multiprocessing.Pool`` spawns its workers eagerly, so
         construction failures surface here, not mid-run)."""
+        registry = get_registry()
+        if registry.enabled:
+            # the shared payload is pickled once per worker: track its
+            # wire size so payload regressions (e.g. shipping whole-chip
+            # geometry where an index would do) show up in the manifest
+            try:
+                import pickle
+
+                registry.gauge(
+                    "pool.payload_bytes",
+                    float(len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))),
+                )
+            except Exception:  # unpicklable payloads fail later, loudly
+                pass
         return multiprocessing.get_context().Pool(
             processes=workers,
             initializer=_init_worker,

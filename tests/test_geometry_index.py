@@ -83,3 +83,45 @@ class TestGridIndex:
         index.insert(Rect(-100, -100, -90, -90), "a")
         index.insert(Rect(-80, -100, -70, -90), "b")  # 10 apart
         assert list(index.query_pairs(15)) == [("a", "b")]
+
+
+class TestQueryInto:
+    def test_matches_query(self):
+        index = GridIndex(cell_size=64)
+        for i in range(40):
+            index.insert(Rect(i * 30, (i * 7) % 90, i * 30 + 25, (i * 7) % 90 + 25), i)
+        buf: list[int] = []
+        for window in (Rect(0, 0, 200, 200), Rect(100, 10, 700, 80), Rect(900, 0, 950, 50)):
+            assert index.query_into(window, buf) == index.query(window)
+
+    def test_reuses_buffer_in_place(self):
+        index = GridIndex(cell_size=100)
+        index.insert(Rect(0, 0, 10, 10), "a")
+        index.insert(Rect(500, 500, 510, 510), "b")
+        buf = ["stale"]
+        out = index.query_into(Rect(0, 0, 50, 50), buf)
+        assert out is buf
+        assert buf == ["a"]
+        assert index.query_into(Rect(490, 490, 600, 600), buf) == ["b"]
+
+    def test_dedup_across_buckets(self):
+        index = GridIndex(cell_size=10)
+        index.insert(Rect(0, 0, 100, 100), "big")  # spans many buckets
+        buf: list[str] = []
+        assert index.query_into(Rect(0, 0, 100, 100), buf) == ["big"]
+
+    def test_duplicate_items_counted_separately(self):
+        # dedup is per insertion, not per value: the same payload
+        # inserted twice must come back twice
+        index = GridIndex(cell_size=50)
+        index.insert(Rect(0, 0, 10, 10), "x")
+        index.insert(Rect(20, 0, 30, 10), "x")
+        buf: list[str] = []
+        assert index.query_into(Rect(0, 0, 40, 40), buf) == ["x", "x"]
+
+    def test_empty_and_negative(self):
+        index = GridIndex(cell_size=64)
+        buf = ["stale"]
+        assert index.query_into(Rect(0, 0, 1, 1), buf) == []
+        index.insert(Rect(-200, -200, -190, -190), "neg")
+        assert index.query_into(Rect(-205, -205, -180, -180), buf) == ["neg"]

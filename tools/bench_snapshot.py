@@ -1,0 +1,98 @@
+"""Distill a pytest-benchmark JSON into a compact perf snapshot.
+
+Usage:
+    python tools/bench_snapshot.py --out BENCH_PR4.json
+    python tools/bench_snapshot.py --from-json bench-fullchip.json --out BENCH_PR4.json
+
+Without ``--from-json`` the tool runs the full-chip scan bench itself
+(``benchmarks/bench_fullchip_scan.py``) and then distills the result.
+The snapshot keeps one entry per bench — wall time plus every
+``extra_info`` scalar the bench recorded (tiles/s, fast-path speedup,
+raster-reuse rate, cache-key timings, engine counters) — so the perf
+trajectory can be diffed PR over PR without hauling the full
+pytest-benchmark payload around.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_BENCH = "benchmarks/bench_fullchip_scan.py"
+
+
+def run_bench(bench: str, json_path: Path) -> None:
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        bench,
+        "-q",
+        "--benchmark-only",
+        f"--benchmark-json={json_path}",
+    ]
+    env = {**os.environ, "PYTHONPATH": "src"}
+    result = subprocess.run(cmd, cwd=REPO, env=env)
+    if result.returncode != 0:
+        raise SystemExit(f"bench run failed with exit code {result.returncode}")
+
+
+def distill(raw: dict) -> dict:
+    machine = raw.get("machine_info", {})
+    snapshot = {
+        "source": "pytest-benchmark",
+        "python": machine.get("python_version"),
+        "cpu_count": machine.get("cpu", {}).get("count") if isinstance(machine.get("cpu"), dict) else None,
+        "benchmarks": {},
+    }
+    for bench in raw.get("benchmarks", []):
+        entry = {"wall_s": round(bench["stats"]["mean"], 4)}
+        for key, value in sorted(bench.get("extra_info", {}).items()):
+            # keep scalars and flat counter dicts; drop anything deeper
+            if isinstance(value, (int, float, str, bool)):
+                entry[key] = value
+            elif isinstance(value, dict) and all(
+                isinstance(v, (int, float)) for v in value.values()
+            ):
+                entry[key] = value
+        snapshot["benchmarks"][bench["name"]] = entry
+    return snapshot
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_PR4.json", help="snapshot output path")
+    parser.add_argument(
+        "--from-json",
+        default=None,
+        help="existing pytest-benchmark JSON to distill (skips running the bench)",
+    )
+    parser.add_argument(
+        "--bench",
+        default=DEFAULT_BENCH,
+        help=f"bench file to run (default: {DEFAULT_BENCH})",
+    )
+    args = parser.parse_args()
+
+    if args.from_json:
+        raw_path = Path(args.from_json)
+    else:
+        raw_path = Path(tempfile.mkdtemp()) / "bench.json"
+        run_bench(args.bench, raw_path)
+
+    raw = json.loads(raw_path.read_text())
+    snapshot = distill(raw)
+    out = Path(args.out)
+    out.write_text(json.dumps(snapshot, indent=2, sort_keys=False) + "\n")
+    names = ", ".join(snapshot["benchmarks"]) or "none"
+    print(f"wrote {out} ({names})")
+
+
+if __name__ == "__main__":
+    main()
