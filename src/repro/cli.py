@@ -279,7 +279,7 @@ def cmd_dpt(args) -> int:
         top.add_region(layer.with_datatype(2), result.mask_b)
         write_gds(out, args.out)
         print(f"wrote masks to {args.out}")
-    return _findings_rc(args, not result.is_clean)
+    return _findings_rc(args, not result.ok)
 
 
 def cmd_scorecard(args) -> int:

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.core.report import BaseReport
 from repro.geometry import Rect, Region
-from repro.obs import get_registry
+from repro.obs import get_registry, names
 from repro.tech.technology import CmpSettings
 
 
@@ -60,7 +60,7 @@ def dummy_fill(
     fill_rects: list[Rect] = []
     fill_region = Region()
 
-    with registry.timer("cmp.fill"):
+    with registry.timer(names.CMP_FILL_TIMER):
         y = extent.y0
         while y < extent.y1:
             x = extent.x0
@@ -85,9 +85,9 @@ def dummy_fill(
                         fill_region = fill_region | Region(added)
                 x += step
             y += step
-    registry.inc("cmp.fill_runs")
-    registry.inc("cmp.fill_shapes", report.shapes_added)
-    registry.inc("cmp.fill_tiles", report.tiles_filled)
+    registry.inc(names.CMP_FILL_RUNS)
+    registry.inc(names.CMP_FILL_SHAPES, report.shapes_added)
+    registry.inc(names.CMP_FILL_TILES, report.tiles_filled)
     return fill_region, report
 
 

@@ -22,7 +22,7 @@ from repro.core.context import DesignContext
 from repro.geometry import GridIndex, Rect, Region
 from repro.litho.hotspots import find_hotspots
 from repro.litho.model import LithoModel
-from repro.obs import get_registry, span
+from repro.obs import get_registry, names, span
 from repro.yieldmodels.critical_area import weighted_critical_area
 from repro.yieldmodels.dsd import DefectSizeDistribution
 from repro.yieldmodels.via_yield import via_failure_lambda
@@ -200,10 +200,10 @@ def measure_design(
 
     metrics.measure_seconds = time.perf_counter() - t0
     registry = get_registry()
-    registry.inc("measure.runs")
-    registry.inc("measure.hotspots", metrics.hotspot_count)
-    registry.inc("measure.via_sites", metrics.via_sites)
-    registry.observe("measure.design", metrics.measure_seconds)
+    registry.inc(names.MEASURE_RUNS)
+    registry.inc(names.MEASURE_HOTSPOTS, metrics.hotspot_count)
+    registry.inc(names.MEASURE_VIA_SITES, metrics.via_sites)
+    registry.observe(names.MEASURE_DESIGN_TIMER, metrics.measure_seconds)
     return metrics
 
 

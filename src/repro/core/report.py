@@ -115,7 +115,7 @@ def deprecated_alias(old: str, new: str) -> property:
     it migrates.
     """
 
-    def getter(self):
+    def getter(self: Any) -> Any:
         warnings.warn(
             f"{type(self).__name__}.{old} is deprecated; use .{new}",
             DeprecationWarning,
@@ -123,7 +123,7 @@ def deprecated_alias(old: str, new: str) -> property:
         )
         return getattr(self, new)
 
-    def setter(self, value):
+    def setter(self: Any, value: Any) -> None:
         warnings.warn(
             f"{type(self).__name__}.{old} is deprecated; use .{new}",
             DeprecationWarning,

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.core.metrics import DesignMetrics
-from repro.obs import get_registry
+from repro.obs import get_registry, names
 
 YIELD_POINT_WEIGHT = 1.0     # 1 yield point (0.01) = 1 benefit unit
 HOTSPOT_WEIGHT = 0.25        # one hotspot removed (per window) = 0.25 units
@@ -101,8 +101,8 @@ class Scorecard:
     def add(self, row: ScorecardRow) -> None:
         self.rows.append(row)
         registry = get_registry()
-        registry.inc("scorecard.rows")
-        registry.inc(f"scorecard.verdict.{row.verdict.value.lower()}")
+        registry.inc(names.SCORECARD_ROWS)
+        registry.inc(names.scorecard_verdict(row.verdict.value.lower()))
 
     def row(self, technique: str) -> ScorecardRow:
         for row in self.rows:

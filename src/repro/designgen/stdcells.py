@@ -130,7 +130,7 @@ def _simple_cell(
         cx = i * pitch + pitch // 2 - v // 2
         if i == 0 or i == n_gates or i % 2 == 0:
             # rail-side contact columns with M1 straps to the rails
-            for (ay0, ay1, rail_y0, rail_y1) in (
+            for (ay0, ay1, rail_y0, _rail_y1) in (
                 (nact_y0, nact_y1, 0, rail_h),
                 (pact_y0, pact_y1, height - rail_h, height),
             ):

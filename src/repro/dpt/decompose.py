@@ -14,8 +14,9 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
+from repro.core.report import BaseReport, deprecated_alias
 from repro.geometry import GridIndex, Rect, Region
-from repro.obs import get_registry
+from repro.obs import get_registry, names
 
 
 @dataclass
@@ -68,8 +69,13 @@ def _find_odd_cycle(graph: nx.Graph) -> list[int]:
 
 
 @dataclass
-class DecompositionResult:
-    """Outcome of a two-coloring attempt."""
+class DecompositionResult(BaseReport):
+    """Outcome of a two-coloring attempt.
+
+    Implements the :class:`~repro.core.report.BaseReport` contract: the
+    findings are the conflicting feature indices, so ``result.ok`` is
+    True exactly when the layout two-colors cleanly.
+    """
 
     mask_a: Region
     mask_b: Region
@@ -78,9 +84,13 @@ class DecompositionResult:
     conflict_features: set[int] = field(default_factory=set)
     conflict_cycles: list[list[int]] = field(default_factory=list)
 
+    # legacy spelling (pre-BaseReport), kept as a warning alias
+    is_clean = deprecated_alias("is_clean", "ok")
+
     @property
-    def is_clean(self) -> bool:
-        return not self.conflict_features
+    def findings(self) -> tuple[int, ...]:
+        """Indices of features caught in an odd cycle, ascending."""
+        return tuple(sorted(self.conflict_features))
 
     @property
     def num_conflicts(self) -> int:
@@ -103,7 +113,7 @@ def build_conflict_graph(region: Region, same_mask_space: int) -> ConflictGraph:
     Chebyshev separation is below ``same_mask_space``.
     """
     registry = get_registry()
-    with registry.timer("dpt.conflict_graph"):
+    with registry.timer(names.DPT_CONFLICT_GRAPH_TIMER):
         features = region.components()
         graph = nx.Graph()
         graph.add_nodes_from(range(len(features)))
@@ -119,8 +129,8 @@ def build_conflict_graph(region: Region, same_mask_space: int) -> ConflictGraph:
                 continue
             if _feature_distance(boxes[i], boxes[j], same_mask_space) < same_mask_space:
                 graph.add_edge(i, j)
-    registry.inc("dpt.features", len(features))
-    registry.inc("dpt.conflict_edges", graph.number_of_edges())
+    registry.inc(names.DPT_FEATURES, len(features))
+    registry.inc(names.DPT_CONFLICT_EDGES, graph.number_of_edges())
     return ConflictGraph(features, graph)
 
 
@@ -183,9 +193,9 @@ def decompose_dpt(region: Region, same_mask_space: int) -> DecompositionResult:
             mask_a = mask_a | feat
         else:
             mask_b = mask_b | feat
-    registry.observe("dpt.decompose", time.perf_counter() - t0)
-    registry.inc("dpt.odd_cycles", len(cycles))
-    registry.inc("dpt.conflict_features", len(conflict_features))
+    registry.observe(names.DPT_DECOMPOSE_TIMER, time.perf_counter() - t0)
+    registry.inc(names.DPT_ODD_CYCLES, len(cycles))
+    registry.inc(names.DPT_CONFLICT_FEATURES, len(conflict_features))
     return DecompositionResult(
         mask_a=mask_a,
         mask_b=mask_b,

@@ -18,13 +18,19 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
+from repro.core.report import BaseReport, deprecated_alias
 from repro.dpt.decompose import _feature_distance, _find_odd_cycle
 from repro.geometry import Rect, Region
 
 
 @dataclass
-class PhaseAssignment:
-    """Shifter geometry per phase plus any unresolvable conflicts."""
+class PhaseAssignment(BaseReport):
+    """Shifter geometry per phase plus any unresolvable conflicts.
+
+    Implements the :class:`~repro.core.report.BaseReport` contract: the
+    findings are the phase-conflicted gate indices, so ``pa.ok`` is
+    True exactly when every critical gate got a consistent phase.
+    """
 
     phase0: Region
     phase180: Region
@@ -32,9 +38,17 @@ class PhaseAssignment:
     conflicts: int = 0
     conflict_gates: set[int] = field(default_factory=set)
 
+    # legacy spelling (pre-BaseReport), kept as a warning alias
+    is_clean = deprecated_alias("is_clean", "ok")
+
     @property
-    def is_clean(self) -> bool:
-        return self.conflicts == 0
+    def findings(self) -> tuple[int, ...]:
+        """Indices of gates caught in a phase conflict, ascending."""
+        return tuple(sorted(self.conflict_gates))
+
+    @property
+    def findings_count(self) -> int:
+        return self.conflicts
 
     def summary(self) -> str:
         return (

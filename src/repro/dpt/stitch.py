@@ -47,7 +47,7 @@ def decompose_with_stitches(
     split_boxes: list[tuple[Rect, bool, int]] = []  # (overlap, horizontal, orig index)
     for _ in range(max_rounds):
         result = decompose_dpt(working, same_mask_space)
-        if result.is_clean:
+        if result.ok:
             break
         new_cuts: list[tuple[Region, Rect, bool]] = []
         handled: set[int] = set()

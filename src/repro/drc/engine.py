@@ -30,7 +30,7 @@ from repro.drc import checks
 from repro.drc.violations import DrcReport, Violation
 from repro.geometry import Rect, Region
 from repro.layout import Cell, Layer
-from repro.obs import get_registry, span
+from repro.obs import get_registry, names, span
 from repro.parallel import (
     Checkpoint,
     FaultPlan,
@@ -156,9 +156,9 @@ def run_drc(
             )
     report.cell_name = cell.name
     registry = get_registry()
-    registry.inc("drc.runs")
-    registry.inc("drc.rules_run", report.rules_run)
-    registry.inc("drc.violations", len(report.violations))
+    registry.inc(names.DRC_RUNS)
+    registry.inc(names.DRC_RULES_RUN, report.rules_run)
+    registry.inc(names.DRC_VIOLATIONS, len(report.violations))
     return report
 
 
@@ -215,10 +215,10 @@ def _drc_task(payload: _DrcPayload, task: _Task) -> tuple[list[Violation], float
             rule, lambda layer: payload.regions.get(layer, _EMPTY), payload.extent
         )
     seconds = time.perf_counter() - t0
-    registry.inc(f"drc.tasks.{tag}")
-    registry.inc("drc.violations_owned", len(out))
-    registry.observe("drc.task", seconds)
-    registry.observe_hist("drc.task_seconds", seconds)
+    registry.inc(names.drc_task(tag))
+    registry.inc(names.DRC_VIOLATIONS_OWNED, len(out))
+    registry.observe(names.DRC_TASK_TIMER, seconds)
+    registry.observe_hist(names.DRC_TASK_SECONDS_HIST, seconds)
     return out, seconds
 
 
@@ -352,9 +352,9 @@ def run_drc_tiled(
         # the run completed (quarantine included): nothing left to resume
         checkpoint.clear()
     registry = get_registry()
-    registry.inc("drc.tiles", report.tiles)
-    registry.inc("drc.tiles_computed", report.tiles_computed)
-    registry.inc("drc.tiles_cached", report.tiles_cached)
-    registry.inc("drc.tiles_resumed", report.tiles_resumed)
-    registry.inc("drc.tiles_quarantined", len(report.quarantined))
+    registry.inc(names.DRC_TILES, report.tiles)
+    registry.inc(names.DRC_TILES_COMPUTED, report.tiles_computed)
+    registry.inc(names.DRC_TILES_CACHED, report.tiles_cached)
+    registry.inc(names.DRC_TILES_RESUMED, report.tiles_resumed)
+    registry.inc(names.DRC_TILES_QUARANTINED, len(report.quarantined))
     return report

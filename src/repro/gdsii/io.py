@@ -199,7 +199,7 @@ def read_gds(path: str | os.PathLike, layer_names: dict[tuple[int, int], str] | 
 
     if layout is None:
         raise GdsFormatError("missing LIBNAME")
-    for name, cell in cells.items():
+    for cell in cells.values():
         layout.add_cell(cell)
     for p in pending:
         if p.child not in cells:

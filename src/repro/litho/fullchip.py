@@ -30,7 +30,7 @@ from repro.geometry.region import _merge_slabs
 from repro.litho.hotspots import Hotspot, _merge_across_corners, find_hotspots
 from repro.litho.model import LithoModel
 from repro.litho.process import ProcessWindow
-from repro.obs import get_registry, span
+from repro.obs import get_registry, names, span
 from repro.parallel import (
     Checkpoint,
     FaultPlan,
@@ -180,12 +180,12 @@ def _scan_tile(payload: _ScanPayload, tile: Tile) -> tuple[list[Hotspot], float]
         # because rects beyond it cannot affect the rasterized halo
         influence = tile.window.expanded(payload.halo_nm)
         drawn_local = payload.drawn.near(influence)
-        registry.inc("scan.clip_candidates", len(drawn_local))
+        registry.inc(names.SCAN_CLIP_CANDIDATES, len(drawn_local))
         drawn = Region(drawn_local)
         mask = None
         if payload.mask is not None:
             mask_local = payload.mask.near(influence)
-            registry.inc("scan.clip_candidates", len(mask_local))
+            registry.inc(names.SCAN_CLIP_CANDIDATES, len(mask_local))
             mask = Region(mask_local)
     else:
         drawn = payload.drawn
@@ -204,11 +204,11 @@ def _scan_tile(payload: _ScanPayload, tile: Tile) -> tuple[list[Hotspot], float]
         h for h in found if tile.owns(h.marker.center.x, h.marker.center.y)
     ]
     seconds = time.perf_counter() - t0
-    registry.inc("scan.tiles_simulated")
-    registry.inc("scan.hotspots_raw", len(found))
-    registry.inc("scan.hotspots_owned", len(owned))
-    registry.observe("scan.tile", seconds)
-    registry.observe_hist("scan.tile_seconds", seconds)
+    registry.inc(names.SCAN_TILES_SIMULATED)
+    registry.inc(names.SCAN_HOTSPOTS_RAW, len(found))
+    registry.inc(names.SCAN_HOTSPOTS_OWNED, len(owned))
+    registry.observe(names.SCAN_TILE_TIMER, seconds)
+    registry.observe_hist(names.SCAN_TILE_SECONDS_HIST, seconds)
     return owned, seconds
 
 
@@ -403,11 +403,11 @@ def scan_full_chip(
         # the run completed (quarantine included): nothing left to resume
         checkpoint.clear()
     registry = get_registry()
-    registry.inc("scan.runs")
-    registry.inc("scan.tiles", report.tiles)
-    registry.inc("scan.tiles_computed", report.tiles_computed)
-    registry.inc("scan.tiles_cached", report.tiles_cached)
-    registry.inc("scan.tiles_resumed", report.tiles_resumed)
-    registry.inc("scan.tiles_quarantined", len(report.quarantined))
-    registry.inc("scan.hotspots", len(report.hotspots))
+    registry.inc(names.SCAN_RUNS)
+    registry.inc(names.SCAN_TILES, report.tiles)
+    registry.inc(names.SCAN_TILES_COMPUTED, report.tiles_computed)
+    registry.inc(names.SCAN_TILES_CACHED, report.tiles_cached)
+    registry.inc(names.SCAN_TILES_RESUMED, report.tiles_resumed)
+    registry.inc(names.SCAN_TILES_QUARANTINED, len(report.quarantined))
+    registry.inc(names.SCAN_HOTSPOTS, len(report.hotspots))
     return report

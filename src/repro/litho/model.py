@@ -9,7 +9,7 @@ from scipy.ndimage import gaussian_filter
 
 from repro.geometry import Rect, Region
 from repro.litho.raster import raster_to_region, rasterize
-from repro.obs import get_registry
+from repro.obs import get_registry, names
 from repro.tech.technology import LithoSettings
 
 
@@ -202,7 +202,7 @@ class SimCache:
             self._raster = rasterize(self.mask, big, g)
             self._raster_halo_px = halo // g
         else:
-            registry.inc("sim.raster_reuse")
+            registry.inc(names.SIM_RASTER_REUSE)
         trim = self._raster_halo_px - halo_px
         if trim == 0:
             return self._raster
@@ -221,7 +221,7 @@ class SimCache:
             image = self.model._blur(raster, sigma / g)
             image = image[trim:-trim or None, trim:-trim or None]
             self._images[sigma] = image
-            get_registry().inc("sim.blur_unique", 2)  # main + flare kernels
+            get_registry().inc(names.SIM_BLUR_UNIQUE, 2)  # main + flare kernels
         return image
 
     def print_image(self, dose: float = 1.0, defocus_nm: float = 0.0) -> np.ndarray:

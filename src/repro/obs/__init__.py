@@ -21,6 +21,7 @@ The accounting layer under the hit-or-hype question — a DFM step is a
   feed the same snapshots into ``extra_info``.
 """
 
+from repro.obs import names
 from repro.obs.manifest import RunManifest
 from repro.obs.registry import (
     Histogram,
@@ -32,6 +33,7 @@ from repro.obs.registry import (
 from repro.obs.trace import Span, Tracer, get_tracer, span
 
 __all__ = [
+    "names",
     "MetricsRegistry",
     "TimerStat",
     "Histogram",

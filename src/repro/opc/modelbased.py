@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.geometry import Rect, Region
 from repro.litho.model import LithoModel
-from repro.obs import get_registry
+from repro.obs import get_registry, names
 from repro.opc.fragments import Fragment, fragment_region, reconstruct_mask
 
 
@@ -167,17 +167,17 @@ def apply_model_opc(
     else:
         conditions = [(1.0, 0.0, 1.0)]
     registry = get_registry()
-    registry.inc("opc.runs")
-    registry.inc("opc.fragments", len(fragments))
+    registry.inc(names.OPC_RUNS)
+    registry.inc(names.OPC_FRAGMENTS, len(fragments))
     history: list[float] = []
     for _ in range(settings.iterations):
-        with registry.timer("opc.iteration"):
+        with registry.timer(names.OPC_ITERATION_TIMER):
             mask = reconstruct_mask(drawn, fragments)
             if context is not None:
                 mask = mask | context
             epes = np.zeros(len(fragments))
             for dose, defocus, weight in conditions:
-                with registry.timer("opc.simulate"):
+                with registry.timer(names.OPC_SIMULATE_TIMER):
                     image = model.aerial_image(mask, window, defocus, g)
                 threshold = base_threshold / dose
                 epes += weight * np.array(
@@ -196,9 +196,9 @@ def apply_model_opc(
                 f.moved(_clamp(f.offset - settings.gain * e, settings.max_offset)) if active[k] else f
                 for k, (f, e) in enumerate(zip(fragments, epes))
             ]
-    registry.inc("opc.iterations", settings.iterations)
+    registry.inc(names.OPC_ITERATIONS, settings.iterations)
     if history:
-        registry.gauge("opc.final_rms_epe_nm", history[-1])
+        registry.gauge(names.OPC_FINAL_RMS_EPE_NM, history[-1])
     mask = reconstruct_mask(drawn, fragments)
     # the caller combines the context (SRAFs) back in; keeping the result
     # to the corrected main features makes masks composable

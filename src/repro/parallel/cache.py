@@ -21,7 +21,7 @@ import pickle
 import tempfile
 from typing import Any
 
-from repro.obs import get_registry
+from repro.obs import get_registry, names
 
 
 def digest_parts(*parts: Any) -> str:
@@ -61,10 +61,10 @@ class TileCache:
         """Look up ``key``, counting the hit or miss; None on miss."""
         if key in self._store:
             self.hits += 1
-            get_registry().inc("tilecache.hits")
+            get_registry().inc(names.TILECACHE_HITS)
             return self._store[key]
         self.misses += 1
-        get_registry().inc("tilecache.misses")
+        get_registry().inc(names.TILECACHE_MISSES)
         return None
 
     def put(self, key: str, value: Any) -> None:
@@ -108,7 +108,7 @@ class TileCache:
                 store = pickle.load(fh)
             if isinstance(store, dict):
                 cache._store = store
-        except Exception:
+        except Exception:  # repro-lint: disable=RL004
             # pickle surfaces corruption as many exception types
             # (UnpicklingError, ValueError, EOFError, ...); any of them
             # just means the file is unusable.

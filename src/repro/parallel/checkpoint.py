@@ -29,7 +29,7 @@ SCHEMA = "repro-checkpoint-v1"
 class Checkpoint:
     """A signature-guarded store of ``{tile key: result}`` on disk."""
 
-    def __init__(self, path: str | os.PathLike, signature: str):
+    def __init__(self, path: str | os.PathLike, signature: str) -> None:
         self.path = os.fspath(path)
         self.signature = signature
         self._results: dict[Any, Any] = {}
@@ -56,7 +56,7 @@ class Checkpoint:
                     and data.get("signature") == signature
                 ):
                     checkpoint._results = dict(data.get("results", {}))
-            except Exception:
+            except Exception:  # repro-lint: disable=RL004
                 # missing file, truncated pickle, unreadable path — all
                 # mean the same thing: nothing usable to resume from
                 pass

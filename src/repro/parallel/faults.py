@@ -102,7 +102,7 @@ class FaultRule:
 class FaultPlan:
     """An immutable, picklable set of :class:`FaultRule` entries."""
 
-    def __init__(self, rules: Iterable[FaultRule] = ()):
+    def __init__(self, rules: Iterable[FaultRule] = ()) -> None:
         self._rules = tuple(rules)
 
     @property

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import multiprocessing.pool
 import os
 import time
 from collections import deque
@@ -49,7 +50,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
-from repro.obs import get_registry
+from repro.obs import get_registry, names
 from repro.parallel.checkpoint import Checkpoint
 from repro.parallel.faults import (
     AbortRun,
@@ -108,7 +109,7 @@ def _run_chunk(
 class WorkerFailure(Exception):
     """An item inside a chunk raised; carries the failing tile's key."""
 
-    def __init__(self, key: Any, message: str):
+    def __init__(self, key: Any, message: str) -> None:
         super().__init__(key, message)
         self.key = key
         self.message = message
@@ -203,7 +204,7 @@ class TileExecutor:
     in the order of ``items`` regardless of which worker finished first.
     """
 
-    def __init__(self, jobs: int | None = 1, chunk_size: int | None = None):
+    def __init__(self, jobs: int | None = 1, chunk_size: int | None = None) -> None:
         self.jobs = resolve_jobs(jobs)
         self.chunk_size = chunk_size
 
@@ -212,7 +213,9 @@ class TileExecutor:
         # ~4 chunks per worker balances scheduling slack against IPC cost
         return self.chunk_size or max(1, -(-n_items // (self.jobs * 4)))
 
-    def _make_pool(self, payload: Any, faults: FaultPlan | None, workers: int):
+    def _make_pool(
+        self, payload: Any, faults: FaultPlan | None, workers: int
+    ) -> multiprocessing.pool.Pool:
         """Stand up a worker pool; raises ``_POOL_ERRORS`` when the host
         cannot (``multiprocessing.Pool`` spawns its workers eagerly, so
         construction failures surface here, not mid-run)."""
@@ -225,10 +228,12 @@ class TileExecutor:
                 import pickle
 
                 registry.gauge(
-                    "pool.payload_bytes",
+                    names.POOL_PAYLOAD_BYTES,
                     float(len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))),
                 )
-            except Exception:  # unpicklable payloads fail later, loudly
+            # the gauge is advisory; an unpicklable payload fails later,
+            # loudly, at submission time
+            except Exception:  # repro-lint: disable=RL004
                 pass
         return multiprocessing.get_context().Pool(
             processes=workers,
@@ -243,7 +248,7 @@ class TileExecutor:
             type(exc).__name__,
             exc,
         )
-        get_registry().gauge("pool_fallback", 1)
+        get_registry().gauge(names.POOL_FALLBACK, 1)
 
     # -- plain fan-out --------------------------------------------------
     def map(
@@ -357,10 +362,10 @@ class TileExecutor:
         if checkpoint is not None:
             checkpoint.flush()
         outcome.results = [results.get(key) for key in item_keys]
-        registry.inc("pool.retries", outcome.retries)
-        registry.inc("pool.timeouts", outcome.timeouts)
-        registry.inc("pool.bisections", outcome.bisections)
-        registry.inc("pool.quarantined", len(outcome.quarantined))
+        registry.inc(names.POOL_RETRIES, outcome.retries)
+        registry.inc(names.POOL_TIMEOUTS, outcome.timeouts)
+        registry.inc(names.POOL_BISECTIONS, outcome.bisections)
+        registry.inc(names.POOL_QUARANTINED, len(outcome.quarantined))
         return outcome
 
     def _run_inline(

@@ -58,7 +58,7 @@ class TestConflictGraph:
 class TestDecompose:
     def test_alternating_lines(self):
         result = decompose_dpt(parallel_lines(4), 80)
-        assert result.is_clean
+        assert result.ok
         colors = [result.coloring[i] for i in range(4)]
         assert colors in ([0, 1, 0, 1], [1, 0, 1, 0])
 
@@ -75,14 +75,14 @@ class TestDecompose:
 
     def test_triangle_conflict_reported(self):
         result = decompose_dpt(tight_triangle(), 60)
-        assert not result.is_clean
+        assert not result.ok
         assert result.num_conflicts == 1
         assert len(result.conflict_features) == 3
 
     def test_independent_features_single_mask_ok(self):
         region = parallel_lines(2, pitch=400)
         result = decompose_dpt(region, 80)
-        assert result.is_clean
+        assert result.ok
 
     def test_summary(self):
         text = decompose_dpt(parallel_lines(4), 80).summary()
@@ -93,7 +93,7 @@ class TestStitches:
     def test_five_cycle_fixed_with_one_stitch(self):
         layout = five_cycle()
         result, stitches = decompose_with_stitches(layout, 80, stitch_overlap=30)
-        assert result.is_clean
+        assert result.ok
         assert len(stitches) == 1
         assert (result.mask_a | result.mask_b).covers(layout)
 
@@ -112,12 +112,12 @@ class TestStitches:
 
     def test_unfixable_triangle_reports_conflict(self):
         result, stitches = decompose_with_stitches(tight_triangle(), 60)
-        assert not result.is_clean
+        assert not result.ok
         assert stitches == []
 
     def test_clean_layout_needs_no_stitches(self):
         result, stitches = decompose_with_stitches(parallel_lines(4), 80)
-        assert result.is_clean
+        assert result.ok
         assert stitches == []
 
     def test_stitch_properties(self):

@@ -135,7 +135,7 @@ class TestDptFlow:
 
         lines = line_grating(tech45.metal_width, tech45.metal_pitch, 8, 2000)
         result, stitches = decompose_with_stitches(lines, int(1.3 * tech45.metal_space))
-        assert result.is_clean
+        assert result.ok
         assert stitches == []
 
 

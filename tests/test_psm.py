@@ -26,7 +26,7 @@ class TestAssignPhases:
     def test_two_lines_alternate(self):
         poly, active = two_lines()
         pa = assign_phases(poly, active, 40, interaction_nm=250)
-        assert pa.is_clean
+        assert pa.ok
         assert pa.critical_gates == 2
         assert not pa.phase0.is_empty and not pa.phase180.is_empty
         assert not pa.phase0.overlaps(pa.phase180)
@@ -37,20 +37,20 @@ class TestAssignPhases:
         poly = Region(Rect(0, 0, 31, 700))
         active = Region([Rect(-100, 100, 130, 200), Rect(-100, 500, 130, 600)])
         pa = assign_phases(poly, active, 40, interaction_nm=250)
-        assert pa.is_clean
+        assert pa.ok
         assert pa.critical_gates == 2
 
     def test_dense_triangle_conflicts(self):
         poly = Region([Rect(0, 0, 31, 300), Rect(50, 0, 81, 300), Rect(100, 0, 131, 300)])
         active = Region(Rect(-50, 100, 200, 200))
         pa = assign_phases(poly, active, 40, interaction_nm=80)
-        assert not pa.is_clean
+        assert not pa.ok
         assert pa.conflicts == 1
 
     def test_isolated_lines_clean(self):
         poly, active = two_lines(gap=2000)
         pa = assign_phases(poly, active, 40, interaction_nm=250)
-        assert pa.is_clean
+        assert pa.ok
 
     def test_no_critical_gates(self):
         poly = Region(Rect(0, 0, 200, 400))  # fat poly: not critical
@@ -67,7 +67,7 @@ class TestAssignPhases:
             pa = assign_phases(
                 cell.region(L.poly), cell.region(L.active), 40, interaction_nm=250
             )
-            assert pa.is_clean, f"{name}: {pa.summary()}"
+            assert pa.ok, f"{name}: {pa.summary()}"
             assert not pa.phase0.overlaps(pa.phase180)
 
     def test_summary(self):

@@ -197,7 +197,7 @@ class TestApiFacade:
         without = api.decompose(lines, int(1.3 * tech45.metal_space), stitches=False)
         assert isinstance(with_st, tuple) and isinstance(without, tuple)
         assert without[1] == []
-        assert with_st[0].is_clean == without[0].is_clean
+        assert with_st[0].ok == without[0].ok
 
     def test_top_level_exposes_api_and_base_report(self):
         import repro

@@ -1,0 +1,445 @@
+"""Self-tests for ``tools.repro_lint``: every rule gets a violating
+fixture, a clean twin, and a pragma-suppressed variant, plus the JSON
+output schema and the meta-test that the repo's own tree lints clean."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.repro_lint import (  # noqa: E402
+    PARSE_ERROR_ID,
+    RULES,
+    LintConfig,
+    lint_paths,
+    parse_pragmas,
+)
+
+
+def lint_source(tmp_path: Path, source: str, *, name: str = "mod.py", config=None):
+    """Write ``source`` to a scratch file and lint it."""
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return lint_paths([target], config)
+
+
+def rules_hit(result) -> set[str]:
+    return {v.rule for v in result.violations}
+
+
+# ---------------------------------------------------------------------------
+# RL001 — integer-nm geometry
+
+
+class TestRL001:
+    def test_float_literal_into_ctor(self, tmp_path):
+        result = lint_source(tmp_path, "r = Rect(0, 0, 10.5, 20)\n")
+        assert rules_hit(result) == {"RL001"}
+
+    def test_true_division_into_ctor(self, tmp_path):
+        result = lint_source(tmp_path, "p = Point(w / 2, h // 2)\n")
+        assert rules_hit(result) == {"RL001"}
+        assert len(result.violations) == 1  # only the / argument
+
+    def test_keyword_argument_checked(self, tmp_path):
+        result = lint_source(tmp_path, "r = Rect(x0=0, y0=0, x1=w / 2, y1=h)\n")
+        assert rules_hit(result) == {"RL001"}
+
+    def test_taint_through_local(self, tmp_path):
+        src = "def f(w):\n    half = w / 2\n    return Point(half, 0)\n"
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL001"}
+
+    def test_clean_floor_division_and_int(self, tmp_path):
+        src = (
+            "def f(w, h):\n"
+            "    r = Rect(0, 0, w // 2, int(h / 2))\n"
+            "    return Rect.from_center(Point(0, 0), w // 2, h // 2)\n"
+        )
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+    def test_float_ok_outside_geometry(self, tmp_path):
+        result = lint_source(tmp_path, "score = hits / total\nx = 0.5 * score\n")
+        assert result.ok
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = "r = Rect(0, 0, 10.5, 20)  # repro-lint: disable=RL001\n"
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# RL002 — worker determinism (opt-in via the worker-code marker)
+
+WORKER = "# repro-lint: worker-code\n"
+
+
+class TestRL002:
+    def test_wall_clock(self, tmp_path):
+        result = lint_source(tmp_path, WORKER + "import time\nt = time.time()\n")
+        assert rules_hit(result) == {"RL002"}
+
+    def test_global_random(self, tmp_path):
+        src = WORKER + "import random\nj = random.randint(0, 4)\n"
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL002"}
+
+    def test_from_import_random(self, tmp_path):
+        src = WORKER + "from random import choice\nx = choice(items)\n"
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL002"}
+
+    def test_id_keyed_dict(self, tmp_path):
+        src = WORKER + "cache = {id(obj): 1}\nv = table[id(obj)]\n"
+        result = lint_source(tmp_path, src)
+        assert len([v for v in result.violations if v.rule == "RL002"]) == 2
+
+    def test_set_iteration(self, tmp_path):
+        src = WORKER + "for x in {1, 2, 3}:\n    pass\n"
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL002"}
+
+    def test_clean_deterministic_worker(self, tmp_path):
+        src = WORKER + (
+            "import time, random\n"
+            "def work(payload, item):\n"
+            "    t0 = time.perf_counter()\n"
+            "    rng = random.Random(1234)\n"
+            "    for x in sorted({1, 2, 3}):\n"
+            "        pass\n"
+            "    return time.perf_counter() - t0\n"
+        )
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+    def test_not_worker_code_not_checked(self, tmp_path):
+        result = lint_source(tmp_path, "import time\nt = time.time()\n")
+        assert result.ok
+
+    def test_worker_path_opts_in(self, tmp_path):
+        src = "import time\nt = time.time()\n"
+        result = lint_source(tmp_path, src, name="repro/parallel/w.py")
+        assert rules_hit(result) == {"RL002"}
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = WORKER + "import time\nt = time.time()  # repro-lint: disable=RL002\n"
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# RL003 — metric names from the registry
+
+REGISTRY = (
+    'POOL_CHUNKS = "pool.chunks"\n'
+    'DYNAMIC_PREFIXES = ("drc.tasks.",)\n'
+    "def drc_task(tag):\n"
+    '    return f"drc.tasks.{tag}"\n'
+)
+
+
+def lint_with_registry(tmp_path: Path, source: str):
+    (tmp_path / "repro" / "obs").mkdir(parents=True)
+    (tmp_path / "repro" / "obs" / "names.py").write_text(REGISTRY)
+    (tmp_path / "mod.py").write_text(source)
+    return lint_paths([tmp_path])
+
+
+class TestRL003:
+    def test_registered_literal_flagged(self, tmp_path):
+        result = lint_with_registry(tmp_path, 'registry.inc("pool.chunks")\n')
+        assert rules_hit(result) == {"RL003"}
+        assert "single source of truth" in result.violations[0].message
+
+    def test_unregistered_literal_flagged(self, tmp_path):
+        result = lint_with_registry(tmp_path, 'registry.inc("pool.chunkz")\n')
+        assert rules_hit(result) == {"RL003"}
+        assert "unregistered" in result.violations[0].message
+
+    def test_fstring_flagged(self, tmp_path):
+        result = lint_with_registry(tmp_path, 'registry.inc(f"drc.tasks.{tag}")\n')
+        assert rules_hit(result) == {"RL003"}
+
+    def test_unknown_names_attribute_flagged(self, tmp_path):
+        result = lint_with_registry(tmp_path, "registry.inc(names.POOL_CHUNKZ)\n")
+        assert rules_hit(result) == {"RL003"}
+
+    def test_bad_import_flagged(self, tmp_path):
+        src = "from repro.obs.names import POOL_CHUNKZ\n"
+        result = lint_with_registry(tmp_path, src)
+        assert rules_hit(result) == {"RL003"}
+
+    def test_clean_constant_and_helper(self, tmp_path):
+        src = (
+            "from repro.obs.names import POOL_CHUNKS, drc_task\n"
+            "registry.inc(names.POOL_CHUNKS)\n"
+            "registry.inc(drc_task(tag))\n"
+        )
+        result = lint_with_registry(tmp_path, src)
+        assert result.ok
+
+    def test_read_side_also_checked(self, tmp_path):
+        result = lint_with_registry(tmp_path, 'n = registry.counter("pool.chunks")\n')
+        assert rules_hit(result) == {"RL003"}
+
+    def test_non_registry_receiver_ignored(self, tmp_path):
+        result = lint_with_registry(tmp_path, 'counterbox.inc("whatever")\n')
+        assert result.ok
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = 'registry.inc("pool.chunks")  # repro-lint: disable=RL003\n'
+        result = lint_with_registry(tmp_path, src)
+        assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# RL004 — blanket except discipline
+
+
+class TestRL004:
+    def test_swallowed_exception_flagged(self, tmp_path):
+        src = "try:\n    work()\nexcept Exception:\n    pass\n"
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL004"}
+
+    def test_bare_except_flagged(self, tmp_path):
+        src = "try:\n    work()\nexcept:\n    pass\n"
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL004"}
+
+    def test_blanket_in_tuple_flagged(self, tmp_path):
+        src = "try:\n    work()\nexcept (ValueError, Exception):\n    pass\n"
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL004"}
+
+    def test_reraise_is_clean(self, tmp_path):
+        src = "try:\n    work()\nexcept Exception:\n    log()\n    raise\n"
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+    def test_quarantine_routing_is_clean(self, tmp_path):
+        src = "try:\n    work()\nexcept Exception as exc:\n    quarantine_tile(exc)\n"
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+    def test_narrow_except_is_clean(self, tmp_path):
+        src = "try:\n    work()\nexcept (OSError, ValueError):\n    pass\n"
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:  # repro-lint: disable=RL004\n"
+            "    pass\n"
+        )
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# RL005 — the BaseReport contract
+
+
+class TestRL005:
+    def test_report_without_base_flagged(self, tmp_path):
+        src = "class FooReport:\n    pass\n"
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL005"}
+
+    def test_deprecated_member_flagged(self, tmp_path):
+        src = (
+            "class FooReport(BaseReport):\n"
+            "    @property\n"
+            "    def is_clean(self):\n"
+            "        return True\n"
+        )
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL005"}
+
+    def test_seconds_field_flagged(self, tmp_path):
+        src = "class FooReport(BaseReport):\n    elapsed_seconds: float = 0.0\n"
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL005"}
+
+    def test_deprecated_read_flagged(self, tmp_path):
+        result = lint_source(tmp_path, "if report.is_clean:\n    pass\n")
+        assert rules_hit(result) == {"RL005"}
+
+    def test_alias_definition_is_clean(self, tmp_path):
+        src = (
+            "class FooReport(BaseReport):\n"
+            '    is_clean = deprecated_alias("is_clean", "ok")\n'
+        )
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+    def test_inheriting_report_is_clean(self, tmp_path):
+        src = (
+            "class FooReport(BaseReport):\n"
+            "    elapsed_s: float = 0.0\n"
+            "class RichFooReport(FooReport):\n"
+            "    pass\n"
+        )
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = "class FooReport:  # repro-lint: disable=RL005\n    pass\n"
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# RL006 — keyword-only public API (opt-in via the public-api marker)
+
+PUBLIC = "# repro-lint: public-api\n"
+
+
+class TestRL006:
+    def test_positional_default_flagged(self, tmp_path):
+        src = PUBLIC + "def run(cell, deck, jobs=1):\n    pass\n"
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL006"}
+        assert "jobs" in result.violations[0].message
+
+    def test_keyword_only_is_clean(self, tmp_path):
+        src = PUBLIC + "def run(cell, deck, *, jobs=1, cache=None):\n    pass\n"
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+    def test_private_function_ignored(self, tmp_path):
+        src = PUBLIC + "def _helper(x, limit=3):\n    pass\n"
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+    def test_non_api_file_ignored(self, tmp_path):
+        result = lint_source(tmp_path, "def run(cell, deck, jobs=1):\n    pass\n")
+        assert result.ok
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = PUBLIC + (
+            "def run(cell, deck, jobs=1):  # repro-lint: disable=RL006\n    pass\n"
+        )
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# engine behavior: pragmas, config, output, exit codes
+
+
+class TestEngine:
+    def test_file_wide_pragma(self, tmp_path):
+        src = "# repro-lint: disable-file=RL001\nr = Rect(0, 0, 10.5, 20)\n"
+        assert lint_source(tmp_path, src).ok
+
+    def test_disable_all(self, tmp_path):
+        src = (
+            "# repro-lint: disable-file=all\n"
+            "r = Rect(0, 0, 10.5, 20)\n"
+            "class FooReport:\n    pass\n"
+        )
+        assert lint_source(tmp_path, src).ok
+
+    def test_pragma_parse_markers_and_rules(self):
+        pragmas = parse_pragmas("# repro-lint: disable=RL001, RL004 worker-code\n")
+        assert pragmas.line_disabled[1] == {"RL001", "RL004"}
+        assert pragmas.markers == {"worker-code"}
+
+    def test_pragma_inside_string_is_inert(self, tmp_path):
+        src = 's = "# repro-lint: disable-file=all"\nr = Rect(0, 0, 10.5, 20)\n'
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL001"}
+
+    def test_config_disable(self, tmp_path):
+        config = LintConfig(disable=frozenset({"RL001"}))
+        result = lint_source(tmp_path, "r = Rect(0, 0, 10.5, 20)\n", config=config)
+        assert result.ok
+
+    def test_config_enable_subset(self, tmp_path):
+        config = LintConfig(enable=frozenset({"RL004"}))
+        src = "r = Rect(0, 0, 10.5, 20)\ntry:\n    f()\nexcept Exception:\n    pass\n"
+        result = lint_source(tmp_path, src, config=config)
+        assert rules_hit(result) == {"RL004"}
+
+    def test_syntax_error_reported_as_rl000(self, tmp_path):
+        result = lint_source(tmp_path, "def broken(:\n")
+        assert rules_hit(result) == {PARSE_ERROR_ID}
+
+    def test_json_schema(self, tmp_path):
+        result = lint_source(tmp_path, "r = Rect(0, 0, 10.5, 20)\n")
+        doc = json.loads(result.to_json())
+        assert doc["version"] == 1
+        assert doc["ok"] is False
+        assert doc["files_checked"] == 1
+        assert doc["counts"] == {"RL001": 1}
+        violation = doc["violations"][0]
+        assert set(violation) == {"rule", "path", "line", "col", "message"}
+        assert violation["rule"] == "RL001"
+        assert violation["line"] == 1
+
+    def test_every_rule_has_fixture_coverage(self):
+        tested = {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006"}
+        assert set(RULES) == tested
+
+
+# ---------------------------------------------------------------------------
+# CLI contract and the meta-test over the repo's own tree
+
+
+def run_cli(*argv: str, cwd: Path = REPO_ROOT) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "tools.repro_lint", *argv],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestCli:
+    def test_repo_tree_is_clean(self):
+        """The meta-test: the repo's own code must satisfy its invariants."""
+        proc = run_cli("src", "tools", "examples", "benchmarks")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_violations_exit_1(self, tmp_path):
+        (tmp_path / "bad.py").write_text("r = Rect(0, 0, 10.5, 20)\n")
+        proc = run_cli(str(tmp_path))
+        assert proc.returncode == 1
+        assert "RL001" in proc.stdout
+
+    def test_no_fail_exits_0(self, tmp_path):
+        (tmp_path / "bad.py").write_text("r = Rect(0, 0, 10.5, 20)\n")
+        proc = run_cli(str(tmp_path), "--no-fail")
+        assert proc.returncode == 0
+
+    def test_usage_error_exits_2(self):
+        proc = run_cli("src", "--disable", "RL999")
+        assert proc.returncode == 2
+
+    def test_missing_path_exits_2(self):
+        proc = run_cli("no/such/path")
+        assert proc.returncode == 2
+
+    def test_json_output(self, tmp_path):
+        (tmp_path / "bad.py").write_text("r = Rect(0, 0, 10.5, 20)\n")
+        proc = run_cli(str(tmp_path), "--format", "json")
+        doc = json.loads(proc.stdout)
+        assert doc["counts"] == {"RL001": 1}
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+            assert rule_id in proc.stdout

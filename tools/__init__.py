@@ -1,0 +1,1 @@
+"""Repository tooling: benchmarking snapshots, doc generation, linting."""

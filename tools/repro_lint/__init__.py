@@ -1,0 +1,53 @@
+"""repro-lint: AST-based checks for the repo's own domain invariants.
+
+The dimensional checkers (ruff, pytest) verify Python; ``repro-lint``
+verifies *this codebase's physics*: integer-nm geometry, deterministic
+worker code, registered metric names, the quarantine discipline, the
+``BaseReport`` contract, and the keyword-only public API — the DRC-Plus
+idea (check patterns the basic rule deck cannot express) pointed at the
+code instead of the layout.
+
+Run it as a module::
+
+    python -m tools.repro_lint src/            # human output
+    python -m tools.repro_lint src/ --format json
+    python -m tools.repro_lint --list-rules
+
+Exit codes follow the ``repro`` CLI contract: ``0`` clean, ``1``
+findings (``--no-fail`` opts out), ``2`` usage error.  Suppress a
+deliberate exception with ``# repro-lint: disable=RLnnn`` on the
+offending line (file-wide: ``disable-file=``); mark a whole file as
+worker-executed or public-API with the ``worker-code`` / ``public-api``
+markers.  See ``docs/LINTING.md`` for the full rule catalogue.
+"""
+
+from tools.repro_lint.engine import (
+    PARSE_ERROR_ID,
+    FileContext,
+    LintConfig,
+    LintResult,
+    Pragmas,
+    Rule,
+    RULES,
+    Violation,
+    iter_python_files,
+    lint_paths,
+    parse_pragmas,
+    register,
+)
+from tools.repro_lint import rules as _rules  # noqa: F401  (registers RL001-RL006)
+
+__all__ = [
+    "PARSE_ERROR_ID",
+    "FileContext",
+    "LintConfig",
+    "LintResult",
+    "Pragmas",
+    "Rule",
+    "RULES",
+    "Violation",
+    "iter_python_files",
+    "lint_paths",
+    "parse_pragmas",
+    "register",
+]

@@ -1,0 +1,111 @@
+"""Command-line front end for :mod:`tools.repro_lint`."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from tools.repro_lint import RULES, LintConfig, lint_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based checks for the repo's domain invariants "
+            "(integer-nm geometry, worker determinism, metric-name "
+            "registry, quarantine discipline, report contract, "
+            "keyword-only API)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--enable",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--no-fail",
+        action="store_true",
+        help="exit 0 even when findings are reported (report-only mode)",
+    )
+    return parser
+
+
+def _parse_rule_list(spec: str | None, parser: argparse.ArgumentParser) -> frozenset[str] | None:
+    if spec is None:
+        return None
+    ids = frozenset(part.strip() for part in spec.split(",") if part.strip())
+    unknown = ids - set(RULES)
+    if unknown:
+        parser.error(
+            f"unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(registered: {', '.join(sorted(RULES))})"
+        )
+    return ids
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            rule = RULES[rule_id]
+            print(f"{rule_id}  {rule.name}")
+            print(f"       {rule.summary}")
+        return 0
+
+    config = LintConfig(
+        enable=_parse_rule_list(args.enable, parser),
+        disable=_parse_rule_list(args.disable, parser) or frozenset(),
+    )
+    try:
+        result = lint_paths(args.paths, config)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))  # exits 2
+
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        for violation in result.violations:
+            print(violation.format())
+        counts = result.counts()
+        tally = (
+            ", ".join(f"{n} {rule_id}" for rule_id, n in counts.items())
+            if counts
+            else "clean"
+        )
+        print(
+            f"repro-lint: {result.files_checked} files checked, "
+            f"{len(result.violations)} finding(s) ({tally})"
+        )
+    if args.no_fail:
+        return 0
+    return 1 if result.violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,377 @@
+"""Rule engine for ``repro-lint``: file loading, pragmas, registry, runner.
+
+The engine is deliberately dependency-free (stdlib ``ast`` + ``tokenize``
+only) so it can run in any environment that can run the package itself.
+It owns everything rule-independent:
+
+* **File discovery** — walk the given files/directories for ``*.py``,
+  skipping hidden directories and ``__pycache__``.
+* **Pragmas** — ``# repro-lint: disable=RL001,RL002`` suppresses those
+  rules on that line; ``disable-file=...`` suppresses for the whole
+  file; ``disable=all`` works in both forms.  Bare words are *markers*
+  (``worker-code``, ``public-api``) that opt a file into path-scoped
+  rules; see :mod:`tools.repro_lint.rules`.
+* **Rule registry** — rules self-register via :func:`register`; the
+  config's ``enable``/``disable`` sets select which ones run.
+* **Metric-name registry loading** — RL003 checks emission sites
+  against ``repro/obs/names.py``; the engine locates and AST-parses it
+  (never imports it) so linting works without the package installed.
+* **Output** — human one-line-per-finding or a versioned JSON document,
+  and the exit-code contract shared with the ``repro`` CLI: ``0`` clean,
+  ``1`` findings, ``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+JSON_SCHEMA_VERSION = 1
+
+#: Rule id used for files that fail to parse at all.
+PARSE_ERROR_ID = "RL000"
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*(?P<body>.+?)\s*$")
+_RULE_ID_RE = re.compile(r"^RL\d{3}$")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a location, and a human message."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Pragmas:
+    """Per-file suppression state parsed from ``# repro-lint:`` comments."""
+
+    file_disabled: set[str] = field(default_factory=set)
+    line_disabled: dict[int, set[str]] = field(default_factory=dict)
+    markers: set[str] = field(default_factory=set)
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        if "all" in self.file_disabled or rule_id in self.file_disabled:
+            return True
+        on_line = self.line_disabled.get(line, ())
+        return "all" in on_line or rule_id in on_line
+
+
+def parse_pragmas(text: str) -> Pragmas:
+    """Extract pragmas from every comment in ``text``.
+
+    Tokenizing (rather than grepping lines) keeps pragmas inside string
+    literals inert.  A file that cannot be tokenized yields empty
+    pragmas — it will fail to AST-parse too and be reported as
+    ``RL000``.
+    """
+    pragmas = Pragmas()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, SyntaxError, ValueError):
+        return pragmas
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        body = match.group("body")
+        for clause in _DISABLE_RE.finditer(body):
+            rule_ids = _split_rules(clause.group("rules"))
+            if clause.group("scope"):
+                pragmas.file_disabled.update(rule_ids)
+            else:
+                pragmas.line_disabled.setdefault(tok.start[0], set()).update(rule_ids)
+        for word in _DISABLE_RE.sub(" ", body).replace(",", " ").split():
+            pragmas.markers.add(word)
+    return pragmas
+
+
+# `disable=RL001, RL002` / `disable-file=all`; the value is a strict
+# comma list of rule ids (or `all`) so trailing markers are not eaten.
+_DISABLE_RE = re.compile(
+    r"disable(?P<scope>-file)?\s*=\s*(?P<rules>(?:RL\d{3}|all)(?:\s*,\s*(?:RL\d{3}|all))*)"
+)
+
+
+def _split_rules(spec: str) -> set[str]:
+    return {part.strip() for part in spec.split(",") if part.strip()}
+
+
+@dataclass
+class LintConfig:
+    """What to check and how strictly.
+
+    ``enable=None`` means every registered rule; ``disable`` always
+    wins.  ``worker_paths``/``public_api_paths`` are path *substrings*
+    (posix form) that opt files into the path-scoped rules; the
+    ``worker-code`` / ``public-api`` file markers do the same
+    per-file.
+    """
+
+    enable: frozenset[str] | None = None
+    disable: frozenset[str] = frozenset()
+    worker_paths: tuple[str, ...] = (
+        "repro/parallel/",
+        "repro/litho/",
+        "repro/drc/",
+    )
+    public_api_paths: tuple[str, ...] = ("repro/api.py",)
+    # RL003's registry; filled by the runner from repro/obs/names.py
+    metric_names: frozenset[str] | None = None
+    metric_helpers: frozenset[str] = frozenset()
+    metric_prefixes: tuple[str, ...] = ()
+
+    def selects(self, rule_id: str) -> bool:
+        if rule_id in self.disable:
+            return False
+        return self.enable is None or rule_id in self.enable
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    rel: str
+    text: str
+    tree: ast.Module
+    pragmas: Pragmas
+    config: LintConfig
+
+    def is_worker_code(self) -> bool:
+        if "worker-code" in self.pragmas.markers:
+            return True
+        return any(part in self.rel for part in self.config.worker_paths)
+
+    def is_public_api(self) -> bool:
+        if "public-api" in self.pragmas.markers:
+            return True
+        return any(self.rel.endswith(part) for part in self.config.public_api_paths)
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``name``/``summary`` and
+    implement :meth:`check`; the ``@register`` decorator adds them to
+    the registry."""
+
+    id: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            rule=self.id,
+            path=ctx.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+RULES: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    if not _RULE_ID_RE.match(cls.id):
+        raise ValueError(f"rule id {cls.id!r} must match RLnnn")
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    RULES[cls.id] = cls
+    return cls
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run over a set of paths."""
+
+    violations: list[Violation]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for violation in self.violations:
+            out[violation.rule] = out.get(violation.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "counts": self.counts(),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            parts = candidate.parts
+            if any(p == "__pycache__" or p.startswith(".") for p in parts[:-1]):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def load_metric_registry(
+    paths: Sequence[str | Path],
+) -> tuple[frozenset[str] | None, frozenset[str], tuple[str, ...]]:
+    """Locate and AST-parse ``repro/obs/names.py`` under the lint roots.
+
+    Returns ``(static names, helper/constant identifiers, dynamic
+    prefixes)``; the first element is None when no registry file is
+    found (RL003 then reports literals without suggesting constants).
+    The file is parsed, never imported, so linting does not require the
+    package (or its dependencies) to be importable.
+    """
+    candidates: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        base = path if path.is_dir() else path.parent
+        for parent in [base, *base.parents]:
+            direct = parent / "repro" / "obs" / "names.py"
+            if direct.is_file():
+                candidates.append(direct)
+                break
+        if not candidates and path.is_dir():
+            candidates.extend(sorted(path.rglob("repro/obs/names.py")))
+        if candidates:
+            break
+    if not candidates:
+        return None, frozenset(), ()
+
+    try:
+        tree = ast.parse(candidates[0].read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None, frozenset(), ()
+    names: set[str] = set()
+    exports: set[str] = set()
+    prefixes: tuple[str, ...] = ()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            exports.add(node.name)
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target = node.target
+            value = node.value
+        else:
+            continue
+        if not isinstance(target, ast.Name):
+            continue
+        exports.add(target.id)
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            names.add(value.value)
+        elif target.id == "DYNAMIC_PREFIXES" and isinstance(value, ast.Tuple):
+            prefixes = tuple(
+                elt.value
+                for elt in value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            )
+    return frozenset(names), frozenset(exports), prefixes
+
+
+def lint_file(path: Path, rel: str, config: LintConfig) -> list[Violation]:
+    """Lint one file with every selected rule, applying pragmas."""
+    try:
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        return [
+            Violation(
+                rule=PARSE_ERROR_ID,
+                path=rel,
+                line=int(line),
+                col=1,
+                message=f"file does not parse: {exc}",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        rel=rel,
+        text=text,
+        tree=tree,
+        pragmas=parse_pragmas(text),
+        config=config,
+    )
+    out: list[Violation] = []
+    for rule_id in sorted(RULES):
+        if not config.selects(rule_id):
+            continue
+        for violation in RULES[rule_id]().check(ctx):
+            if not ctx.pragmas.suppresses(violation.rule, violation.line):
+                out.append(violation)
+    return out
+
+
+def lint_paths(paths: Sequence[str | Path], config: LintConfig | None = None) -> LintResult:
+    """Lint every Python file under ``paths`` and aggregate the findings."""
+    # rules register on import; defer to avoid a circular import at
+    # package load time
+    from tools.repro_lint import rules as _rules  # noqa: F401
+
+    config = config or LintConfig()
+    if config.metric_names is None:
+        metric_names, helpers, prefixes = load_metric_registry(paths)
+        config.metric_names = metric_names
+        config.metric_helpers = helpers
+        config.metric_prefixes = prefixes
+    files = iter_python_files(paths)
+    violations: list[Violation] = []
+    for path in files:
+        rel = path.as_posix()
+        violations.extend(lint_file(path, rel, config))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return LintResult(violations=violations, files_checked=len(files))
