@@ -49,6 +49,7 @@ def obs_registry(benchmark):
         set_registry(previous)
         snap = registry.snapshot()
         benchmark.extra_info["metrics.counters"] = snap["counters"]
+        benchmark.extra_info["metrics.gauges"] = snap.get("gauges", {})
         benchmark.extra_info["metrics.stages"] = {
             name: round(stat["total"], 6) for name, stat in snap["timers"].items()
         }

@@ -23,7 +23,7 @@ fixed tiling, serial and parallel runs are identical.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro.drc import checks
@@ -34,10 +34,14 @@ from repro.obs import get_registry, names, span
 from repro.parallel import (
     Checkpoint,
     FaultPlan,
+    SharedPayload,
+    ShmArena,
+    ShmRects,
     Tile,
     TileCache,
     TileExecutor,
     digest_parts,
+    resolve_jobs,
     tile_grid,
 )
 from repro.tech.rules import (
@@ -176,14 +180,77 @@ def run_drc_regions(
     return report
 
 
+class _SharedLayerRegions:
+    """Layer→Region mapping whose geometry lives in shared memory.
+
+    Stands in for the payload's plain region dict on pooled runs: it
+    pickles as ``{layer: ShmRects}`` handles only, and each worker
+    rebuilds a layer's :class:`Region` — from the handle's canonical
+    rect order, so digests and results are bit-identical — on first
+    access, caching it for the rest of the process.  The parent-side
+    instance is seeded with the original regions, so in-process reads
+    never touch the mapping.
+    """
+
+    __slots__ = ("_handles", "_regions")
+
+    def __init__(
+        self,
+        handles: dict[Layer, ShmRects],
+        regions: dict[Layer, Region] | None = None,
+    ):
+        self._handles = handles
+        self._regions: dict[Layer, Region] = dict(regions) if regions else {}
+
+    def __getstate__(self) -> dict[Layer, ShmRects]:
+        return self._handles
+
+    def __setstate__(self, state: dict[Layer, ShmRects]) -> None:
+        self._handles = state
+        self._regions = {}
+
+    def get(self, layer: Layer, default: Region | None = None) -> Region | None:
+        region = self._regions.get(layer)
+        if region is None:
+            handle = self._handles.get(layer)
+            if handle is None:
+                return default
+            region = Region.from_canonical_rects(handle.rects())
+            self._regions[layer] = region
+        return region
+
+
 @dataclass(frozen=True)
 class _DrcPayload:
-    """Read-only per-run state shipped to each worker once."""
+    """Read-only per-run state shipped to each worker once.
 
-    regions: dict[Layer, Region]
+    ``regions`` is the plain per-layer dict, or — on pooled runs, via
+    :func:`_share_drc_payload` — a :class:`_SharedLayerRegions` store
+    whose geometry travels through shared memory instead of the pickle
+    wire.  Both expose the same ``get`` access the tasks use.
+    """
+
+    regions: "dict[Layer, Region] | _SharedLayerRegions"
     local_rules: tuple[Rule, ...]
     global_rules: tuple[Rule, ...]
     extent: Rect
+
+
+def _share_drc_payload(payload: _DrcPayload) -> SharedPayload | None:
+    """Repack the payload's per-layer regions into shared memory.
+
+    Only rule decks and scalars then cross the pickle wire.  Returns
+    ``None`` — caller ships the payload pickled — when shared memory is
+    unavailable.
+    """
+    layers = list(payload.regions)
+    arena = ShmArena.pack(
+        [list(payload.regions[layer].rects()) for layer in layers]
+    )
+    if arena is None:
+        return None
+    store = _SharedLayerRegions(dict(zip(layers, arena.handles)), payload.regions)
+    return SharedPayload(replace(payload, regions=store), arena)
 
 
 # A task is ("tile", Tile) for the local deck over one tile window, or
@@ -320,9 +387,17 @@ def run_drc_tiled(
         checkpoint = Checkpoint.open(checkpoint_file, signature, resume=resume)
 
     with span("drc.compute"):
+        # pooled runs move the per-layer geometry into shared memory so
+        # the per-worker pickle payload stays constant-size; task keys
+        # above were computed from the plain payload and are identical
+        exec_payload: _DrcPayload | SharedPayload = payload
+        if pending and (resolve_jobs(jobs) > 1 or timeout is not None):
+            shared = _share_drc_payload(payload)
+            if shared is not None:
+                exec_payload = shared
         outcome = TileExecutor(jobs).run(
             _drc_task,
-            payload,
+            exec_payload,
             [t for _, t in pending],
             keys=[i for i, _ in pending],
             timeout=timeout,

@@ -119,6 +119,25 @@ class Region:
         region._hash = None
         return region
 
+    @classmethod
+    def from_canonical_rects(cls, rects: Iterable[Rect]) -> "Region":
+        """Rebuild a region from its own canonical rect iteration.
+
+        ``rects`` must be exactly what :meth:`rects` produced (the
+        order ships rects slab by slab, y-sorted within each slab), as
+        preserved by serialization paths like
+        :class:`repro.parallel.shm.ShmRects`.  Rebuilding is then pure
+        regrouping — no sweep — and bit-identical: canonical rects
+        sharing an x-range are one slab's y-intervals.
+        """
+        slabs: list[Slab] = []
+        for r in rects:
+            if slabs and slabs[-1][0] == r.x0 and slabs[-1][1] == r.x1:
+                slabs[-1][2].append((r.y0, r.y1))
+            else:
+                slabs.append((r.x0, r.x1, [(r.y0, r.y1)]))
+        return cls._from_slabs(_merge_slabs(slabs))
+
     # -- iteration and size ----------------------------------------------
     def rects(self) -> Iterator[Rect]:
         """Iterate the canonical disjoint rectangles."""

@@ -22,11 +22,10 @@ scan pick up from its last checkpoint with byte-identical results.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.report import BaseReport, deprecated_alias
 from repro.geometry import GridIndex, Rect, Region
-from repro.geometry.region import _merge_slabs
 from repro.litho.hotspots import Hotspot, _merge_across_corners, find_hotspots
 from repro.litho.model import LithoModel
 from repro.litho.process import ProcessWindow
@@ -35,10 +34,14 @@ from repro.parallel import (
     Checkpoint,
     FaultPlan,
     QuarantinedTile,
+    SharedPayload,
+    ShmArena,
+    ShmRects,
     Tile,
     TileCache,
     TileExecutor,
     digest_parts,
+    resolve_jobs,
     tile_grid,
 )
 
@@ -100,21 +103,44 @@ class _ScanGeometry:
     — window clipping, cache-key digesting — queries the index so it
     touches only the geometry near the tile instead of sweeping the
     full chip.
+
+    The rect source is either the flat list itself or — after
+    :meth:`shared` repacks it for a pooled run — a
+    :class:`~repro.parallel.ShmRects` handle, which pickles as a name
+    and offset and materializes the same list from shared memory on
+    first use in each worker.  Both sources preserve canonical rect
+    order, so indexes, clips, and digests are identical either way.
     """
 
-    __slots__ = ("rects", "cell_nm", "_index", "_buf")
+    __slots__ = ("_source", "cell_nm", "_index", "_buf")
 
     def __init__(self, region: Region, cell_nm: int = 2048):
-        self.rects: list[Rect] = list(region.rects())
+        self._source: list[Rect] | ShmRects = list(region.rects())
         self.cell_nm = cell_nm
         self._index: GridIndex[Rect] | None = None
         self._buf: list[Rect] = []
 
+    @property
+    def rects(self) -> list[Rect]:
+        source = self._source
+        if isinstance(source, ShmRects):
+            return source.rects()
+        return source
+
+    def shared(self, handle: ShmRects) -> "_ScanGeometry":
+        """Clone of this geometry backed by a shared-memory handle."""
+        clone = _ScanGeometry.__new__(_ScanGeometry)
+        clone._source = handle
+        clone.cell_nm = self.cell_nm
+        clone._index = None
+        clone._buf = []
+        return clone
+
     def __getstate__(self):
-        return (self.rects, self.cell_nm)
+        return (self._source, self.cell_nm)
 
     def __setstate__(self, state):
-        self.rects, self.cell_nm = state
+        self._source, self.cell_nm = state
         self._index = None
         self._buf = []
 
@@ -137,15 +163,14 @@ class _ScanGeometry:
 
         The local rects are fragments of the source region's canonical
         slabs — rects sharing an x-range belong to one slab, distinct
-        x-ranges never partially overlap — so the slab list is rebuilt
-        by grouping instead of a from-scratch plane sweep, and only the
-        window intersection pays for a sweep.
+        x-ranges never partially overlap — so sorting restores canonical
+        iteration order and the slab list is rebuilt by grouping instead
+        of a from-scratch plane sweep; only the window intersection pays
+        for a sweep.
         """
-        by_slab: dict[tuple[int, int], list[tuple[int, int]]] = {}
-        for r in self.near(window):
-            by_slab.setdefault((r.x0, r.x1), []).append((r.y0, r.y1))
-        slabs = [(x0, x1, sorted(ys)) for (x0, x1), ys in sorted(by_slab.items())]
-        local = Region._from_slabs(_merge_slabs(slabs))
+        local = Region.from_canonical_rects(
+            sorted(self.near(window), key=lambda r: (r.x0, r.y0))
+        )
         return local & Region(window)
 
 
@@ -169,6 +194,29 @@ class _ScanPayload:
     grid: int | None
     halo_nm: int = 0
     fast_path: bool = True
+
+
+def _share_payload(payload: _ScanPayload) -> SharedPayload | None:
+    """Repack a fast-path payload's rect lists into shared memory.
+
+    Only the small scalar state (model, process window, limits) then
+    travels over the pickle wire; the whole-chip geometry is mapped by
+    each worker from one shared block.  Returns ``None`` — caller ships
+    the payload pickled — when shared memory is unavailable.
+    """
+    geometries = [payload.drawn]
+    if payload.mask is not None:
+        geometries.append(payload.mask)
+    arena = ShmArena.pack([g.rects for g in geometries])
+    if arena is None:
+        return None
+    shared = [g.shared(h) for g, h in zip(geometries, arena.handles)]
+    inner = replace(
+        payload,
+        drawn=shared[0],
+        mask=shared[1] if payload.mask is not None else None,
+    )
+    return SharedPayload(inner, arena)
 
 
 def _scan_tile(payload: _ScanPayload, tile: Tile) -> tuple[list[Hotspot], float]:
@@ -369,9 +417,19 @@ def scan_full_chip(
                     owned_by_tile[tile.index] = hit
 
     with span("scan.compute"):
+        # only a pooled run pays the pickle wire; the fast path then
+        # moves its geometry into shared memory so the per-worker
+        # payload stays constant-size as the chip grows.  Cache keys
+        # were already computed above from the in-process payload and
+        # are bit-identical either way.
+        exec_payload: _ScanPayload | SharedPayload = payload
+        if pending and fast_path and (resolve_jobs(jobs) > 1 or timeout is not None):
+            shared = _share_payload(payload)
+            if shared is not None:
+                exec_payload = shared
         outcome = TileExecutor(jobs).run(
             _scan_tile,
-            payload,
+            exec_payload,
             pending,
             keys=[t.index for t in pending],
             timeout=timeout,

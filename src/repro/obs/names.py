@@ -24,6 +24,7 @@ from __future__ import annotations
 # -- tile cache (repro.parallel.cache) --------------------------------
 TILECACHE_HITS = "tilecache.hits"
 TILECACHE_MISSES = "tilecache.misses"
+TILECACHE_VERSION_MISMATCH = "tilecache.version_mismatch"
 
 # -- worker pool (repro.parallel.pool) --------------------------------
 POOL_RETRIES = "pool.retries"
@@ -31,6 +32,9 @@ POOL_TIMEOUTS = "pool.timeouts"
 POOL_BISECTIONS = "pool.bisections"
 POOL_QUARANTINED = "pool.quarantined"
 POOL_PAYLOAD_BYTES = "pool.payload_bytes"
+# Gauged (by repro.parallel.shm) when shared-memory transport is
+# unavailable and a run ships its payload pickled instead.
+POOL_SHM_FALLBACK = "pool.shm_fallback"
 # Legacy dotless spelling, kept byte-identical: manifests written since
 # PR 2 key the serial-fallback gauge on this exact string.
 POOL_FALLBACK = "pool_fallback"

@@ -32,6 +32,13 @@ The shared machinery behind the full-chip litho scan
   ``hang`` / ``abort`` at exact tiles), driven programmatically or via
   ``$REPRO_FAULT_SPEC``, so the retry/timeout/quarantine matrix is
   testable in CI.
+* :class:`ShmArena` / :class:`ShmRects` / :class:`SharedPayload` —
+  zero-copy payload transport: the engines pack their whole-chip rect
+  lists into one ``multiprocessing.shared_memory`` block per run, so
+  what crosses the pickle wire per worker is a constant-size handle
+  instead of the full geometry (``pool.payload_bytes`` stays flat as
+  the chip grows).  Hosts without shared memory fall back to the
+  pickled path with a ``pool.shm_fallback`` gauge.
 """
 
 from repro.parallel.cache import TileCache, digest_parts
@@ -50,6 +57,7 @@ from repro.parallel.pool import (
     WorkerFailure,
     resolve_jobs,
 )
+from repro.parallel.shm import SharedPayload, ShmArena, ShmRects
 from repro.parallel.tiles import Tile, tile_grid
 
 __all__ = [
@@ -68,4 +76,7 @@ __all__ = [
     "InjectedAbort",
     "AbortRun",
     "QuarantinedTile",
+    "SharedPayload",
+    "ShmArena",
+    "ShmRects",
 ]

@@ -16,12 +16,21 @@ reuse a previous invocation's work.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
 from typing import Any
 
 from repro.obs import get_registry, names
+
+log = logging.getLogger("repro.parallel")
+
+# On-disk format sentinel.  Bump whenever the shape of cached values
+# changes (new result fields, key-scheme changes): a mismatched file is
+# discarded — full recompute — instead of serving stale-shaped values
+# to an --incremental run.
+_FORMAT_VERSION = "tilecache-v1"
 
 
 def digest_parts(*parts: Any) -> str:
@@ -88,8 +97,9 @@ class TileCache:
         os.makedirs(directory, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tilecache-", suffix=".tmp")
         try:
+            payload = {"format": _FORMAT_VERSION, "entries": self._store}
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(self._store, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -101,16 +111,37 @@ class TileCache:
     @classmethod
     def load(cls, path: str | os.PathLike) -> "TileCache":
         """Load a saved cache; a missing or unreadable file yields an
-        empty cache (an incremental run then degrades to a full run)."""
+        empty cache (an incremental run then degrades to a full run).
+
+        Files written under a different format version — including
+        pre-versioned caches, which pickled the entry dict bare — are
+        discarded the same way, with a warning and the
+        ``tilecache.version_mismatch`` counter, instead of silently
+        serving values shaped for an older result schema.
+        """
         cache = cls()
         try:
             with open(path, "rb") as fh:
-                store = pickle.load(fh)
-            if isinstance(store, dict):
-                cache._store = store
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            return cache
         except Exception:  # repro-lint: disable=RL004
             # pickle surfaces corruption as many exception types
             # (UnpicklingError, ValueError, EOFError, ...); any of them
             # just means the file is unusable.
-            pass
+            return cache
+        if (
+            isinstance(payload, dict)
+            and payload.get("format") == _FORMAT_VERSION
+            and isinstance(payload.get("entries"), dict)
+        ):
+            cache._store = payload["entries"]
+        else:
+            log.warning(
+                "discarding tile cache %s: format %r does not match %r",
+                path,
+                payload.get("format") if isinstance(payload, dict) else None,
+                _FORMAT_VERSION,
+            )
+            get_registry().inc(names.TILECACHE_VERSION_MISMATCH)
         return cache

@@ -58,6 +58,7 @@ from repro.parallel.faults import (
     InjectedAbort,
     QuarantinedTile,
 )
+from repro.parallel.shm import SharedPayload
 
 log = logging.getLogger("repro.parallel")
 
@@ -83,6 +84,11 @@ def _init_worker(
     payload: Any, obs_enabled: bool = False, faults: FaultPlan | None = None
 ) -> None:
     global _PAYLOAD, _FAULTS
+    # spawn-style contexts pickle initargs, which already unwraps a
+    # SharedPayload via its __reduce__; fork inherits the object as-is,
+    # so unwrap here too — workers always see the engine's own payload
+    if isinstance(payload, SharedPayload):
+        payload = payload.inner
     _PAYLOAD = payload
     _FAULTS = faults
     if obs_enabled:
@@ -264,25 +270,34 @@ class TileExecutor:
         ``fn`` mid-run propagates to the caller on every path.
         """
         work = list(items)
-        if self.jobs <= 1 or len(work) <= 1:
-            return [fn(payload, item) for item in work]
-        registry = get_registry()
-        chunk = self._resolve_chunk(len(work))
-        chunks = [work[i : i + chunk] for i in range(0, len(work), chunk)]
+        # a SharedPayload crosses the wire as its (small) inner payload;
+        # in-process execution uses the inner payload directly, and the
+        # executor owns the arena: the block is unlinked when we return
+        arena = payload.arena if isinstance(payload, SharedPayload) else None
+        inner = payload.inner if isinstance(payload, SharedPayload) else payload
         try:
-            pool = self._make_pool(payload, None, min(self.jobs, len(chunks)))
-        except _POOL_ERRORS as exc:
-            self._fallback(exc)
-            return [fn(payload, item) for item in work]
-        with pool:
-            parts = pool.map(partial(_run_chunk, fn), chunks, chunksize=1)
-        # merge worker metric snapshots in submission order: counters and
-        # timers are order-independent, gauges become last-write-wins in
-        # the same order a serial run would have written them
-        for _, snapshot in parts:
-            if snapshot is not None:
-                registry.merge(snapshot)
-        return [result for part, _ in parts for result in part]
+            if self.jobs <= 1 or len(work) <= 1:
+                return [fn(inner, item) for item in work]
+            registry = get_registry()
+            chunk = self._resolve_chunk(len(work))
+            chunks = [work[i : i + chunk] for i in range(0, len(work), chunk)]
+            try:
+                pool = self._make_pool(payload, None, min(self.jobs, len(chunks)))
+            except _POOL_ERRORS as exc:
+                self._fallback(exc)
+                return [fn(inner, item) for item in work]
+            with pool:
+                parts = pool.map(partial(_run_chunk, fn), chunks, chunksize=1)
+            # merge worker metric snapshots in submission order: counters and
+            # timers are order-independent, gauges become last-write-wins in
+            # the same order a serial run would have written them
+            for _, snapshot in parts:
+                if snapshot is not None:
+                    registry.merge(snapshot)
+            return [result for part, _ in parts for result in part]
+        finally:
+            if arena is not None:
+                arena.close()
 
     # -- fault-tolerant fan-out -----------------------------------------
     def run(
@@ -341,6 +356,11 @@ class TileExecutor:
             max_retries=max_retries,
             backoff_s=backoff_s,
         )
+        # a SharedPayload ships its inner payload over the wire and its
+        # arena dies with the run — unlinked on success, abort, interrupt,
+        # and across timeout-driven pool re-creation alike
+        arena = payload.arena if isinstance(payload, SharedPayload) else None
+        inner = payload.inner if isinstance(payload, SharedPayload) else payload
         try:
             if pending:
                 use_pool = self.jobs > 1 or timeout is not None
@@ -348,7 +368,7 @@ class TileExecutor:
                 if use_pool:
                     pooled = self._run_pooled(fn, payload, pending, timeout, state)
                 if not pooled:
-                    self._run_inline(fn, payload, pending, state)
+                    self._run_inline(fn, inner, pending, state)
         except InjectedAbort as exc:
             if checkpoint is not None:
                 checkpoint.flush()
@@ -359,6 +379,9 @@ class TileExecutor:
             if checkpoint is not None:
                 checkpoint.flush()
             raise
+        finally:
+            if arena is not None:
+                arena.close()
         if checkpoint is not None:
             checkpoint.flush()
         outcome.results = [results.get(key) for key in item_keys]
@@ -453,7 +476,11 @@ class TileExecutor:
                     ar = pool.apply_async(
                         _run_chunk_ft, (fn, eligible.id, eligible.attempt, wire)
                     )
-                    deadline = now + timeout if timeout is not None else None
+                    # the deadline clock starts at actual submission, not
+                    # at the (possibly stale) top-of-loop timestamp
+                    deadline = (
+                        time.monotonic() + timeout if timeout is not None else None
+                    )
                     active.append([eligible, ar, deadline])
                 progressed = False
                 for slot in list(active):
@@ -482,16 +509,27 @@ class TileExecutor:
                                 state.checkpoint.flush()
                             if snapshot is not None:
                                 snapshots.append((chunk_obj.rank, snapshot))
-                    elif deadline is not None and now > deadline:
+                    elif deadline is not None and time.monotonic() > deadline:
                         # hung chunk: kill every worker (the only way to
                         # stop runaway C-level or sleeping code), requeue
-                        # innocents unpenalized, charge the hung chunk
+                        # innocents unpenalized, charge the hung chunk.
+                        # `time.monotonic()` is re-read here — the loop's
+                        # `now` predates submission and slow ar.get()
+                        # drains, so comparing against it could fire a
+                        # full drain-iteration late.
                         progressed = True
                         state.outcome.timeouts += 1
                         pool.terminate()
                         pool.join()
                         for other in active:
                             if other is not slot:
+                                # unpenalized also means the execution
+                                # ordinals bumped at submission are rolled
+                                # back: the tiles never ran, and fault
+                                # plans must see the same per-tile attempt
+                                # sequence a serial run produces
+                                for key, _ in other[0].items:
+                                    state.execs[key] -= 1
                                 other[0].not_before = 0.0
                                 queue.append(other[0])
                         active.clear()

@@ -10,6 +10,9 @@ byte-identical results — each at ``jobs=1`` and ``jobs=4``.
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
 from repro.designgen import LogicBlockSpec, generate_logic_block
@@ -231,6 +234,104 @@ class TestExecutorFaultMatrix:
             _ident, None, [0, 1, 2], fault_plan=FaultPlan(), max_retries=0
         )
         assert out.quarantined == []
+
+
+class RecordingPlan(FaultPlan):
+    """A FaultPlan that logs every fire() consultation to a file.
+
+    Module-level so it pickles by reference into pool workers; the
+    log file is append-mode (atomic for short lines), so records from
+    every worker process land in one place.  The recorded
+    ``scope:index:attempt`` stream *is* the deterministic-injection
+    contract: it must not depend on jobs, timeouts, or requeues.
+    """
+
+    def __init__(self, rules=(), path: str = "") -> None:
+        super().__init__(rules)
+        self.path = path
+
+    def fire(self, scope, index, attempt) -> None:
+        with open(self.path, "a") as fh:
+            fh.write(f"{scope}:{index}:{attempt}\n")
+        super().fire(scope, index, attempt)
+
+
+def _fires_for(path, scope, index):
+    if not os.path.exists(path):
+        return []
+    out = []
+    for line in open(path).read().splitlines():
+        s, i, attempt = line.split(":")
+        if s == scope and int(i) == index:
+            out.append(int(attempt))
+    return out
+
+
+class TestTimeoutPathRegressions:
+    """PR-6 satellite fixes: the hung-chunk deadline clock and the
+    attempt ordinals of innocent chunks requeued by a timeout."""
+
+    def test_hung_chunk_detected_promptly_with_fresh_clock(self):
+        # regression for the stale-`now` deadline check: `now` was read
+        # once per outer loop, before submission and result drains, so
+        # detection could lag the real clock.  A 30 s hang against a
+        # 0.4 s timeout must be killed in ~the timeout, never anywhere
+        # near the hang duration.
+        plan = FaultPlan.parse("chunk:0:hang:30")
+        t0 = time.perf_counter()
+        out = TileExecutor(2, chunk_size=1).run(
+            _ident, None, list(range(6)), fault_plan=plan,
+            timeout=0.4, max_retries=0,
+        )
+        elapsed = time.perf_counter() - t0
+        assert out.results[0] is None
+        assert out.results[1:] == [10, 20, 30, 40, 50]
+        assert out.timeouts == 1
+        assert [q.index for q in out.quarantined] == [0]
+        assert elapsed < 15  # killed by the timeout, not the hang
+
+    def test_innocent_requeue_preserves_fault_ordinals(self, tmp_path):
+        """A chunk killed innocent by a sibling's timeout is requeued
+        unpenalized — including its tiles' execution ordinals, which
+        were bumped at submission.  Without the rollback, a
+        ``tile:key:fail:n`` plan fires a different attempt sequence
+        under jobs=2 than serially, breaking deterministic injection.
+
+        Choreography (chunk_size=2 → c0=(0,1), c1=(2,3)): c0 hangs for
+        30 s and times out at 0.5 s.  c1's tile 2 sleeps 0.3 s, tile 3
+        fails its first execution — so c1 fails at ~0.3 s, retries, and
+        is mid-sleep (0.3→0.6 s) when c0's timeout kills the pool at
+        0.5 s.  c1 is requeued innocent; its third submission must
+        re-run tile 3 at attempt 1 (as a serial run would), not drift
+        to attempt 2.
+        """
+        rules = FaultPlan.parse(
+            "chunk:0:hang:30,tile:2:hang:0.3,tile:3:fail:1"
+        ).rules
+        serial_log = str(tmp_path / "serial.log")
+        serial = TileExecutor(1).run(
+            _ident, None, list(range(4)),
+            fault_plan=RecordingPlan(rules, serial_log),
+            backoff_s=0.0,
+        )
+        assert serial.results == [0, 10, 20, 30]
+
+        pooled_log = str(tmp_path / "pooled.log")
+        pooled = TileExecutor(2, chunk_size=2).run(
+            _ident, None, list(range(4)),
+            fault_plan=RecordingPlan(rules, pooled_log),
+            timeout=0.5, max_retries=2, backoff_s=0.0,
+        )
+        assert pooled.results == [0, 10, 20, 30]
+        assert pooled.quarantined == []
+        assert pooled.timeouts >= 1
+
+        # the faulted tile's attempt stream is the contract: identical
+        # fire ordinals serially and under the timeout/requeue path
+        assert _fires_for(serial_log, "tile", 3) == [0, 1]
+        assert _fires_for(pooled_log, "tile", 3) == _fires_for(
+            serial_log, "tile", 3
+        )
 
 
 class TestPoolFailurePolicy:

@@ -149,6 +149,50 @@ class TestTileCache:
         cache = TileCache.load(path)
         assert len(cache) == 0
 
+    def test_load_preversioned_file_is_discarded(self, tmp_path):
+        # caches written before the format sentinel pickled the entry
+        # dict bare; loading one must yield a full recompute (empty
+        # cache + counter), never stale-shaped hits
+        import pickle
+
+        from repro.obs import MetricsRegistry, names, set_registry
+
+        path = tmp_path / "cache.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"k": ["old-shaped-value"]}, fh)
+        registry = MetricsRegistry(enabled=True)
+        previous = set_registry(registry)
+        try:
+            cache = TileCache.load(path)
+        finally:
+            set_registry(previous)
+        assert len(cache) == 0
+        assert cache.get("k") is None
+        assert (
+            registry.snapshot()["counters"][names.TILECACHE_VERSION_MISMATCH]
+            == 1
+        )
+
+    def test_load_future_version_is_discarded(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "cache.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"format": "tilecache-v999", "entries": {"k": [1]}}, fh)
+        cache = TileCache.load(path)
+        assert len(cache) == 0
+
+    def test_current_format_roundtrips_entries_exactly(self, tmp_path):
+        cache = TileCache()
+        cache.put("a", [Rect(0, 0, 5, 5)])
+        cache.put("b", [])
+        path = tmp_path / "cache.pkl"
+        cache.save(path)
+        loaded = TileCache.load(path)
+        assert len(loaded) == 2
+        assert loaded.get("a") == [Rect(0, 0, 5, 5)]
+        assert loaded.get("b") == []
+
 
 @pytest.fixture(scope="module")
 def scan_setup(tech45, stdlib45):

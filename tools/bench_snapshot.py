@@ -1,16 +1,18 @@
 """Distill a pytest-benchmark JSON into a compact perf snapshot.
 
 Usage:
-    python tools/bench_snapshot.py --out BENCH_PR4.json
-    python tools/bench_snapshot.py --from-json bench-fullchip.json --out BENCH_PR4.json
+    python tools/bench_snapshot.py --out BENCH_PR6.json
+    python tools/bench_snapshot.py --from-json bench-fullchip.json --out BENCH_PR6.json
 
 Without ``--from-json`` the tool runs the full-chip scan bench itself
 (``benchmarks/bench_fullchip_scan.py``) and then distills the result.
 The snapshot keeps one entry per bench — wall time plus every
-``extra_info`` scalar the bench recorded (tiles/s, fast-path speedup,
-raster-reuse rate, cache-key timings, engine counters) — so the perf
-trajectory can be diffed PR over PR without hauling the full
-pytest-benchmark payload around.
+``extra_info`` scalar or flat numeric dict the bench recorded (tiles/s,
+fast-path speedup, raster-reuse rate, cache-key timings, engine
+counters, and the A3z ``payload_bytes`` per-chip-size rows guarding the
+zero-copy shared-memory payload path) — so the perf trajectory can be
+diffed PR over PR without hauling the full pytest-benchmark payload
+around.
 """
 
 from __future__ import annotations
@@ -67,7 +69,7 @@ def distill(raw: dict) -> dict:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_PR4.json", help="snapshot output path")
+    parser.add_argument("--out", default="BENCH_PR6.json", help="snapshot output path")
     parser.add_argument(
         "--from-json",
         default=None,
