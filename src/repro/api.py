@@ -39,11 +39,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.layout import Cell
     from repro.litho.fullchip import FullChipScanReport
     from repro.litho.process import ProcessWindow
-    from repro.parallel import FaultPlan, TileCache
+    from repro.parallel import FaultPlan, TileCache, TileExecutor
+    from repro.service import VerificationService
     from repro.tech.rules import RuleDeck
     from repro.tech.technology import Technology
 
-__all__ = ["run_drc", "scan_full_chip", "decompose", "scorecard"]
+__all__ = ["run_drc", "scan_full_chip", "decompose", "scorecard", "make_service"]
 
 
 def run_drc(
@@ -59,6 +60,7 @@ def run_drc(
     fault_plan: "FaultPlan | None" = None,
     checkpoint_file: str | None = None,
     resume: bool = False,
+    executor: "TileExecutor | None" = None,
 ) -> "DrcReport":
     """Run every rule in ``deck`` against ``cell``.
 
@@ -67,6 +69,11 @@ def run_drc(
     parallel + incremental engine.  Returns a
     :class:`~repro.drc.violations.DrcReport`; ``report.ok`` is False
     when violations were found *or* tasks were quarantined.
+
+    ``executor`` lets a long-lived caller (see :func:`make_service`)
+    supply its own — typically persistent — tile executor whose warm
+    worker pool is reused across calls; results are identical either
+    way.
     """
     return _run_drc(
         cell,
@@ -80,6 +87,7 @@ def run_drc(
         fault_plan=fault_plan,
         checkpoint_file=checkpoint_file,
         resume=resume,
+        executor=executor,
     )
 
 
@@ -101,6 +109,7 @@ def scan_full_chip(
     fault_plan: "FaultPlan | None" = None,
     checkpoint_file: str | None = None,
     resume: bool = False,
+    executor: "TileExecutor | None" = None,
 ) -> "FullChipScanReport":
     """Tiled full-chip litho hotspot scan of ``drawn``.
 
@@ -109,6 +118,11 @@ def scan_full_chip(
     build one).  Returns a
     :class:`~repro.litho.fullchip.FullChipScanReport`; ``report.ok`` is
     False when hotspots were found *or* tiles were quarantined.
+
+    ``executor`` lets a long-lived caller (see :func:`make_service`)
+    supply its own — typically persistent — tile executor whose warm
+    worker pool is reused across calls; results are identical either
+    way.
     """
     if not isinstance(model, LithoModel):
         model = LithoModel(model.litho)
@@ -129,6 +143,7 @@ def scan_full_chip(
         fault_plan=fault_plan,
         checkpoint_file=checkpoint_file,
         resume=resume,
+        executor=executor,
     )
 
 
@@ -177,4 +192,32 @@ def scorecard(
         techniques=techniques,
         d0_per_cm2=d0_per_cm2,
         hotspot_window=hotspot_window,
+    )
+
+
+def make_service(
+    *,
+    jobs: int = 1,
+    node: int = 45,
+    max_depth: int = 256,
+    max_sessions: int = 4,
+    store_entries: int = 100_000,
+) -> "VerificationService":
+    """A long-lived in-process verification service.
+
+    The service keeps layouts resident, the worker pool warm, and a
+    content-addressed result store shared across runs, so repeated
+    verification of an evolving layout costs only the dirty tiles.
+    Drive it through :class:`repro.service.ServiceClient` (or serve it
+    over a socket with ``repro serve``), and ``close()`` it — it is a
+    context manager — when done.
+    """
+    from repro.service import VerificationService
+
+    return VerificationService(
+        jobs=jobs,
+        node=node,
+        max_depth=max_depth,
+        max_sessions=max_sessions,
+        store_entries=store_entries,
     )

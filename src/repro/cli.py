@@ -8,6 +8,8 @@ Commands:
 * ``scan``      — tiled full-chip litho hotspot scan
 * ``dpt``       — double-patterning decomposition of one layer
 * ``scorecard`` — the hit-or-hype evaluation on a generated block
+* ``serve``     — run the verification service daemon (see docs/SERVICE.md)
+* ``submit``    — submit a job to a running daemon
 
 Exit-code contract (what CI gates on): ``0`` on success, and for the
 verification commands (``drc``, ``scan``, ``dpt``) ``1`` when findings
@@ -18,6 +20,11 @@ Quarantined tiles (tasks that kept failing and were excluded — see
 quarantine means the verification is incomplete, not that the layout is
 clean.  Usage errors exit ``2`` via argparse; an interrupted run whose
 state was checkpointed (resume with ``--resume``) exits ``3``.
+
+``submit`` extends the contract for daemon-side outcomes: ``0`` clean,
+``1`` findings or quarantine (as above), ``2`` usage/protocol errors or
+a failed job, ``3`` job cancelled or timed out, ``4`` request shed by a
+full queue, ``5`` daemon unreachable.
 
 Every command accepts ``--metrics-out FILE`` (write a JSON run manifest
 with per-stage timings and counters) and ``--trace`` (print the nested
@@ -282,6 +289,116 @@ def cmd_dpt(args) -> int:
     return _findings_rc(args, not result.ok)
 
 
+def cmd_serve(args) -> int:
+    from repro.service import ServiceDaemon, VerificationService
+
+    service = VerificationService(
+        jobs=args.jobs,
+        node=args.node,
+        max_depth=args.max_depth,
+        max_sessions=args.max_sessions,
+        store_entries=args.store_entries,
+    )
+    daemon = ServiceDaemon(
+        service, host=args.host, port=args.port, state_file=args.state_file
+    )
+    host, port = daemon.address
+    print(f"repro service on {host}:{port} (state file {args.state_file})")
+    sys.stdout.flush()
+    daemon.serve_until_shutdown()
+    print("repro service stopped")
+    return 0
+
+
+# submit ops that name a job id rather than a layout
+_SUBMIT_JOB_OPS = ("status", "cancel")
+_SUBMIT_PLAIN_OPS = ("ping", "metrics", "shutdown")
+
+
+def _submit_job_rc(args, job: dict) -> int:
+    """Map a finished job snapshot onto the submit exit-code contract."""
+    state = job.get("state")
+    if state in ("cancelled", "timeout"):
+        print(f"job {job.get('id')} {state}: {job.get('error', '')}", file=sys.stderr)
+        return 3
+    if state == "failed":
+        print(f"job {job.get('id')} failed: {job.get('error', '')}", file=sys.stderr)
+        return 2
+    result = job.get("result") or {}
+    for line in result.get("listing", ()):
+        print(f"  {line}")
+    if result.get("summary"):
+        print(result["summary"])
+    if result.get("quarantined"):
+        return 1
+    if getattr(args, "no_fail", False):
+        return 0
+    return 1 if result.get("findings") else 0
+
+
+def cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.service import (
+        BadRequestError,
+        DaemonUnreachableError,
+        QueueFullError,
+        ServiceError,
+        SocketClient,
+    )
+
+    try:
+        client = SocketClient.from_state_file(
+            args.state_file, timeout=args.socket_timeout
+        )
+        if args.op in _SUBMIT_PLAIN_OPS:
+            response = client.request(args.op)
+            response.pop("schema", None)
+            print(_json.dumps(response, indent=2, sort_keys=True))
+            return 0
+        if args.op in _SUBMIT_JOB_OPS:
+            if args.id is None:
+                print(f"submit {args.op} requires --id", file=sys.stderr)
+                return 2
+            job = getattr(client, args.op)(args.id)
+            print(_json.dumps(job, indent=2, sort_keys=True))
+            return 0
+        # scan / drc
+        if not args.gds:
+            print(f"submit {args.op} requires a GDS path", file=sys.stderr)
+            return 2
+        params = {"gds": args.gds, "tile": args.tile, "node": args.node,
+                  "limit": args.limit}
+        if args.cell:
+            params["cell"] = args.cell
+        if args.op == "scan":
+            params["layer"] = args.layer
+        job = client.submit(
+            args.op,
+            params,
+            client=args.client,
+            priority=args.priority,
+            timeout_s=args.job_timeout,
+            wait=not args.async_submit,
+        )
+        if args.async_submit:
+            print(_json.dumps(job, indent=2, sort_keys=True))
+            return 0
+        return _submit_job_rc(args, job)
+    except DaemonUnreachableError as exc:
+        print(f"daemon unreachable: {exc}", file=sys.stderr)
+        return 5
+    except QueueFullError as exc:
+        print(f"request shed: {exc}", file=sys.stderr)
+        return 4
+    except BadRequestError as exc:
+        print(f"bad request: {exc}", file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"service error ({exc.code}): {exc}", file=sys.stderr)
+        return 2
+
+
 def cmd_scorecard(args) -> int:
     tech = make_node(args.node)
     spec = LogicBlockSpec(
@@ -355,6 +472,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs(p)
     _add_no_fail(p)
     p.set_defaults(func=cmd_dpt)
+
+    p = sub.add_parser("serve", help="run the verification service daemon")
+    _add_node(p)
+    p.add_argument("--host", default="127.0.0.1",
+                   help="listen address (localhost only by design)")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = pick a free one; see the state file)")
+    p.add_argument("--state-file", default=".repro_service.json",
+                   help="where to publish the daemon's host/port/pid")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the persistent executor "
+                        "(0 = all CPUs, default 1)")
+    p.add_argument("--max-depth", type=int, default=256,
+                   help="queued jobs before new submissions are shed")
+    p.add_argument("--max-sessions", type=int, default=4,
+                   help="resident layouts kept loaded (LRU beyond this)")
+    p.add_argument("--store-entries", type=int, default=100000,
+                   help="tile results kept in the shared store (LRU beyond this)")
+    _add_obs(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a job to a running daemon")
+    p.add_argument("op", choices=["scan", "drc", "ping", "metrics", "status",
+                                  "cancel", "shutdown"],
+                   help="verification kind or control operation")
+    p.add_argument("gds", nargs="?", help="layout path (scan/drc only)")
+    _add_node(p)
+    p.add_argument("--state-file", default=".repro_service.json",
+                   help="state file published by `repro serve`")
+    p.add_argument("--cell", help="cell to verify (default: top cell)")
+    p.add_argument("--layer", default="M1", help="layer for scan jobs")
+    p.add_argument("--tile", type=int, default=4000)
+    p.add_argument("--limit", type=int, default=10,
+                   help="findings to list in the result (0 = summary only)")
+    p.add_argument("--client", default="cli",
+                   help="client name used for queue fairness accounting")
+    p.add_argument("--priority", default="interactive",
+                   choices=["interactive", "batch", "background"])
+    p.add_argument("--job-timeout", type=float, default=None, metavar="SECONDS",
+                   help="cancel the job if it runs longer than this")
+    p.add_argument("--socket-timeout", type=float, default=None, metavar="SECONDS",
+                   help="socket timeout per request (default: wait forever)")
+    p.add_argument("--async", dest="async_submit", action="store_true",
+                   help="return the job id immediately instead of waiting")
+    p.add_argument("--id", type=int, help="job id for status/cancel")
+    _add_obs(p)
+    _add_no_fail(p)
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("scorecard", help="hit-or-hype evaluation on a generated block")
     _add_node(p)

@@ -41,7 +41,6 @@ from repro.parallel import (
     TileCache,
     TileExecutor,
     digest_parts,
-    resolve_jobs,
     tile_grid,
 )
 from repro.tech.rules import (
@@ -115,6 +114,9 @@ def run_drc(
     fault_plan: FaultPlan | None = None,
     checkpoint_file: str | None = None,
     resume: bool = False,
+    region_source: Callable[[Layer, Rect | None], Region] | None = None,
+    executor: TileExecutor | None = None,
+    sharer: "Callable[[_DrcPayload], SharedPayload | None] | None" = None,
 ) -> DrcReport:
     """Flatten ``cell`` per layer and run every rule in ``deck``.
 
@@ -129,20 +131,36 @@ def run_drc(
     ``max_retries`` times are quarantined on ``report.quarantined``,
     ``timeout`` bounds each chunk's wall time, and ``checkpoint_file``
     (+ ``resume``) lets an interrupted run restart where it left off.
+
+    The residency hooks mirror :func:`repro.litho.fullchip.scan_full_chip`:
+    ``region_source(layer, window)`` replaces the per-call flatten with
+    a caller-owned (typically session-cached) region lookup,
+    ``executor`` reuses a caller-owned — typically persistent —
+    :class:`TileExecutor`, and ``sharer`` serves a pre-packed shared-
+    memory payload instead of packing a fresh arena per run.  All three
+    leave results and cache keys byte-identical.
     """
     layers_needed: set[Layer] = set()
     for rule in deck:
         layers_needed.update(_rule_layers(rule))
+    source = region_source if region_source is not None else cell.region
     with span("drc.flatten"):
-        regions = {layer: cell.region(layer, window) for layer in layers_needed}
+        regions = {layer: source(layer, window) for layer in layers_needed}
     extent = window or cell.bbox or Rect(0, 0, 1, 1)
     fault_tolerant = (
         timeout is not None
         or fault_plan is not None
         or checkpoint_file is not None
     )
+    tiled = (
+        jobs > 1
+        or tile_nm is not None
+        or cache is not None
+        or fault_tolerant
+        or executor is not None
+    )
     with span("drc.check"):
-        if jobs <= 1 and tile_nm is None and cache is None and not fault_tolerant:
+        if not tiled:
             report = run_drc_regions(regions, deck, extent)
         else:
             report = run_drc_tiled(
@@ -157,6 +175,8 @@ def run_drc(
                 fault_plan=fault_plan,
                 checkpoint_file=checkpoint_file,
                 resume=resume,
+                executor=executor,
+                sharer=sharer,
             )
     report.cell_name = cell.name
     registry = get_registry()
@@ -331,6 +351,8 @@ def run_drc_tiled(
     fault_plan: FaultPlan | None = None,
     checkpoint_file: str | None = None,
     resume: bool = False,
+    executor: TileExecutor | None = None,
+    sharer: "Callable[[_DrcPayload], SharedPayload | None] | None" = None,
 ) -> DrcReport:
     """Tiled parallel/incremental deck run over per-layer regions.
 
@@ -390,12 +412,13 @@ def run_drc_tiled(
         # pooled runs move the per-layer geometry into shared memory so
         # the per-worker pickle payload stays constant-size; task keys
         # above were computed from the plain payload and are identical
+        tile_executor = executor if executor is not None else TileExecutor(jobs)
         exec_payload: _DrcPayload | SharedPayload = payload
-        if pending and (resolve_jobs(jobs) > 1 or timeout is not None):
-            shared = _share_drc_payload(payload)
+        if pending and (tile_executor.jobs > 1 or timeout is not None):
+            shared = (sharer or _share_drc_payload)(payload)
             if shared is not None:
                 exec_payload = shared
-        outcome = TileExecutor(jobs).run(
+        outcome = tile_executor.run(
             _drc_task,
             exec_payload,
             [t for _, t in pending],

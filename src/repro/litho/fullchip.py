@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
 from repro.core.report import BaseReport, deprecated_alias
 from repro.geometry import GridIndex, Rect, Region
@@ -41,7 +42,6 @@ from repro.parallel import (
     TileCache,
     TileExecutor,
     digest_parts,
-    resolve_jobs,
     tile_grid,
 )
 
@@ -323,6 +323,8 @@ def scan_full_chip(
     checkpoint_file: str | None = None,
     resume: bool = False,
     fast_path: bool = True,
+    executor: TileExecutor | None = None,
+    sharer: "Callable[[_ScanPayload], SharedPayload | None] | None" = None,
 ) -> FullChipScanReport:
     """Scan an entire layout tile by tile.
 
@@ -356,6 +358,14 @@ def scan_full_chip(
     :class:`~repro.litho.model.SimCache`).  ``fast_path=False`` runs the
     legacy whole-chip-sweep-per-tile engine; both produce bit-identical
     reports and interchangeable tile-cache entries.
+
+    ``executor`` lets a long-lived caller (the verification service)
+    supply its own — typically persistent — :class:`TileExecutor`
+    instead of a per-run one; its ``jobs`` takes precedence.  ``sharer``
+    overrides how a pooled run's payload moves into shared memory: the
+    default packs (and unlinks) a fresh arena per run, while a
+    resident-layout session serves a pre-packed, session-owned one.
+    Both hooks leave results and cache keys byte-identical.
     """
     t_start = time.perf_counter()
     report = FullChipScanReport()
@@ -422,12 +432,17 @@ def scan_full_chip(
         # payload stays constant-size as the chip grows.  Cache keys
         # were already computed above from the in-process payload and
         # are bit-identical either way.
+        tile_executor = executor if executor is not None else TileExecutor(jobs)
         exec_payload: _ScanPayload | SharedPayload = payload
-        if pending and fast_path and (resolve_jobs(jobs) > 1 or timeout is not None):
-            shared = _share_payload(payload)
+        if (
+            pending
+            and fast_path
+            and (tile_executor.jobs > 1 or timeout is not None)
+        ):
+            shared = (sharer or _share_payload)(payload)
             if shared is not None:
                 exec_payload = shared
-        outcome = TileExecutor(jobs).run(
+        outcome = tile_executor.run(
             _scan_tile,
             exec_payload,
             pending,

@@ -35,9 +35,36 @@ POOL_PAYLOAD_BYTES = "pool.payload_bytes"
 # Gauged (by repro.parallel.shm) when shared-memory transport is
 # unavailable and a run ships its payload pickled instead.
 POOL_SHM_FALLBACK = "pool.shm_fallback"
+# Incremented when a persistent executor serves a run from its warm
+# worker pool instead of forking a fresh one (service mode).
+POOL_WARM_REUSE = "pool.warm_reuse"
 # Legacy dotless spelling, kept byte-identical: manifests written since
 # PR 2 key the serial-fallback gauge on this exact string.
 POOL_FALLBACK = "pool_fallback"
+
+# -- verification service (repro.service) -----------------------------
+SERVICE_JOBS_SUBMITTED = "service.jobs_submitted"
+SERVICE_JOBS_COMPLETED = "service.jobs_completed"
+SERVICE_JOBS_FAILED = "service.jobs_failed"
+SERVICE_JOBS_CANCELLED = "service.jobs_cancelled"
+SERVICE_JOBS_TIMEOUT = "service.jobs_timeout"
+SERVICE_SHED = "service.shed"
+SERVICE_QUEUE_DEPTH = "service.queue_depth"
+SERVICE_WAIT_SECONDS_HIST = "service.wait_seconds"
+SERVICE_SERVICE_SECONDS_HIST = "service.service_seconds"
+SERVICE_P50_MS = "service.p50_ms"
+SERVICE_P99_MS = "service.p99_ms"
+SERVICE_SESSIONS_LOADED = "service.sessions_loaded"
+SERVICE_SESSIONS_REUSED = "service.sessions_reused"
+SERVICE_SESSIONS_RELOADED = "service.sessions_reloaded"
+SERVICE_SESSIONS_EVICTED = "service.sessions_evicted"
+SERVICE_REQUESTS = "service.requests"
+
+# -- cross-run result store (repro.service.store) ---------------------
+STORE_HITS = "store.hits"
+STORE_MISSES = "store.misses"
+STORE_EVICTIONS = "store.evictions"
+STORE_VERSION_MISMATCH = "store.version_mismatch"
 
 # -- full-chip litho scan (repro.litho.fullchip) ----------------------
 SCAN_RUNS = "scan.runs"

@@ -44,6 +44,8 @@ import logging
 import multiprocessing
 import multiprocessing.pool
 import os
+import signal
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -84,6 +86,14 @@ def _init_worker(
     payload: Any, obs_enabled: bool = False, faults: FaultPlan | None = None
 ) -> None:
     global _PAYLOAD, _FAULTS
+    # fork inherits whatever SIGTERM handler the parent installed (e.g.
+    # the service daemon's graceful-shutdown trap); restore the default
+    # so Pool.terminate() reliably kills workers instead of racing a
+    # handler that only sets a parent-side event
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):
+        pass  # non-main thread or exotic platform; terminate() may lag
     # spawn-style contexts pickle initargs, which already unwraps a
     # SharedPayload via its __reduce__; fork inherits the object as-is,
     # so unwrap here too — workers always see the engine's own payload
@@ -208,19 +218,86 @@ class TileExecutor:
     ``fn`` must be a module-level function (it is sent to workers by
     reference) and the payload must be picklable.  Results are returned
     in the order of ``items`` regardless of which worker finished first.
+
+    One-shot by default: every ``map``/``run`` call stands its own pool
+    up and tears it down.  ``persistent=True`` keeps the pool warm
+    between calls instead — a following call whose wire payload (and
+    fault plan) is byte-identical reuses the already-initialized
+    workers, which is what lets a long-lived verification service serve
+    many requests against a resident layout without re-forking per
+    request (counted by ``pool.warm_reuse``).  A persistent executor
+    must be released with :meth:`close` (or used as a context manager);
+    a payload change, timeout kill, or mid-run failure retires the warm
+    pool automatically.
+
+    ``cancel_event`` (a :class:`threading.Event`) cooperatively cancels
+    an in-flight :meth:`run` between chunks: the run flushes its
+    checkpoint and raises :class:`AbortRun`, exactly like an injected
+    abort — the seam the service's per-job cancel and deadline reuse.
     """
 
-    def __init__(self, jobs: int | None = 1, chunk_size: int | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        chunk_size: int | None = None,
+        *,
+        persistent: bool = False,
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.chunk_size = chunk_size
+        self.persistent = persistent
+        self.cancel_event: threading.Event | None = None
+        self._pool: multiprocessing.pool.Pool | None = None
+        self._pool_key: tuple[bytes, bool] | None = None
+        # strong ref to the warm pool's payload: the byte-key is only a
+        # proxy, and holding the object pins the shm handles it names
+        self._pool_payload: Any = None
+
+    # -- lifetime -------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the warm pool, if any (idempotent).
+
+        One-shot executors never hold a pool between calls, so this is
+        only needed (but is always safe) in ``persistent`` mode.
+        """
+        pool, self._pool, self._pool_key = self._pool, None, None
+        self._pool_payload = None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "TileExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _cancelled(self) -> bool:
+        event = self.cancel_event
+        return event is not None and event.is_set()
 
     # -- shared plumbing ------------------------------------------------
     def _resolve_chunk(self, n_items: int) -> int:
         # ~4 chunks per worker balances scheduling slack against IPC cost
         return self.chunk_size or max(1, -(-n_items // (self.jobs * 4)))
 
+    @staticmethod
+    def _wire_bytes(payload: Any, faults: FaultPlan | None) -> bytes | None:
+        """The initializer arguments as pickled bytes, or None when the
+        payload cannot be pickled (it then fails loudly at submission)."""
+        try:
+            import pickle
+
+            return pickle.dumps((payload, faults), pickle.HIGHEST_PROTOCOL)
+        except Exception:  # repro-lint: disable=RL004
+            return None
+
     def _make_pool(
-        self, payload: Any, faults: FaultPlan | None, workers: int
+        self,
+        payload: Any,
+        faults: FaultPlan | None,
+        workers: int,
+        wire: bytes | None = None,
     ) -> multiprocessing.pool.Pool:
         """Stand up a worker pool; raises ``_POOL_ERRORS`` when the host
         cannot (``multiprocessing.Pool`` spawns its workers eagerly, so
@@ -233,10 +310,12 @@ class TileExecutor:
             try:
                 import pickle
 
-                registry.gauge(
-                    names.POOL_PAYLOAD_BYTES,
-                    float(len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))),
+                size = (
+                    len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+                    if wire is None
+                    else len(wire)
                 )
+                registry.gauge(names.POOL_PAYLOAD_BYTES, float(size))
             # the gauge is advisory; an unpicklable payload fails later,
             # loudly, at submission time
             except Exception:  # repro-lint: disable=RL004
@@ -246,6 +325,43 @@ class TileExecutor:
             initializer=_init_worker,
             initargs=(payload, get_registry().enabled, faults),
         )
+
+    def _obtain_pool(
+        self, payload: Any, faults: FaultPlan | None, workers: int
+    ) -> multiprocessing.pool.Pool:
+        """A pool whose workers hold ``payload``: warm when possible.
+
+        In persistent mode the pool is created at full ``jobs`` width
+        (so a later, larger request can still reuse it) and kept for the
+        next call when its initializer arguments — payload and fault
+        plan, compared as pickled bytes, plus the registry flag — are
+        identical; anything else retires the old pool first.
+        """
+        if not self.persistent:
+            return self._make_pool(payload, faults, workers)
+        wire = self._wire_bytes(payload, faults)
+        key = (wire, get_registry().enabled) if wire is not None else None
+        if self._pool is not None and key is not None and key == self._pool_key:
+            get_registry().inc(names.POOL_WARM_REUSE)
+            return self._pool
+        self.close()
+        pool = self._make_pool(payload, faults, self.jobs, wire)
+        self._pool, self._pool_key = pool, key
+        self._pool_payload = payload
+        return pool
+
+    def _retire_pool(self, pool: multiprocessing.pool.Pool, broken: bool) -> None:
+        """Give a pool back after a call: keep it warm or tear it down.
+
+        A ``broken`` pool (timeout kill, propagating failure — workers
+        may be wedged mid-chunk) is never kept.
+        """
+        if self.persistent and not broken and pool is self._pool:
+            return
+        if pool is self._pool:
+            self._pool, self._pool_key, self._pool_payload = None, None, None
+        pool.terminate()
+        pool.join()
 
     @staticmethod
     def _fallback(exc: BaseException) -> None:
@@ -272,9 +388,11 @@ class TileExecutor:
         work = list(items)
         # a SharedPayload crosses the wire as its (small) inner payload;
         # in-process execution uses the inner payload directly, and the
-        # executor owns the arena: the block is unlinked when we return
-        arena = payload.arena if isinstance(payload, SharedPayload) else None
-        inner = payload.inner if isinstance(payload, SharedPayload) else payload
+        # executor owns an *owned* arena: the block is unlinked when we
+        # return (a session-owned arena outlives the call untouched)
+        shared = payload if isinstance(payload, SharedPayload) else None
+        arena = shared.arena if shared is not None and shared.owned else None
+        inner = shared.inner if shared is not None else payload
         try:
             if self.jobs <= 1 or len(work) <= 1:
                 return [fn(inner, item) for item in work]
@@ -282,12 +400,16 @@ class TileExecutor:
             chunk = self._resolve_chunk(len(work))
             chunks = [work[i : i + chunk] for i in range(0, len(work), chunk)]
             try:
-                pool = self._make_pool(payload, None, min(self.jobs, len(chunks)))
+                pool = self._obtain_pool(payload, None, min(self.jobs, len(chunks)))
             except _POOL_ERRORS as exc:
                 self._fallback(exc)
                 return [fn(inner, item) for item in work]
-            with pool:
+            broken = True
+            try:
                 parts = pool.map(partial(_run_chunk, fn), chunks, chunksize=1)
+                broken = False
+            finally:
+                self._retire_pool(pool, broken)
             # merge worker metric snapshots in submission order: counters and
             # timers are order-independent, gauges become last-write-wins in
             # the same order a serial run would have written them
@@ -356,11 +478,17 @@ class TileExecutor:
             max_retries=max_retries,
             backoff_s=backoff_s,
         )
-        # a SharedPayload ships its inner payload over the wire and its
+        # a SharedPayload ships its inner payload over the wire; an owned
         # arena dies with the run — unlinked on success, abort, interrupt,
-        # and across timeout-driven pool re-creation alike
-        arena = payload.arena if isinstance(payload, SharedPayload) else None
-        inner = payload.inner if isinstance(payload, SharedPayload) else payload
+        # and across timeout-driven pool re-creation alike — while a
+        # session-owned one (owned=False) survives for the next request
+        shared_wrap = payload if isinstance(payload, SharedPayload) else None
+        arena = (
+            shared_wrap.arena
+            if shared_wrap is not None and shared_wrap.owned
+            else None
+        )
+        inner = shared_wrap.inner if shared_wrap is not None else payload
         try:
             if pending:
                 use_pool = self.jobs > 1 or timeout is not None
@@ -402,6 +530,8 @@ class TileExecutor:
         interrupt an in-process hang; pass a timeout to force the pool)."""
         unflushed = 0
         for key, item in pending:
+            if self._cancelled():
+                raise AbortRun("run cancelled")
             failures = 0
             while True:
                 attempt = state.execs.get(key, 0)
@@ -449,7 +579,7 @@ class TileExecutor:
         state.rank_of = rank_of
         workers = max(min(self.jobs, len(queue)), 1)
         try:
-            pool = self._make_pool(payload, state.faults, workers)
+            pool = self._obtain_pool(payload, state.faults, workers)
         except _POOL_ERRORS as exc:
             self._fallback(exc)
             return False
@@ -460,8 +590,14 @@ class TileExecutor:
         # when submitted.
         active: list[list[Any]] = []
         snapshots: list[tuple[int, dict]] = []
+        broken = True
         try:
             while queue or active:
+                if self._cancelled():
+                    # cooperative cancel between drain iterations: the
+                    # caller's except-path flushes the checkpoint, and
+                    # the (possibly mid-chunk) pool is retired as broken
+                    raise AbortRun("run cancelled")
                 now = time.monotonic()
                 while queue and len(active) < workers:
                     eligible = next((c for c in queue if c.not_before <= now), None)
@@ -519,8 +655,7 @@ class TileExecutor:
                         # full drain-iteration late.
                         progressed = True
                         state.outcome.timeouts += 1
-                        pool.terminate()
-                        pool.join()
+                        self._retire_pool(pool, broken=True)
                         for other in active:
                             if other is not slot:
                                 # unpenalized also means the execution
@@ -534,13 +669,13 @@ class TileExecutor:
                                 queue.append(other[0])
                         active.clear()
                         state.fail(chunk_obj, f"timeout after {timeout:g}s", queue)
-                        pool = self._make_pool(payload, state.faults, workers)
+                        pool = self._obtain_pool(payload, state.faults, workers)
                         break
                 if not progressed:
                     time.sleep(0.005)
+            broken = False
         finally:
-            pool.terminate()
-            pool.join()
+            self._retire_pool(pool, broken)
         for _, snapshot in sorted(snapshots, key=lambda pair: pair[0]):
             state.registry.merge(snapshot)
         return True

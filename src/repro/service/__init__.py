@@ -1,0 +1,64 @@
+"""DFM verification as a service: resident layouts, warm pools, shared
+results.
+
+The one-shot CLI re-pays layout parse, flatten, canonicalization,
+worker-pool spin-up, and cache warm-up on every invocation.  This
+package keeps all of that resident in a long-lived daemon: layouts stay
+loaded (:mod:`~repro.service.session`), the worker pool stays warm
+(:class:`~repro.parallel.TileExecutor` in persistent mode), and
+per-tile results accumulate in a content-addressed store shared across
+runs and clients (:mod:`~repro.service.store`) — so the steady-state
+cost of "verify the cell I just edited" is the dirty tiles, not the
+chip.
+
+Entry points:
+
+* ``repro serve`` / ``repro submit`` — the CLI daemon and client;
+* :class:`VerificationService` + :class:`ServiceClient` — the same
+  engine in-process, no socket (see :func:`repro.api.make_service`);
+* :class:`SocketClient` — programmatic access to a running daemon.
+"""
+
+from repro.service.client import (
+    DEFAULT_STATE_FILE,
+    DaemonUnreachableError,
+    SocketClient,
+)
+from repro.service.core import ServiceClient, VerificationService
+from repro.service.daemon import ServiceDaemon
+from repro.service.jobs import (
+    BadRequestError,
+    Job,
+    JobState,
+    Priority,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+    UnknownJobError,
+)
+from repro.service.queue import PriorityJobQueue
+from repro.service.session import LayoutSession, SessionKey, SessionManager
+from repro.service.store import ResultStore, StoreView
+
+__all__ = [
+    "BadRequestError",
+    "DEFAULT_STATE_FILE",
+    "DaemonUnreachableError",
+    "Job",
+    "JobState",
+    "LayoutSession",
+    "Priority",
+    "PriorityJobQueue",
+    "QueueFullError",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceClosedError",
+    "ServiceDaemon",
+    "ServiceError",
+    "SessionKey",
+    "SessionManager",
+    "SocketClient",
+    "StoreView",
+    "UnknownJobError",
+    "VerificationService",
+]

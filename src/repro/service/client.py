@@ -1,0 +1,166 @@
+"""Socket client for the verification daemon.
+
+:class:`SocketClient` is what ``repro submit`` uses: read the daemon's
+state file (or take an explicit host/port), open one TCP connection per
+request, speak one :mod:`repro.service.protocol` line each way.  Error
+handling is typed end to end — a refused connection raises
+:class:`DaemonUnreachableError`, and a daemon-side failure re-raises
+the matching :class:`~repro.service.jobs.ServiceError` subclass by its
+wire code, so callers branch on exception type, not string matching.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from repro.service import protocol
+from repro.service.jobs import (
+    BadRequestError,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+    UnknownJobError,
+)
+
+DEFAULT_STATE_FILE = ".repro_service.json"
+
+# Receive timeout for operations the daemon answers promptly (everything
+# except a submit that waits for the job).  Generous — it only has to
+# beat "blocked forever on a wedged daemon", not win benchmarks.
+PROMPT_OP_TIMEOUT = 30.0
+
+
+class DaemonUnreachableError(ServiceError):
+    """No daemon is listening at the resolved address."""
+
+    code = "unreachable"
+
+
+_ERRORS_BY_CODE: dict[str, type[ServiceError]] = {
+    cls.code: cls
+    for cls in (
+        ServiceError,
+        QueueFullError,
+        UnknownJobError,
+        BadRequestError,
+        ServiceClosedError,
+        DaemonUnreachableError,
+    )
+}
+
+
+def raise_for_error(error: dict[str, Any]) -> None:
+    """Re-raise a wire error object as its typed exception."""
+    cls = _ERRORS_BY_CODE.get(str(error.get("code")), ServiceError)
+    raise cls(str(error.get("message", "unknown service error")))
+
+
+class SocketClient:
+    """One-request-per-connection client of a running daemon."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float | None = None
+    ) -> None:
+        self.host = host
+        self.port = port
+        # connect() gets a bounded timeout so a dead address fails fast;
+        # request() then clears it, because a submit with wait=True
+        # legitimately blocks for the whole job.
+        self.timeout = timeout
+
+    @classmethod
+    def from_state_file(
+        cls, path: str = DEFAULT_STATE_FILE, *, timeout: float | None = None
+    ) -> "SocketClient":
+        """Client for the daemon whose coordinates ``path`` publishes."""
+        try:
+            with open(path, encoding="utf-8") as fh:
+                state = json.load(fh)
+        except FileNotFoundError:
+            raise DaemonUnreachableError(
+                f"no daemon state file at {path!r} (is `repro serve` running?)"
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DaemonUnreachableError(
+                f"unreadable daemon state file {path!r}: {exc}"
+            ) from exc
+        if not isinstance(state, dict) or state.get("schema") != protocol.SCHEMA:
+            raise DaemonUnreachableError(
+                f"state file {path!r} does not describe a {protocol.SCHEMA} daemon"
+            )
+        return cls(str(state["host"]), int(state["port"]), timeout=timeout)
+
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """One round trip; returns the daemon's ``ok`` response payload
+        or raises the typed error it sent back."""
+        message = {"op": op, **fields}
+        # Every op except a waiting submit is answered promptly, so give
+        # those a bounded receive timeout — a wedged daemon then fails
+        # typed instead of hanging the client forever.  A submit with
+        # wait=True legitimately blocks for the whole job; only an
+        # explicit client timeout bounds it.
+        blocking = op == "submit" and fields.get("wait", True)
+        receive_timeout = self.timeout
+        if receive_timeout is None and not blocking:
+            receive_timeout = PROMPT_OP_TIMEOUT
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.timeout or 10.0
+            ) as conn:
+                conn.settimeout(receive_timeout)
+                conn.sendall(protocol.encode(message))
+                with conn.makefile("rb") as rfile:
+                    line = rfile.readline(protocol.MAX_LINE_BYTES + 1)
+        except OSError as exc:
+            raise DaemonUnreachableError(
+                f"cannot reach daemon at {self.host}:{self.port}: {exc}"
+            ) from exc
+        if not line:
+            raise DaemonUnreachableError(
+                f"daemon at {self.host}:{self.port} closed the connection "
+                "without answering"
+            )
+        response = protocol.decode(line)
+        if not response.get("ok"):
+            raise_for_error(response.get("error") or {})
+        return response
+
+    # -- convenience verbs ----------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self.request("ping")
+
+    def submit(
+        self,
+        kind: str,
+        params: dict[str, Any] | None = None,
+        *,
+        client: str = "cli",
+        priority: str = "interactive",
+        timeout_s: float | None = None,
+        wait: bool = True,
+    ) -> dict[str, Any]:
+        """Submit a job; with ``wait`` (the default) the response holds
+        the finished job's snapshot."""
+        return self.request(
+            "submit",
+            kind=kind,
+            params=params or {},
+            client=client,
+            priority=priority,
+            timeout_s=timeout_s,
+            wait=wait,
+        )["job"]
+
+    def status(self, job_id: int) -> dict[str, Any]:
+        return self.request("status", id=job_id)["job"]
+
+    def cancel(self, job_id: int) -> dict[str, Any]:
+        return self.request("cancel", id=job_id)["job"]
+
+    def metrics(self) -> dict[str, Any]:
+        return self.request("metrics")["metrics"]
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request("shutdown")

@@ -1,0 +1,172 @@
+"""Job model and typed errors for the verification service.
+
+A :class:`Job` is one client request — "verify this cell I just edited"
+— travelling through the daemon: submitted into the priority queue,
+dispatched against a resident layout session, and finished with a
+wire-safe result summary (plus, in process, the full report object).
+Every state transition is timestamped so queue-wait and service-time
+latencies are measurable per job, and every terminal state maps onto
+the CLI exit-code contract documented in ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from enum import Enum, IntEnum
+from typing import Any
+
+from repro.core.report import BaseReport
+
+
+class ServiceError(Exception):
+    """Base class of every typed service failure.
+
+    ``code`` is the wire identifier (stable across releases); the
+    message is human-readable detail.
+    """
+
+    code = "service-error"
+
+    def to_dict(self) -> dict[str, str]:
+        return {"code": self.code, "message": str(self)}
+
+
+class QueueFullError(ServiceError):
+    """The job queue is at capacity: the request was shed, not queued."""
+
+    code = "queue-full"
+
+
+class UnknownJobError(ServiceError):
+    """No job with the requested id exists on this daemon."""
+
+    code = "unknown-job"
+
+
+class BadRequestError(ServiceError):
+    """The request is malformed: unknown kind, missing parameter, ..."""
+
+    code = "bad-request"
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shutting down and no longer accepts work."""
+
+    code = "service-closed"
+
+
+class Priority(IntEnum):
+    """Priority classes, strictly ordered: lower value is served first.
+
+    ``INTERACTIVE`` is the in-design verify-while-editing loop the
+    service exists for; ``BATCH`` is scripted regression traffic;
+    ``BACKGROUND`` is opportunistic full-chip work.  Fairness between
+    clients applies *within* a class (round-robin), never across
+    classes.
+    """
+
+    INTERACTIVE = 0
+    BATCH = 1
+    BACKGROUND = 2
+
+    @classmethod
+    def from_name(cls, name: "str | int | Priority") -> "Priority":
+        if isinstance(name, Priority):
+            return name
+        if isinstance(name, int):
+            return cls(name)
+        try:
+            return cls[name.strip().upper()]
+        except KeyError:
+            raise BadRequestError(
+                f"unknown priority {name!r} (expected one of "
+                f"{', '.join(p.name.lower() for p in cls)})"
+            ) from None
+
+
+class JobState(str, Enum):
+    """Lifecycle of a job; the five non-QUEUED/RUNNING states are
+    terminal."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+
+    @property
+    def terminal(self) -> bool:
+        return self not in (JobState.QUEUED, JobState.RUNNING)
+
+
+_JOB_IDS = itertools.count(1)
+
+# Job kinds that run a verification engine (vs. control operations
+# handled at the protocol layer).
+VERIFY_KINDS = ("scan", "drc")
+
+
+@dataclass
+class Job:
+    """One request's full lifecycle record.
+
+    ``params`` is the client's raw parameter dict (gds path, cell,
+    layer, tile size, ...), validated at execution time.  ``report``
+    holds the real :class:`~repro.core.report.BaseReport` for in-process
+    clients; ``result`` is the JSON-safe summary that crosses the wire.
+    """
+
+    client: str
+    kind: str
+    params: dict[str, Any]
+    priority: Priority = Priority.INTERACTIVE
+    timeout_s: float | None = None
+    id: int = field(default_factory=lambda: next(_JOB_IDS))
+    state: JobState = JobState.QUEUED
+    error: str | None = None
+    submitted_monotonic: float = 0.0
+    started_monotonic: float = 0.0
+    finished_monotonic: float = 0.0
+    report: BaseReport | None = None
+    result: dict[str, Any] | None = None
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    done: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def wait_s(self) -> float:
+        """Queue wait: submit to dispatch (0 until dispatched)."""
+        if not self.started_monotonic:
+            return 0.0
+        return self.started_monotonic - self.submitted_monotonic
+
+    @property
+    def service_s(self) -> float:
+        """Service time: dispatch to finish (0 until finished)."""
+        if not self.finished_monotonic or not self.started_monotonic:
+            return 0.0
+        return self.finished_monotonic - self.started_monotonic
+
+    def fail(self, error: str, state: JobState = JobState.FAILED) -> None:
+        """Move to a terminal failure state with ``error`` recorded."""
+        self.state = state
+        self.error = error
+
+    def snapshot(self) -> dict[str, Any]:
+        """The wire-safe status/result view of this job."""
+        out: dict[str, Any] = {
+            "id": self.id,
+            "client": self.client,
+            "kind": self.kind,
+            "priority": self.priority.name.lower(),
+            "state": self.state.value,
+            "wait_s": round(self.wait_s, 6),
+            "service_s": round(self.service_s, 6),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.result is not None:
+            out["result"] = self.result
+        return out

@@ -1,0 +1,72 @@
+"""Wire protocol: one JSON object per line, one request per connection.
+
+The framing is deliberately primitive — newline-delimited UTF-8 JSON
+over a localhost TCP socket, one request and one response per
+connection — because every client (CLI, tests, editor plugins, shell
+scripts via ``nc``) can speak it without a dependency.  Every message
+carries ``schema`` so both ends can reject a version they do not
+understand instead of misparsing it.
+
+Request::
+
+    {"schema": "repro-service-v1", "op": "submit", "kind": "scan",
+     "params": {"gds": "block.gds", "layer": "M1"},
+     "client": "alice", "priority": "interactive", "wait": true}
+
+Response::
+
+    {"schema": "repro-service-v1", "ok": true, "job": {...}}
+    {"schema": "repro-service-v1", "ok": false,
+     "error": {"code": "queue-full", "message": "..."}}
+
+Operations: ``ping``, ``submit``, ``status``, ``cancel``, ``metrics``,
+``shutdown`` — see :mod:`repro.service.daemon` for their semantics and
+``docs/SERVICE.md`` for the full contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.service.jobs import BadRequestError, ServiceError
+
+SCHEMA = "repro-service-v1"
+
+# Protocol hygiene bounds: a request line larger than this is rejected
+# rather than buffered without limit.
+MAX_LINE_BYTES = 1 << 20
+
+OPS = ("ping", "submit", "status", "cancel", "metrics", "shutdown")
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """One wire line: compact JSON, schema-stamped, newline-terminated."""
+    message.setdefault("schema", SCHEMA)
+    return json.dumps(message, sort_keys=True, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: bytes) -> dict[str, Any]:
+    """Parse and validate one wire line; typed errors on bad input."""
+    if len(line) > MAX_LINE_BYTES:
+        raise BadRequestError(f"request exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequestError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise BadRequestError("request must be a JSON object")
+    schema = message.get("schema")
+    if schema != SCHEMA:
+        raise BadRequestError(
+            f"unsupported schema {schema!r} (this daemon speaks {SCHEMA!r})"
+        )
+    return message
+
+
+def ok_response(**fields: Any) -> dict[str, Any]:
+    return {"schema": SCHEMA, "ok": True, **fields}
+
+
+def error_response(error: ServiceError) -> dict[str, Any]:
+    return {"schema": SCHEMA, "ok": False, "error": error.to_dict()}

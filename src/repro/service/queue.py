@@ -1,0 +1,127 @@
+"""Priority job queue with per-client fairness and bounded depth.
+
+Dispatch order is: strict priority bands first (all ``INTERACTIVE``
+work before any ``BATCH``, and so on), and **round-robin across
+clients** within a band — a client that dumps a hundred jobs into a
+band cannot starve a client that submits one, because each pop takes
+the next client in rotation and only then that client's oldest job
+(FIFO per client).
+
+Depth is bounded: when ``max_depth`` queued jobs are already waiting,
+:meth:`PriorityJobQueue.push` sheds the request with
+:class:`~repro.service.jobs.QueueFullError` instead of queueing it —
+the daemon stays responsive and the client gets an explicit, typed
+"try later" rather than an unbounded latency tail.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+
+from repro.service.jobs import (
+    Job,
+    Priority,
+    QueueFullError,
+    ServiceClosedError,
+)
+
+
+class PriorityJobQueue:
+    """Thread-safe bounded queue: priority bands, fair within a band.
+
+    Each band holds an ``OrderedDict`` mapping client name to that
+    client's FIFO of queued jobs; the OrderedDict order *is* the
+    round-robin rotation (pop takes the first client, serves its oldest
+    job, and moves the client to the back if it still has work).
+    """
+
+    def __init__(self, max_depth: int = 256) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self._bands: dict[Priority, OrderedDict[str, deque[Job]]] = {
+            p: OrderedDict() for p in Priority
+        }
+        self._depth = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def push(self, job: Job) -> None:
+        """Queue ``job``, or shed with a typed error when full/closed."""
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is shutting down")
+            if self._depth >= self.max_depth:
+                raise QueueFullError(
+                    f"queue full ({self._depth}/{self.max_depth} jobs); "
+                    "retry later or lower the submission rate"
+                )
+            band = self._bands[job.priority]
+            fifo = band.get(job.client)
+            if fifo is None:
+                fifo = band[job.client] = deque()
+            fifo.append(job)
+            self._depth += 1
+            self._not_empty.notify()
+
+    def pop(self, timeout: float | None = None) -> Job | None:
+        """Next job by (priority, client rotation, per-client FIFO).
+
+        Blocks up to ``timeout`` seconds (forever when ``None``);
+        returns ``None`` on timeout or when the queue is closed and
+        drained.
+        """
+        with self._not_empty:
+            while self._depth == 0:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            for band in self._bands.values():
+                if not band:
+                    continue
+                client, fifo = next(iter(band.items()))
+                job = fifo.popleft()
+                # rotate: served client goes to the back of its band,
+                # or leaves the rotation if it has nothing queued.
+                del band[client]
+                if fifo:
+                    band[client] = fifo
+                self._depth -= 1
+                return job
+            raise AssertionError("depth > 0 with all bands empty")
+
+    def remove(self, job_id: int) -> Job | None:
+        """Remove and return a still-queued job, or ``None`` if it is
+        no longer in the queue (already dispatched or never queued)."""
+        with self._lock:
+            for band in self._bands.values():
+                for client, fifo in band.items():
+                    for job in fifo:
+                        if job.id == job_id:
+                            fifo.remove(job)
+                            if not fifo:
+                                del band[client]
+                            self._depth -= 1
+                            return job
+            return None
+
+    def close(self) -> None:
+        """Refuse new work and wake every blocked :meth:`pop`."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def snapshot(self) -> dict[str, int]:
+        """Queued-job count per priority band (for metrics/status)."""
+        with self._lock:
+            return {
+                p.name.lower(): sum(len(f) for f in band.values())
+                for p, band in self._bands.items()
+            }

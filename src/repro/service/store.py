@@ -1,0 +1,184 @@
+"""Content-addressed result store shared across runs and clients.
+
+:class:`~repro.parallel.cache.TileCache` already keys per-tile results
+by the content hash of everything the result depends on — engine
+parameters plus clipped halo-window geometry — which makes entries
+*globally* reusable: two clients scanning the same block, or one client
+re-scanning after an unrelated edit, are asking for the same pure
+function value.  The per-run cache throws that reuse away when the run
+ends.
+
+:class:`ResultStore` keeps it.  It is a daemon-lifetime, LRU-bounded
+map whose keys prepend a **namespace** — the digest of the deck
+signature and engine version — to the tile key, so results from
+different rule decks or engine releases can never collide even though
+the tile-level keys do not encode them.  Engines see it through
+:class:`StoreView`, a :class:`TileCache` subclass bound to one
+namespace: the scan/DRC code paths are unchanged, but every get/put
+lands in the shared store.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.obs import get_registry, names
+from repro.parallel.cache import TileCache, digest_parts
+
+log = logging.getLogger("repro.service")
+
+# On-disk format sentinel; bump when entry shape or key scheme changes.
+_FORMAT_VERSION = "resultstore-v1"
+
+
+class ResultStore:
+    """Thread-safe LRU store of namespaced tile results."""
+
+    def __init__(self, max_entries: int = 100_000) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @staticmethod
+    def namespace(*parts: Any) -> str:
+        """Digest a deck-signature/engine-version tuple into a
+        namespace prefix."""
+        return digest_parts("resultstore-ns", *parts)
+
+    def get(self, namespace: str, key: str) -> Any:
+        """Look up a namespaced key, counting hit or miss; None on
+        miss.  A hit refreshes LRU recency."""
+        full = f"{namespace}:{key}"
+        with self._lock:
+            if full in self._entries:
+                self._entries.move_to_end(full)
+                self.hits += 1
+                get_registry().inc(names.STORE_HITS)
+                return self._entries[full]
+            self.misses += 1
+            get_registry().inc(names.STORE_MISSES)
+            return None
+
+    def put(self, namespace: str, key: str, value: Any) -> None:
+        full = f"{namespace}:{key}"
+        with self._lock:
+            self._entries[full] = value
+            self._entries.move_to_end(full)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                get_registry().inc(names.STORE_EVICTIONS)
+
+    def view(self, namespace: str) -> "StoreView":
+        """A :class:`TileCache`-shaped handle bound to ``namespace``."""
+        return StoreView(self, namespace)
+
+    # -- persistence ----------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist entries (not counters) atomically, like
+        :meth:`TileCache.save`."""
+        path = os.fspath(path)
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=".resultstore-", suffix=".tmp"
+        )
+        try:
+            with self._lock:
+                payload = {
+                    "format": _FORMAT_VERSION,
+                    "entries": dict(self._entries),
+                }
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load(
+        cls, path: str | os.PathLike, max_entries: int = 100_000
+    ) -> "ResultStore":
+        """Load a saved store; missing, unreadable, or version-mismatched
+        files yield an empty store (cold start, never stale values)."""
+        store = cls(max_entries=max_entries)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            return store
+        except Exception:  # repro-lint: disable=RL004
+            # corruption surfaces as many pickle exception types; all of
+            # them just mean the file is unusable.
+            return store
+        if (
+            isinstance(payload, dict)
+            and payload.get("format") == _FORMAT_VERSION
+            and isinstance(payload.get("entries"), dict)
+        ):
+            entries = payload["entries"]
+            # honour the bound on load, keeping the most recent tail
+            for key in list(entries)[-max_entries:]:
+                store._entries[key] = entries[key]
+        else:
+            log.warning(
+                "discarding result store %s: format %r does not match %r",
+                path,
+                payload.get("format") if isinstance(payload, dict) else None,
+                _FORMAT_VERSION,
+            )
+            get_registry().inc(names.STORE_VERSION_MISMATCH)
+        return store
+
+
+class StoreView(TileCache):
+    """One namespace of a :class:`ResultStore`, as a ``TileCache``.
+
+    The scan and DRC engines accept a ``cache`` argument typed as
+    :class:`TileCache`; handing them a view routes every per-tile
+    get/put into the shared store while the engine-side hit/miss
+    counters (used by reports and the CLI summary) keep working —
+    they count this run's traffic, the store counts lifetime traffic.
+    """
+
+    def __init__(self, store: ResultStore, namespace: str) -> None:
+        super().__init__()
+        self._shared = store
+        self._namespace = namespace
+
+    def get(self, key: str) -> Any:
+        value = self._shared.get(self._namespace, key)
+        if value is not None:
+            self.hits += 1
+            get_registry().inc(names.TILECACHE_HITS)
+            return value
+        self.misses += 1
+        get_registry().inc(names.TILECACHE_MISSES)
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        self._shared.put(self._namespace, key, value)

@@ -151,11 +151,16 @@ class TestApiFacade:
     def test_exports(self):
         from repro import api
 
-        assert api.__all__ == ["run_drc", "scan_full_chip", "decompose", "scorecard"]
+        assert api.__all__ == [
+            "run_drc", "scan_full_chip", "decompose", "scorecard", "make_service",
+        ]
         for name in api.__all__:
             assert callable(getattr(api, name))
 
-    @pytest.mark.parametrize("name", ["run_drc", "scan_full_chip", "decompose", "scorecard"])
+    @pytest.mark.parametrize(
+        "name",
+        ["run_drc", "scan_full_chip", "decompose", "scorecard", "make_service"],
+    )
     def test_options_are_keyword_only(self, name):
         from repro import api
 

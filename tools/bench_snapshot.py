@@ -1,18 +1,22 @@
 """Distill a pytest-benchmark JSON into a compact perf snapshot.
 
 Usage:
-    python tools/bench_snapshot.py --out BENCH_PR6.json
-    python tools/bench_snapshot.py --from-json bench-fullchip.json --out BENCH_PR6.json
+    python tools/bench_snapshot.py
+    python tools/bench_snapshot.py --out BENCH_42.json
+    python tools/bench_snapshot.py --from-json bench-fullchip.json --out BENCH_42.json
 
-Without ``--from-json`` the tool runs the full-chip scan bench itself
-(``benchmarks/bench_fullchip_scan.py``) and then distills the result.
-The snapshot keeps one entry per bench — wall time plus every
-``extra_info`` scalar or flat numeric dict the bench recorded (tiles/s,
-fast-path speedup, raster-reuse rate, cache-key timings, engine
-counters, and the A3z ``payload_bytes`` per-chip-size rows guarding the
-zero-copy shared-memory payload path) — so the perf trajectory can be
-diffed PR over PR without hauling the full pytest-benchmark payload
-around.
+Without ``--from-json`` the tool runs the perf-tracked benches itself
+(the full-chip scan bench and the verification-service churn bench) and
+then distills the result.  The snapshot keeps one entry per bench —
+wall time plus every ``extra_info`` scalar or flat numeric dict the
+bench recorded (tiles/s, fast-path speedup, raster-reuse rate,
+cache-key timings, engine counters, the A3z ``payload_bytes`` rows
+guarding the zero-copy payload path, and the S1 service p50/p99 and
+store-hit-rate rows) — so the perf trajectory can be diffed run over
+run without hauling the full pytest-benchmark payload around.
+
+The output name is not fixed: ``--out`` wins, else ``$GITHUB_RUN_NUMBER``
+derives ``BENCH_<run>.json`` (what CI uploads), else ``BENCH_local.json``.
 """
 
 from __future__ import annotations
@@ -26,15 +30,24 @@ import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-DEFAULT_BENCH = "benchmarks/bench_fullchip_scan.py"
+DEFAULT_BENCHES = (
+    "benchmarks/bench_fullchip_scan.py",
+    "benchmarks/bench_service.py",
+)
 
 
-def run_bench(bench: str, json_path: Path) -> None:
+def default_out() -> str:
+    """Snapshot name for this run: numbered in CI, 'local' elsewhere."""
+    run = os.environ.get("GITHUB_RUN_NUMBER", "").strip()
+    return f"BENCH_{run}.json" if run else "BENCH_local.json"
+
+
+def run_bench(benches: list[str], json_path: Path) -> None:
     cmd = [
         sys.executable,
         "-m",
         "pytest",
-        bench,
+        *benches,
         "-q",
         "--benchmark-only",
         f"--benchmark-json={json_path}",
@@ -69,7 +82,12 @@ def distill(raw: dict) -> dict:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_PR6.json", help="snapshot output path")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="snapshot output path (default: BENCH_$GITHUB_RUN_NUMBER.json "
+        "in CI, BENCH_local.json elsewhere)",
+    )
     parser.add_argument(
         "--from-json",
         default=None,
@@ -77,8 +95,10 @@ def main() -> None:
     )
     parser.add_argument(
         "--bench",
-        default=DEFAULT_BENCH,
-        help=f"bench file to run (default: {DEFAULT_BENCH})",
+        action="append",
+        default=None,
+        help="bench file to run; repeatable "
+        f"(default: {', '.join(DEFAULT_BENCHES)})",
     )
     args = parser.parse_args()
 
@@ -86,11 +106,11 @@ def main() -> None:
         raw_path = Path(args.from_json)
     else:
         raw_path = Path(tempfile.mkdtemp()) / "bench.json"
-        run_bench(args.bench, raw_path)
+        run_bench(args.bench or list(DEFAULT_BENCHES), raw_path)
 
     raw = json.loads(raw_path.read_text())
     snapshot = distill(raw)
-    out = Path(args.out)
+    out = Path(args.out or default_out())
     out.write_text(json.dumps(snapshot, indent=2, sort_keys=False) + "\n")
     names = ", ".join(snapshot["benchmarks"]) or "none"
     print(f"wrote {out} ({names})")
