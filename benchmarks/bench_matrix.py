@@ -1,0 +1,57 @@
+"""M1 (matrix) — compliance-matrix throughput and window dedup.
+
+The matrix engine's claim is that library-scale coverage is cheap
+because abutment windows repeat: drive strengths that share gate
+geometry produce identical windows, and the content-addressed store
+collapses them to one computation each.  This bench runs the full
+generated library — every ordered pair, both flips, two litho corners
+plus DPT — and measures scenarios/second and the store hit rate from
+duplicate windows.
+
+Expected shape: on the stock 7-cell library well over half the
+scenarios are served from the store (the drive-strength twins guarantee
+it); the acceptance bar is a hit rate above 0.3.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentRecord, Table
+from repro.matrix import MatrixSpec, run_matrix
+
+from conftest import run_once
+
+SPEC = MatrixSpec(nodes=(45,), corners=2)  # whole library, both checks
+JOBS = 2
+
+
+def test_m1_matrix_dedup(benchmark, obs_registry):
+    report = run_once(benchmark, lambda: run_matrix(SPEC, jobs=JOBS))
+
+    scenarios_per_sec = report.scenario_count / max(report.elapsed_s, 1e-9)
+    hit_rate = report.store.get("hit_rate", 0.0)
+
+    table = Table(
+        f"M1: {len(report.cells)} cells, {report.scenario_count} scenarios",
+        ["metric", "value"],
+    )
+    table.add_row("scenarios/s", scenarios_per_sec)
+    table.add_row("unique windows", float(report.unique_windows))
+    table.add_row("deduped", float(report.deduped))
+    table.add_row("store hit rate", hit_rate)
+    print()
+    print(table.render())
+
+    benchmark.extra_info["scenarios"] = report.scenario_count
+    benchmark.extra_info["scenarios_per_sec"] = round(scenarios_per_sec, 2)
+    benchmark.extra_info["unique_windows"] = report.unique_windows
+    benchmark.extra_info["store_hit_rate"] = hit_rate
+
+    record = ExperimentRecord(
+        "M1", "duplicate abutment windows collapse in the result store"
+    )
+    record.record("scenarios_per_sec", scenarios_per_sec)
+    record.record("store_hit_rate", hit_rate)
+    holds = hit_rate > 0.3 and report.scenario_count == len(report.scenarios)
+    record.conclude(holds)
+    print(record.render())
+    assert holds

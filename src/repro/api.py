@@ -38,13 +38,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.geometry import Rect, Region
     from repro.layout import Cell
     from repro.litho.fullchip import FullChipScanReport
+    from repro.matrix import LibraryComplianceReport
     from repro.litho.process import ProcessWindow
     from repro.parallel import FaultPlan, TileCache, TileExecutor
     from repro.service import VerificationService
     from repro.tech.rules import RuleDeck
     from repro.tech.technology import Technology
 
-__all__ = ["run_drc", "scan_full_chip", "decompose", "scorecard", "make_service"]
+__all__ = [
+    "run_drc",
+    "scan_full_chip",
+    "decompose",
+    "scorecard",
+    "make_service",
+    "run_compliance_matrix",
+]
 
 
 def run_drc(
@@ -193,6 +201,49 @@ def scorecard(
         d0_per_cm2=d0_per_cm2,
         hotspot_window=hotspot_window,
     )
+
+
+def run_compliance_matrix(
+    *,
+    nodes: "tuple[int, ...] | list[int]" = (45,),
+    cells: "tuple[str, ...] | list[str] | None" = None,
+    corners: int = 2,
+    checks: "tuple[str, ...] | list[str]" = ("litho", "dpt"),
+    flips: "tuple[bool, ...] | list[bool]" = (False, True),
+    window_nm: int | None = None,
+    jobs: int = 1,
+    client: "object | None" = None,
+    store: "object | None" = None,
+) -> "LibraryComplianceReport":
+    """Run the standard-cell compliance matrix at library scale.
+
+    Enumerates every ordered cell-pair abutment (both flips) per node —
+    plus each cell standalone — and checks each window for litho
+    hotspots at ``corners`` process corners and for DPT two-
+    colorability, deduplicating identical abutment windows through the
+    content-addressed result store.  Returns a
+    :class:`~repro.matrix.LibraryComplianceReport` with per-cell
+    standalone vs. in-abutment verdicts, the weak-pair ranking, and the
+    fix-priority ordering.
+
+    ``cells=None`` runs the whole generated library.  ``client`` (a
+    :class:`~repro.service.ServiceClient` or
+    :class:`~repro.service.SocketClient`) routes the scenarios through a
+    verification service as one batched submit on the background band;
+    otherwise they run in process over ``jobs`` workers.  The report is
+    identical either way.
+    """
+    from repro.matrix import MatrixSpec, run_matrix
+
+    spec = MatrixSpec(
+        nodes=tuple(nodes),
+        cells=tuple(cells) if cells is not None else None,
+        corners=corners,
+        checks=tuple(checks),
+        flips=tuple(flips),
+        window_nm=window_nm,
+    )
+    return run_matrix(spec, jobs=jobs, client=client, store=store)
 
 
 def make_service(

@@ -8,6 +8,7 @@ Commands:
 * ``scan``      — tiled full-chip litho hotspot scan
 * ``dpt``       — double-patterning decomposition of one layer
 * ``scorecard`` — the hit-or-hype evaluation on a generated block
+* ``matrix``    — library compliance matrix: every cell-pair abutment
 * ``serve``     — run the verification service daemon (see docs/SERVICE.md)
 * ``submit``    — submit a job to a running daemon
 
@@ -24,7 +25,9 @@ state was checkpointed (resume with ``--resume``) exits ``3``.
 ``submit`` extends the contract for daemon-side outcomes: ``0`` clean,
 ``1`` findings or quarantine (as above), ``2`` usage/protocol errors or
 a failed job, ``3`` job cancelled or timed out, ``4`` request shed by a
-full queue, ``5`` daemon unreachable.
+full queue, ``5`` daemon unreachable.  ``matrix`` follows the same
+contract (``1`` on any failing scenario; with ``--daemon``, codes
+``4``/``5`` as for ``submit``).
 
 Every command accepts ``--metrics-out FILE`` (write a JSON run manifest
 with per-stage timings and counters) and ``--trace`` (print the nested
@@ -349,7 +352,7 @@ def cmd_submit(args) -> int:
 
     try:
         client = SocketClient.from_state_file(
-            args.state_file, timeout=args.socket_timeout
+            path=args.state_file, timeout=args.socket_timeout
         )
         if args.op in _SUBMIT_PLAIN_OPS:
             response = client.request(args.op)
@@ -397,6 +400,72 @@ def cmd_submit(args) -> int:
     except ServiceError as exc:
         print(f"service error ({exc.code}): {exc}", file=sys.stderr)
         return 2
+
+
+def cmd_matrix(args) -> int:
+    from repro.service import (
+        BadRequestError,
+        DaemonUnreachableError,
+        QueueFullError,
+        ServiceError,
+        SocketClient,
+    )
+
+    nodes = tuple(int(n) for n in args.nodes.split(","))
+    cells = tuple(args.cells.split(",")) if args.cells else None
+    checks = tuple(args.checks.split(","))
+    try:
+        if args.daemon:
+            with SocketClient.from_state_file(
+                path=args.state_file, timeout=args.socket_timeout
+            ) as client:
+                report = api.run_compliance_matrix(
+                    nodes=nodes, cells=cells, corners=args.corners,
+                    checks=checks, window_nm=args.window, client=client,
+                )
+        else:
+            report = api.run_compliance_matrix(
+                nodes=nodes, cells=cells, corners=args.corners,
+                checks=checks, window_nm=args.window, jobs=args.jobs,
+            )
+    except DaemonUnreachableError as exc:
+        print(f"daemon unreachable: {exc}", file=sys.stderr)
+        return 5
+    except QueueFullError as exc:
+        print(f"request shed: {exc}", file=sys.stderr)
+        return 4
+    except BadRequestError as exc:
+        print(f"bad request: {exc}", file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"service error ({exc.code}): {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"bad matrix spec: {exc}", file=sys.stderr)
+        return 2
+
+    print(report.summary())
+    table = Table("per-cell verdicts", ["cell", "standalone", "abutment"])
+    for cell, verdict in report.cell_verdicts.items():
+        table.add_row(
+            cell,
+            1.0 if verdict["standalone_ok"] else 0.0,
+            1.0 if verdict["abutment_ok"] else 0.0,
+        )
+    print(table.render())
+    for pair in report.weak_pairs[: args.limit]:
+        print(
+            f"  weak pair {pair['pair'][0]}|{pair['pair'][1]}: "
+            f"{pair['findings']} findings over {pair['scenarios']} scenarios"
+        )
+    if report.fix_priority:
+        print(f"fix priority: {', '.join(report.fix_priority)}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json(indent=2))
+            fh.write("\n")
+        print(f"wrote report to {args.out}")
+    return _findings_rc(args, not report.ok)
 
 
 def cmd_scorecard(args) -> int:
@@ -520,6 +589,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs(p)
     _add_no_fail(p)
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "matrix",
+        help="standard-cell compliance matrix: every abutment x node x corner",
+    )
+    p.add_argument("--nodes", default="45",
+                   help="comma-separated process nodes in nm (default 45)")
+    p.add_argument("--cells", default=None,
+                   help="comma-separated cell names (default: whole library)")
+    p.add_argument("--corners", type=int, default=2,
+                   help="litho process corners per scenario (default 2)")
+    p.add_argument("--checks", default="litho,dpt",
+                   help="comma-separated checks: litho, dpt (default both)")
+    p.add_argument("--window", type=int, default=None, metavar="NM",
+                   help="abutment window half-width (default: 2 poly pitches)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for in-process execution")
+    p.add_argument("--limit", type=int, default=5,
+                   help="weak pairs to list (0 = summary only)")
+    p.add_argument("--daemon", action="store_true",
+                   help="run through a live daemon as one batched submit")
+    p.add_argument("--state-file", default=".repro_service.json",
+                   help="state file published by `repro serve` (with --daemon)")
+    p.add_argument("--socket-timeout", type=float, default=None, metavar="SECONDS",
+                   help="socket timeout per request (with --daemon)")
+    p.add_argument("--out", help="write the full JSON report to this file")
+    _add_obs(p)
+    _add_no_fail(p)
+    p.set_defaults(func=cmd_matrix)
 
     p = sub.add_parser("scorecard", help="hit-or-hype evaluation on a generated block")
     _add_node(p)

@@ -6,7 +6,12 @@ standard-cell library, routed random-logic blocks, SRAM-like arrays, and
 the classic litho/yield test structures.
 """
 
-from repro.designgen.stdcells import StdCellLibrary, make_stdcell_library, make_filler_cell
+from repro.designgen.stdcells import (
+    StdCellLibrary,
+    abut_cells,
+    make_stdcell_library,
+    make_filler_cell,
+)
 from repro.designgen.logic import generate_logic_block, insert_fillers, LogicBlockSpec
 from repro.designgen.arrays import make_sram_bitcell, generate_sram_array
 from repro.designgen.teststructures import (
@@ -21,6 +26,7 @@ from repro.designgen.teststructures import (
 
 __all__ = [
     "StdCellLibrary",
+    "abut_cells",
     "make_stdcell_library",
     "make_filler_cell",
     "generate_logic_block",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.geometry import Rect
+from repro.geometry import Orientation, Rect, Transform
 from repro.layout import Cell, Layer
 from repro.tech.technology import Technology
 
@@ -48,6 +48,35 @@ class StdCellLibrary:
 
     def names(self) -> list[str]:
         return sorted(self.cells)
+
+
+def abut_cells(
+    left: Cell, right: Cell, *, flip_right: bool = False, name: str | None = None
+) -> Cell:
+    """Place ``right`` flush against ``left``'s right edge, rails aligned.
+
+    The pair shares exactly one vertical boundary: ``left``'s bounding box
+    is normalized to the origin, and ``right``'s left edge (its *right*
+    edge when ``flip_right`` mirrors it about the vertical axis) lands on
+    ``x = width(left)`` with zero gap and zero overlap.  Both cells keep
+    their own hierarchy — the result is a two-reference parent cell, which
+    is what a placement row produces and what the compliance matrix
+    windows over.
+    """
+    lb, rb = left.bbox, right.bbox
+    if lb is None or rb is None:
+        raise ValueError("cannot abut an empty cell")
+    boundary = lb.x1 - lb.x0
+    pair = Cell(name or f"{left.name}__{'FS' if flip_right else 'N'}__{right.name}")
+    pair.add_ref(left, Transform(-lb.x0, -lb.y0))
+    if flip_right:
+        # MX180 maps x -> dx - x, so [rb.x0, rb.x1] lands on
+        # [dx - rb.x1, dx - rb.x0]; dx = boundary + rb.x1 puts the
+        # mirrored edge exactly on the shared boundary.
+        pair.add_ref(right, Transform(boundary + rb.x1, -rb.y0, Orientation.MX180))
+    else:
+        pair.add_ref(right, Transform(boundary - rb.x0, -rb.y0))
+    return pair
 
 
 def make_filler_cell(tech: Technology, n_pitches: int = 1) -> Cell:

@@ -1,0 +1,48 @@
+"""Library-scale compliance matrix.
+
+The paper's argument is that DFM verification pays off at *library*
+scale: the real workload is every cell against every neighbor — the
+cell x cell abutment matrix across nodes, flips, process corners, and
+decomposability — not one block scanned once.  This package enumerates
+that matrix with stable content-addressed scenario IDs, executes it
+in-process or as batched service jobs (deduplicating identical abutment
+windows through the result store either way), and reduces the results
+into a :class:`LibraryComplianceReport`: per-cell standalone vs.
+in-abutment verdicts, the weak-pair ranking, and a fix-priority order.
+
+Entry points: :func:`run_matrix` here, ``api.run_compliance_matrix()``
+on the facade, and the ``repro matrix`` CLI verb.
+"""
+
+from repro.matrix.engine import (
+    MatrixPayload,
+    execute_matrix_job,
+    payload_for_nodes,
+    run_matrix,
+    run_scenario_check,
+    scenario_namespace,
+)
+from repro.matrix.report import LibraryComplianceReport, build_report
+from repro.matrix.scenarios import (
+    CHECKS,
+    MatrixSpec,
+    Scenario,
+    corner_conditions,
+    enumerate_scenarios,
+)
+
+__all__ = [
+    "CHECKS",
+    "LibraryComplianceReport",
+    "MatrixPayload",
+    "MatrixSpec",
+    "Scenario",
+    "build_report",
+    "corner_conditions",
+    "enumerate_scenarios",
+    "execute_matrix_job",
+    "payload_for_nodes",
+    "run_matrix",
+    "run_scenario_check",
+    "scenario_namespace",
+]

@@ -1,0 +1,157 @@
+"""Reduction of matrix scenario results into a library verdict.
+
+The reduction mirrors the cell-abutment auto-fix flow: per cell, a
+*standalone* verdict (is the cell clean in isolation?) and an
+*in-abutment* verdict (is it clean against every neighbor?); across
+cells, the *weak-pair ranking* (unordered pairs by total findings over
+orders, flips, corners, and checks) and a *fix-priority* ordering that
+puts the cells implicated in the most findings first — flagging the
+especially interesting ones that are clean standalone but weak abutted.
+
+Everything in the report is derived from the JSON-pure scenario results,
+so two runs that executed the same scenarios — at any worker count, in
+process or through a daemon — reduce to the same report
+(:meth:`LibraryComplianceReport.comparable`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.report import BaseReport
+
+from repro.matrix.scenarios import MatrixSpec, Scenario
+
+
+@dataclass
+class LibraryComplianceReport(BaseReport):
+    """The library-scale compliance verdict (see module docstring)."""
+
+    nodes: tuple[int, ...]
+    cells: tuple[str, ...]
+    checks: tuple[str, ...]
+    corners: int
+    scenario_count: int
+    unique_windows: int
+    deduped: int
+    scenarios: list[dict]
+    cell_verdicts: dict[str, dict]
+    weak_pairs: list[dict]
+    fix_priority: list[str]
+    store: dict[str, Any] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def findings(self) -> Sequence[dict]:
+        """The failing scenario rows."""
+        return [row for row in self.scenarios if row["findings"]]
+
+    def comparable(self) -> dict[str, Any]:
+        """The path-independent core: identical for the same spec no
+        matter how (or how parallel) the scenarios were executed."""
+        return {
+            "cell_verdicts": self.cell_verdicts,
+            "weak_pairs": self.weak_pairs,
+            "fix_priority": self.fix_priority,
+            "scenarios": self.scenarios,
+        }
+
+    def summary(self) -> str:
+        status = "clean" if self.ok else f"{self.findings_count} failing scenarios"
+        weak = (
+            ", weakest pair " + "|".join(self.weak_pairs[0]["pair"])
+            if self.weak_pairs
+            else ""
+        )
+        return (
+            f"LibraryComplianceReport: {status} of {self.scenario_count} "
+            f"({len(self.cells)} cells x {len(self.nodes)} nodes, "
+            f"{self.unique_windows} unique windows, {self.deduped} deduped{weak})"
+        )
+
+
+def build_report(
+    spec: MatrixSpec,
+    scenarios: list[Scenario],
+    results: list[dict],
+    *,
+    cells: tuple[str, ...],
+    store_stats: dict[str, Any],
+    elapsed_s: float,
+) -> LibraryComplianceReport:
+    """Reduce per-scenario results (aligned with ``scenarios``) into the
+    library report."""
+    rows: list[dict] = []
+    standalone: dict[str, int] = {c: 0 for c in cells}
+    abutment: dict[str, int] = {c: 0 for c in cells}
+    pair_findings: dict[tuple[str, str], int] = {}
+    pair_scenarios: dict[tuple[str, str], int] = {}
+
+    for scenario, result in zip(scenarios, results):
+        findings = int(result["findings"])
+        row = scenario.row()
+        row["findings"] = findings
+        row["ok"] = findings == 0
+        row["result"] = result
+        rows.append(row)
+        if scenario.kind == "standalone":
+            standalone[scenario.cell_a] += findings
+        else:
+            abutment[scenario.cell_a] += findings
+            abutment[scenario.cell_b] += findings
+            pair = tuple(sorted((scenario.cell_a, scenario.cell_b)))
+            pair_findings[pair] = pair_findings.get(pair, 0) + findings
+            pair_scenarios[pair] = pair_scenarios.get(pair, 0) + 1
+
+    cell_verdicts = {
+        c: {
+            "standalone_ok": standalone[c] == 0,
+            "abutment_ok": abutment[c] == 0,
+            "standalone_findings": standalone[c],
+            "abutment_findings": abutment[c],
+            "abutment_only_weak": standalone[c] == 0 and abutment[c] > 0,
+        }
+        for c in cells
+    }
+
+    weak_pairs = [
+        {
+            "pair": list(pair),
+            "findings": count,
+            "scenarios": pair_scenarios[pair],
+        }
+        for pair, count in sorted(
+            pair_findings.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        if count > 0
+    ]
+
+    involvement = {
+        c: standalone[c] + sum(
+            count for pair, count in pair_findings.items() if c in pair
+        )
+        for c in cells
+    }
+    fix_priority = [
+        c
+        for c, score in sorted(involvement.items(), key=lambda kv: (-kv[1], kv[0]))
+        if score > 0
+    ]
+
+    unique_windows = len({s.key for s in scenarios})
+    return LibraryComplianceReport(
+        nodes=tuple(spec.nodes),
+        cells=cells,
+        checks=tuple(spec.checks),
+        corners=spec.corners,
+        scenario_count=len(scenarios),
+        unique_windows=unique_windows,
+        deduped=len(scenarios) - unique_windows,
+        scenarios=rows,
+        cell_verdicts=cell_verdicts,
+        weak_pairs=weak_pairs,
+        fix_priority=fix_priority,
+        store=store_stats,
+        elapsed_s=round(elapsed_s, 6),
+    )

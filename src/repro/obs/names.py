@@ -59,6 +59,9 @@ SERVICE_SESSIONS_REUSED = "service.sessions_reused"
 SERVICE_SESSIONS_RELOADED = "service.sessions_reloaded"
 SERVICE_SESSIONS_EVICTED = "service.sessions_evicted"
 SERVICE_REQUESTS = "service.requests"
+SERVICE_BATCHES = "service.batches"
+SERVICE_BATCH_JOBS = "service.batch_jobs"
+SERVICE_BATCH_REJECTED = "service.batch_rejected"
 
 # -- cross-run result store (repro.service.store) ---------------------
 STORE_HITS = "store.hits"
@@ -113,6 +116,14 @@ DPT_CONFLICT_GRAPH_TIMER = "dpt.conflict_graph"
 DPT_DECOMPOSE_TIMER = "dpt.decompose"
 DPT_ODD_CYCLES = "dpt.odd_cycles"
 DPT_CONFLICT_FEATURES = "dpt.conflict_features"
+
+# -- compliance matrix (repro.matrix) ---------------------------------
+MATRIX_RUNS = "matrix.runs"
+MATRIX_SCENARIOS = "matrix.scenarios"
+MATRIX_SCENARIOS_EXECUTED = "matrix.scenarios_executed"
+MATRIX_SCENARIOS_CACHED = "matrix.scenarios_cached"
+MATRIX_WINDOWS_UNIQUE = "matrix.windows_unique"
+MATRIX_FINDINGS = "matrix.findings"
 
 # -- CMP dummy fill (repro.cmp.fill) ----------------------------------
 CMP_FILL_TIMER = "cmp.fill"

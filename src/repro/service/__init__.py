@@ -22,9 +22,10 @@ Entry points:
 from repro.service.client import (
     DEFAULT_STATE_FILE,
     DaemonUnreachableError,
+    ServiceClient,
     SocketClient,
 )
-from repro.service.core import ServiceClient, VerificationService
+from repro.service.core import VerificationService
 from repro.service.daemon import ServiceDaemon
 from repro.service.jobs import (
     BadRequestError,

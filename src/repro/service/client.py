@@ -1,28 +1,48 @@
-"""Socket client for the verification daemon.
+"""Client surface of the verification service.
 
-:class:`SocketClient` is what ``repro submit`` uses: read the daemon's
-state file (or take an explicit host/port), open one TCP connection per
-request, speak one :mod:`repro.service.protocol` line each way.  Error
-handling is typed end to end — a refused connection raises
+Two clients, one contract:
+
+* :class:`SocketClient` — what ``repro submit`` uses: read the daemon's
+  state file (or take an explicit host/port) and speak
+  :mod:`repro.service.protocol` lines over TCP.  By default every
+  request opens its own connection (the one-shot CLI shape); used as a
+  context manager it holds one connection open across requests, which
+  is what the streaming batch op requires and what any chatty caller
+  should do.
+* :class:`ServiceClient` — the same verbs against an in-process
+  :class:`~repro.service.core.VerificationService`, no socket.  It
+  mirrors the wire semantics — including :meth:`ServiceClient.submit_batch`
+  yielding the same per-item event dicts — so callers like the
+  compliance matrix are generic over which one they hold.
+
+Error handling is typed end to end — a refused connection raises
 :class:`DaemonUnreachableError`, and a daemon-side failure re-raises
 the matching :class:`~repro.service.jobs.ServiceError` subclass by its
 wire code, so callers branch on exception type, not string matching.
+
+Public callables here take their options keyword-only (lint rule
+``RL007`` enforces it, like ``RL006`` does for :mod:`repro.api`).
 """
 
 from __future__ import annotations
 
 import json
 import socket
-from typing import Any
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from repro.service import protocol
 from repro.service.jobs import (
     BadRequestError,
+    Job,
+    Priority,
     QueueFullError,
     ServiceClosedError,
     ServiceError,
     UnknownJobError,
 )
+
+if TYPE_CHECKING:
+    from repro.service.core import VerificationService
 
 DEFAULT_STATE_FILE = ".repro_service.json"
 
@@ -58,7 +78,8 @@ def raise_for_error(error: dict[str, Any]) -> None:
 
 
 class SocketClient:
-    """One-request-per-connection client of a running daemon."""
+    """Client of a running daemon; one-shot by default, persistent as a
+    context manager (or after an explicit :meth:`connect`)."""
 
     def __init__(
         self, host: str, port: int, *, timeout: float | None = None
@@ -69,10 +90,12 @@ class SocketClient:
         # request() then clears it, because a submit with wait=True
         # legitimately blocks for the whole job.
         self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._rfile: Any = None
 
     @classmethod
     def from_state_file(
-        cls, path: str = DEFAULT_STATE_FILE, *, timeout: float | None = None
+        cls, *, path: str = DEFAULT_STATE_FILE, timeout: float | None = None
     ) -> "SocketClient":
         """Client for the daemon whose coordinates ``path`` publishes."""
         try:
@@ -92,9 +115,69 @@ class SocketClient:
             )
         return cls(str(state["host"]), int(state["port"]), timeout=timeout)
 
+    # -- connection lifecycle -------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def connect(self) -> "SocketClient":
+        """Open (or keep) a persistent connection; every subsequent
+        request reuses it until :meth:`close`.  Idempotent."""
+        if self._sock is None:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout or 10.0
+                )
+            except OSError as exc:
+                raise DaemonUnreachableError(
+                    f"cannot reach daemon at {self.host}:{self.port}: {exc}"
+                ) from exc
+            self._rfile = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        """Drop the persistent connection (no-op when not connected)."""
+        for closer in (self._rfile, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._rfile = None
+        self._sock = None
+
+    def __enter__(self) -> "SocketClient":
+        return self.connect()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- request plumbing -----------------------------------------------
+    def _read_response(self) -> dict[str, Any]:
+        """One response line off the persistent connection; typed errors
+        for hangups and daemon-side failures."""
+        try:
+            line = self._rfile.readline(protocol.MAX_LINE_BYTES + 1)
+        except OSError as exc:
+            self.close()
+            raise DaemonUnreachableError(
+                f"daemon at {self.host}:{self.port} connection failed: {exc}"
+            ) from exc
+        if not line:
+            self.close()
+            raise DaemonUnreachableError(
+                f"daemon at {self.host}:{self.port} closed the connection "
+                "without answering"
+            )
+        response = protocol.decode(line)
+        if not response.get("ok"):
+            raise_for_error(response.get("error") or {})
+        return response
+
     def request(self, op: str, **fields: Any) -> dict[str, Any]:
         """One round trip; returns the daemon's ``ok`` response payload
-        or raises the typed error it sent back."""
+        or raises the typed error it sent back.  Reuses the persistent
+        connection when one is open, else connects for this request."""
         message = {"op": op, **fields}
         # Every op except a waiting submit is answered promptly, so give
         # those a bounded receive timeout — a wedged daemon then fails
@@ -105,27 +188,22 @@ class SocketClient:
         receive_timeout = self.timeout
         if receive_timeout is None and not blocking:
             receive_timeout = PROMPT_OP_TIMEOUT
+        one_shot = self._sock is None
+        if one_shot:
+            self.connect()
         try:
-            with socket.create_connection(
-                (self.host, self.port), timeout=self.timeout or 10.0
-            ) as conn:
-                conn.settimeout(receive_timeout)
-                conn.sendall(protocol.encode(message))
-                with conn.makefile("rb") as rfile:
-                    line = rfile.readline(protocol.MAX_LINE_BYTES + 1)
-        except OSError as exc:
-            raise DaemonUnreachableError(
-                f"cannot reach daemon at {self.host}:{self.port}: {exc}"
-            ) from exc
-        if not line:
-            raise DaemonUnreachableError(
-                f"daemon at {self.host}:{self.port} closed the connection "
-                "without answering"
-            )
-        response = protocol.decode(line)
-        if not response.get("ok"):
-            raise_for_error(response.get("error") or {})
-        return response
+            try:
+                self._sock.settimeout(receive_timeout)
+                self._sock.sendall(protocol.encode(message))
+            except OSError as exc:
+                self.close()
+                raise DaemonUnreachableError(
+                    f"cannot reach daemon at {self.host}:{self.port}: {exc}"
+                ) from exc
+            return self._read_response()
+        finally:
+            if one_shot:
+                self.close()
 
     # -- convenience verbs ----------------------------------------------
     def ping(self) -> dict[str, Any]:
@@ -134,7 +212,7 @@ class SocketClient:
     def submit(
         self,
         kind: str,
-        params: dict[str, Any] | None = None,
+        params: dict[str, Any] | None,
         *,
         client: str = "cli",
         priority: str = "interactive",
@@ -153,6 +231,95 @@ class SocketClient:
             wait=wait,
         )["job"]
 
+    def submit_batch(
+        self,
+        items: Iterable[dict[str, Any]],
+        *,
+        client: str = "cli",
+        priority: str = "background",
+        timeout_s: float | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Submit many jobs in one ``batch-submit`` exchange and stream
+        the results back incrementally on the same connection.
+
+        Yields one event dict per item, in item order:
+        ``{"index": i, "job": <snapshot>}`` for items that ran (check the
+        snapshot's ``state`` — a failed job is still an event, not an
+        exception) or ``{"index": i, "error": {"code", "message"}}`` for
+        items the daemon rejected at submit time.  Partial failure is
+        the contract: one bad item never aborts the rest of the batch.
+        """
+        message = {
+            "op": "batch-submit",
+            "items": list(items),
+            "client": client,
+            "priority": priority,
+            "timeout_s": timeout_s,
+            "stream": True,
+        }
+        one_shot = self._sock is None
+        if one_shot:
+            self.connect()
+        try:
+            try:
+                # results arrive at job pace: only an explicit client
+                # timeout bounds the stream
+                self._sock.settimeout(self.timeout)
+                self._sock.sendall(protocol.encode(message))
+            except OSError as exc:
+                self.close()
+                raise DaemonUnreachableError(
+                    f"cannot reach daemon at {self.host}:{self.port}: {exc}"
+                ) from exc
+            ack = self._read_response()
+            batch = ack.get("batch") or {}
+            errors = {
+                entry["index"]: entry["error"]
+                for entry in batch.get("errors", ())
+            }
+            for index in range(int(batch.get("count", 0))):
+                if index in errors:
+                    yield {"index": index, "error": errors[index]}
+                    continue
+                event = self._read_response()
+                yield {"index": int(event.get("index", index)), "job": event.get("job")}
+            self._read_response()  # the end-of-stream event
+        finally:
+            if one_shot:
+                self.close()
+
+    def stream_results(self, ids: Iterable[int]) -> Iterator[dict[str, Any]]:
+        """Stream finished-job snapshots for ``ids`` (e.g. jobs submitted
+        earlier with ``wait=False``), one event per id in id order; an
+        unknown id yields a typed per-item error event."""
+        id_list = [int(i) for i in ids]
+        one_shot = self._sock is None
+        if one_shot:
+            self.connect()
+        try:
+            try:
+                self._sock.settimeout(self.timeout)
+                self._sock.sendall(
+                    protocol.encode({"op": "stream-results", "ids": id_list})
+                )
+            except OSError as exc:
+                self.close()
+                raise DaemonUnreachableError(
+                    f"cannot reach daemon at {self.host}:{self.port}: {exc}"
+                ) from exc
+            for index in range(len(id_list)):
+                event = self._read_response()
+                out = {"index": int(event.get("index", index))}
+                if event.get("event") == "error":
+                    out["error"] = event.get("error_detail")
+                else:
+                    out["job"] = event.get("job")
+                yield out
+            self._read_response()  # the end-of-stream event
+        finally:
+            if one_shot:
+                self.close()
+
     def status(self, job_id: int) -> dict[str, Any]:
         return self.request("status", id=job_id)["job"]
 
@@ -164,3 +331,76 @@ class SocketClient:
 
     def shutdown(self) -> dict[str, Any]:
         return self.request("shutdown")
+
+
+class ServiceClient:
+    """In-process client: the same verbs ``repro submit`` speaks over
+    the socket, without a daemon.  Embedders get service semantics
+    (residency, store reuse, fairness) inside their own process."""
+
+    def __init__(
+        self, service: "VerificationService", *, client: str = "local"
+    ) -> None:
+        self.service = service
+        self.client = client
+
+    # context-manager for symmetry with SocketClient: there is no
+    # connection to manage, but callers generic over client type can
+    # still use `with`
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def submit(
+        self,
+        kind: str,
+        params: dict[str, Any] | None,
+        *,
+        priority: "Priority | str | int" = Priority.INTERACTIVE,
+        timeout_s: float | None = None,
+    ) -> Job:
+        return self.service.submit(
+            kind, params, client=self.client, priority=priority, timeout_s=timeout_s
+        )
+
+    def run(
+        self,
+        kind: str,
+        params: dict[str, Any] | None,
+        *,
+        priority: "Priority | str | int" = Priority.INTERACTIVE,
+        timeout_s: float | None = None,
+    ) -> Job:
+        """Submit and block until the job is terminal."""
+        job = self.submit(kind, params, priority=priority, timeout_s=timeout_s)
+        return self.service.wait(job)
+
+    def submit_batch(
+        self,
+        items: Iterable[dict[str, Any]],
+        *,
+        priority: "Priority | str | int" = Priority.BACKGROUND,
+        timeout_s: float | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """In-process mirror of :meth:`SocketClient.submit_batch`: the
+        same per-item event dicts, the same partial-failure semantics."""
+        entries = self.service.submit_batch(
+            list(items), client=self.client, priority=priority, timeout_s=timeout_s
+        )
+        for index, entry in enumerate(entries):
+            if isinstance(entry, ServiceError):
+                yield {"index": index, "error": entry.to_dict()}
+            else:
+                self.service.wait(entry)
+                yield {"index": index, "job": entry.snapshot()}
+
+    def cancel(self, job_id: int) -> dict[str, Any]:
+        return self.service.cancel(job_id)
+
+    def status(self, job_id: int) -> dict[str, Any]:
+        return self.service.status(job_id)
+
+    def metrics(self) -> dict[str, Any]:
+        return self.service.metrics()

@@ -197,6 +197,56 @@ class VerificationService:
         registry.gauge(names.SERVICE_QUEUE_DEPTH, len(self.queue))
         return job
 
+    def submit_batch(
+        self,
+        items: "list[dict[str, Any]]",
+        *,
+        client: str = "local",
+        priority: "Priority | str | int" = Priority.BACKGROUND,
+        timeout_s: float | None = None,
+    ) -> "list[Job | ServiceError]":
+        """Queue many jobs at once with partial-failure semantics.
+
+        Each item is ``{"kind": ..., "params": {...}}``.  The returned
+        list is aligned with ``items``: a live :class:`Job` where the
+        submit succeeded, the typed :class:`ServiceError` (not raised)
+        where that one item was rejected — a malformed item or a shed
+        request never aborts the rest of the batch.  Only a service
+        already shut down fails the whole call.
+
+        Defaults to the ``background`` band so a batch never starves
+        interactive submits.
+        """
+        if self._closing.is_set():
+            raise ServiceClosedError("service is shutting down")
+        registry = get_registry()
+        registry.inc(names.SERVICE_BATCHES)
+        out: list[Job | ServiceError] = []
+        for item in items:
+            try:
+                if not isinstance(item, dict):
+                    raise BadRequestError("batch item must be a JSON object")
+                kind = item.get("kind")
+                if not isinstance(kind, str):
+                    raise BadRequestError("batch item missing 'kind'")
+                params = item.get("params") or {}
+                if not isinstance(params, dict):
+                    raise BadRequestError("batch item 'params' must be a JSON object")
+                out.append(
+                    self.submit(
+                        kind,
+                        params,
+                        client=client,
+                        priority=priority,
+                        timeout_s=timeout_s,
+                    )
+                )
+                registry.inc(names.SERVICE_BATCH_JOBS)
+            except ServiceError as exc:
+                registry.inc(names.SERVICE_BATCH_REJECTED)
+                out.append(exc)
+        return out
+
     def wait(self, job: Job, timeout: float | None = None) -> Job:
         """Block until ``job`` is terminal (or ``timeout`` elapses)."""
         job.done.wait(timeout=timeout)
@@ -343,6 +393,19 @@ class VerificationService:
 
     def _execute(self, job: Job) -> tuple[Any, dict[str, Any]]:
         params = job.params
+        registry = get_registry()
+        registry.inc(names.SERVICE_REQUESTS)
+        if job.kind == "matrix":
+            # a self-contained scenario item: no layout file, no session
+            # — the shared store deduplicates identical windows across
+            # jobs, batches, and clients
+            from repro.matrix.engine import execute_matrix_job
+
+            try:
+                result = execute_matrix_job(params, store=self.store)
+            except ValueError as exc:
+                raise BadRequestError(str(exc)) from exc
+            return None, result
         gds = params.get("gds")
         if not gds:
             raise BadRequestError("missing required parameter 'gds'")
@@ -350,8 +413,6 @@ class VerificationService:
         tile_nm = int(params.get("tile", 4000))
         chunk_timeout = params.get("chunk_timeout")
         limit = int(params.get("limit", 10))
-        registry = get_registry()
-        registry.inc(names.SERVICE_REQUESTS)
         session = self.sessions.get(gds)
         tech = self._tech(node)
         cell = session.cell(params.get("cell"))
@@ -409,44 +470,7 @@ class VerificationService:
         return report, result
 
 
-class ServiceClient:
-    """In-process client: the same verbs ``repro submit`` speaks over
-    the socket, without a daemon.  Embedders get service semantics
-    (residency, store reuse, fairness) inside their own process."""
-
-    def __init__(self, service: VerificationService, client: str = "local") -> None:
-        self.service = service
-        self.client = client
-
-    def submit(
-        self,
-        kind: str,
-        params: dict[str, Any] | None = None,
-        *,
-        priority: "Priority | str | int" = Priority.INTERACTIVE,
-        timeout_s: float | None = None,
-    ) -> Job:
-        return self.service.submit(
-            kind, params, client=self.client, priority=priority, timeout_s=timeout_s
-        )
-
-    def run(
-        self,
-        kind: str,
-        params: dict[str, Any] | None = None,
-        *,
-        priority: "Priority | str | int" = Priority.INTERACTIVE,
-        timeout_s: float | None = None,
-    ) -> Job:
-        """Submit and block until the job is terminal."""
-        job = self.submit(kind, params, priority=priority, timeout_s=timeout_s)
-        return self.service.wait(job)
-
-    def cancel(self, job_id: int) -> dict[str, Any]:
-        return self.service.cancel(job_id)
-
-    def status(self, job_id: int) -> dict[str, Any]:
-        return self.service.status(job_id)
-
-    def metrics(self) -> dict[str, Any]:
-        return self.service.metrics()
+# ServiceClient lives with the rest of the client surface now; the
+# import is kept so `from repro.service.core import ServiceClient`
+# call sites keep working.
+from repro.service.client import ServiceClient as ServiceClient  # noqa: E402

@@ -34,7 +34,13 @@ from repro import __version__
 from repro.obs import get_registry, names
 from repro.service import protocol
 from repro.service.core import VerificationService
-from repro.service.jobs import BadRequestError, Priority, ServiceError
+from repro.service.jobs import (
+    BadRequestError,
+    Job,
+    Priority,
+    ServiceError,
+    UnknownJobError,
+)
 
 log = logging.getLogger("repro.service")
 
@@ -58,31 +64,67 @@ def write_state_file(path: str, state: dict[str, Any]) -> None:
 
 
 class _Handler(socketserver.StreamRequestHandler):
-    """One connection: read a request line, answer, hang up."""
+    """One connection: any number of request/response exchanges in
+    sequence, until the client hangs up (one-shot clients hang up after
+    the first).  Streaming ops write several response lines, flushed
+    incrementally, before the next request is read."""
 
     server: "ServiceDaemon"
 
     def handle(self) -> None:
-        get_registry().inc(names.SERVICE_REQUESTS)
-        try:
-            line = self.rfile.readline(protocol.MAX_LINE_BYTES + 1)
-            if not line:
+        while True:
+            try:
+                line = self.rfile.readline(protocol.MAX_LINE_BYTES + 1)
+            except OSError:
                 return
-            request = protocol.decode(line)
-            response = self.server.dispatch(request)
-        except ServiceError as exc:
-            response = protocol.error_response(exc)
-        # a handler crash must not take the daemon down; the failure is
-        # routed back to the one client that caused it, not swallowed
-        except Exception as exc:  # repro-lint: disable=RL004
-            log.exception("request handler failed")
-            response = protocol.error_response(
-                ServiceError(f"internal error: {type(exc).__name__}: {exc}")
-            )
+            if not line:
+                return  # client hung up: connection done
+            get_registry().inc(names.SERVICE_REQUESTS)
+            try:
+                request = protocol.decode(line)
+                if request.get("op") in protocol.STREAM_OPS:
+                    if not self._stream(request):
+                        return
+                    continue
+                response = self.server.dispatch(request)
+            except ServiceError as exc:
+                response = protocol.error_response(exc)
+            # a handler crash must not take the daemon down; the failure
+            # is routed back to the one client that caused it
+            except Exception as exc:  # repro-lint: disable=RL004
+                log.exception("request handler failed")
+                response = protocol.error_response(
+                    ServiceError(f"internal error: {type(exc).__name__}: {exc}")
+                )
+            if not self._write(response):
+                return
+
+    def _write(self, response: dict[str, Any]) -> bool:
+        """One response line, flushed; False when the client hung up."""
         try:
             self.wfile.write(protocol.encode(response))
+            self.wfile.flush()
+            return True
         except OSError:
-            pass  # client hung up before the answer; nothing to do
+            return False
+
+    def _stream(self, request: dict[str, Any]) -> bool:
+        """Run a streaming op, writing each response line as it is
+        produced; False when the client hung up mid-stream."""
+        try:
+            for response in self.server.dispatch_stream(request):
+                if not self._write(response):
+                    return False
+            return True
+        except ServiceError as exc:
+            return self._write(protocol.error_response(exc))
+        except Exception as exc:  # repro-lint: disable=RL004
+            log.exception("stream handler failed")
+            return self._write(
+                protocol.error_response(
+                    ServiceError(f"internal error: {type(exc).__name__}: {exc}")
+                )
+            )
 
 
 class ServiceDaemon(socketserver.ThreadingTCPServer):
@@ -145,6 +187,17 @@ class ServiceDaemon(socketserver.ThreadingTCPServer):
             f"unknown op {op!r} (expected one of {', '.join(protocol.OPS)})"
         )
 
+    def dispatch_stream(self, request: dict[str, Any]):
+        """Dispatch a streaming op: yields response lines — an ack, then
+        one incremental result per job, then an ``end`` event."""
+        op = request.get("op")
+        if op == "batch-submit":
+            yield from self._op_batch_submit(request)
+        elif op == "stream-results":
+            yield from self._op_stream_results(request)
+        else:  # unreachable: the handler routes only STREAM_OPS here
+            raise BadRequestError(f"op {op!r} does not stream")
+
     @staticmethod
     def _job_id(request: dict[str, Any]) -> int:
         job_id = request.get("id")
@@ -172,6 +225,69 @@ class ServiceDaemon(socketserver.ThreadingTCPServer):
         if request.get("wait", True):
             self.service.wait(job)
         return protocol.ok_response(job=job.snapshot())
+
+    def _op_batch_submit(self, request: dict[str, Any]):
+        """``batch-submit``: queue every item, ack with per-item accept/
+        reject (partial failure — one bad item never aborts the batch),
+        then stream each accepted job's snapshot as it finishes."""
+        items = request.get("items")
+        if not isinstance(items, list) or not items:
+            raise BadRequestError("'items' must be a non-empty array")
+        timeout_s = request.get("timeout_s")
+        if timeout_s is not None and not isinstance(timeout_s, (int, float)):
+            raise BadRequestError("'timeout_s' must be a number")
+        entries = self.service.submit_batch(
+            items,
+            client=str(request.get("client", "anonymous")),
+            priority=Priority.from_name(request.get("priority", "background")),
+            timeout_s=timeout_s,
+        )
+        accepted = [
+            {"index": i, "id": e.id}
+            for i, e in enumerate(entries)
+            if isinstance(e, Job)
+        ]
+        errors = [
+            {"index": i, "error": e.to_dict()}
+            for i, e in enumerate(entries)
+            if isinstance(e, ServiceError)
+        ]
+        yield protocol.ok_response(
+            batch={"count": len(entries), "accepted": accepted, "errors": errors}
+        )
+        if not request.get("stream", True):
+            return
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, Job):
+                continue
+            self.service.wait(entry)
+            yield protocol.ok_response(
+                event="result", index=index, job=entry.snapshot()
+            )
+        yield protocol.ok_response(event="end", count=len(accepted))
+
+    def _op_stream_results(self, request: dict[str, Any]):
+        """``stream-results``: snapshots for previously submitted job
+        ids (e.g. submits with ``wait: false``), one line per id as each
+        finishes; an unknown id is a typed per-item error event."""
+        ids = request.get("ids")
+        if (
+            not isinstance(ids, list)
+            or not ids
+            or not all(isinstance(i, int) for i in ids)
+        ):
+            raise BadRequestError("'ids' must be a non-empty array of job ids")
+        for index, job_id in enumerate(ids):
+            try:
+                job = self.service.job(job_id)
+            except UnknownJobError as exc:
+                yield protocol.ok_response(
+                    event="error", index=index, id=job_id, error_detail=exc.to_dict()
+                )
+                continue
+            self.service.wait(job)
+            yield protocol.ok_response(event="result", index=index, job=job.snapshot())
+        yield protocol.ok_response(event="end", count=len(ids))
 
     # -- lifecycle (runs on the serving thread) -------------------------
     def serve_until_shutdown(self) -> None:

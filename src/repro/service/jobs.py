@@ -106,7 +106,7 @@ _JOB_IDS = itertools.count(1)
 
 # Job kinds that run a verification engine (vs. control operations
 # handled at the protocol layer).
-VERIFY_KINDS = ("scan", "drc")
+VERIFY_KINDS = ("scan", "drc", "matrix")
 
 
 @dataclass

@@ -1,11 +1,17 @@
-"""Wire protocol: one JSON object per line, one request per connection.
+"""Wire protocol: one JSON object per line over a reusable connection.
 
 The framing is deliberately primitive — newline-delimited UTF-8 JSON
-over a localhost TCP socket, one request and one response per
-connection — because every client (CLI, tests, editor plugins, shell
-scripts via ``nc``) can speak it without a dependency.  Every message
-carries ``schema`` so both ends can reject a version they do not
-understand instead of misparsing it.
+over a localhost TCP socket — because every client (CLI, tests, editor
+plugins, shell scripts via ``nc``) can speak it without a dependency.
+Every message carries ``schema`` so both ends can reject a version they
+do not understand instead of misparsing it.
+
+A connection carries any number of request/response exchanges in
+sequence (one-shot clients simply hang up after the first).  Most ops
+answer with exactly one response line; the *streaming* ops
+(:data:`STREAM_OPS`) answer with several — an acknowledgement, then one
+incremental result line per job as it finishes, then an ``end`` event —
+all on the same connection.
 
 Request::
 
@@ -19,9 +25,10 @@ Response::
     {"schema": "repro-service-v1", "ok": false,
      "error": {"code": "queue-full", "message": "..."}}
 
-Operations: ``ping``, ``submit``, ``status``, ``cancel``, ``metrics``,
-``shutdown`` — see :mod:`repro.service.daemon` for their semantics and
-``docs/SERVICE.md`` for the full contract.
+Operations: ``ping``, ``submit``, ``batch-submit``, ``stream-results``,
+``status``, ``cancel``, ``metrics``, ``shutdown`` — see
+:mod:`repro.service.daemon` for their semantics and ``docs/SERVICE.md``
+for the full contract, including the batch partial-failure rules.
 """
 
 from __future__ import annotations
@@ -37,7 +44,21 @@ SCHEMA = "repro-service-v1"
 # rather than buffered without limit.
 MAX_LINE_BYTES = 1 << 20
 
-OPS = ("ping", "submit", "status", "cancel", "metrics", "shutdown")
+OPS = (
+    "ping",
+    "submit",
+    "batch-submit",
+    "stream-results",
+    "status",
+    "cancel",
+    "metrics",
+    "shutdown",
+)
+
+# Ops that answer with more than one response line (ack + incremental
+# results + end) — the handler keeps the connection open and flushes
+# each line as it is produced.
+STREAM_OPS = ("batch-submit", "stream-results")
 
 
 def encode(message: dict[str, Any]) -> bytes:

@@ -1,0 +1,196 @@
+"""Tests for the library compliance matrix (repro.matrix).
+
+Covers abutment construction (exact edge-sharing, both flips), the
+content-addressed scenario identity (stable across runs and hash
+seeds), the dedup accounting, report reduction (verdicts, weak-pair
+ranking, fix priority), and the acceptance-critical property: the
+report is identical whether scenarios run in-process at jobs=1 or
+jobs=4 or as a batched submit through a service.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.designgen import abut_cells, make_stdcell_library
+from repro.matrix import (
+    LibraryComplianceReport,
+    MatrixSpec,
+    enumerate_scenarios,
+    run_matrix,
+)
+from repro.service import (
+    ServiceClient,
+    ServiceDaemon,
+    SocketClient,
+    VerificationService,
+)
+from repro.tech import make_node
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# small but dedup-rich: INV_X2/BUF_X1/NAND2_X1 are geometric twins in
+# the generated library, so duplicate abutment windows are guaranteed
+SMALL = MatrixSpec(
+    nodes=(45,), cells=("INV_X1", "INV_X2", "NAND2_X1"), corners=1
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return make_stdcell_library(make_node(45))
+
+
+class TestAbutment:
+    def test_cells_share_exactly_one_edge(self, library):
+        left = library["INV_X1"].cell
+        right = library["NAND2_X1"].cell
+        pair = abut_cells(left, right)
+        lb, rb, pb = left.bbox, right.bbox, pair.bbox
+        assert pb.x1 - pb.x0 == (lb.x1 - lb.x0) + (rb.x1 - rb.x0)
+        assert pb.x0 == 0 and pb.y0 == 0
+
+    def test_flip_preserves_width_and_mirrors_geometry(self, library):
+        left = library["INV_X1"].cell
+        right = library["NAND2_X1"].cell
+        plain = abut_cells(left, right)
+        flipped = abut_cells(left, right, flip_right=True)
+        assert plain.bbox == flipped.bbox
+        layer = make_node(45).layers.metal1
+        boundary = left.bbox.x1 - left.bbox.x0
+        # the right cell's content mirrors about its own center line:
+        # same total area either way, different rect decomposition
+        right_window = type(plain.bbox)(
+            boundary, plain.bbox.y0, plain.bbox.x1, plain.bbox.y1
+        )
+        plain_right = plain.region(layer, right_window)
+        flipped_right = flipped.region(layer, right_window)
+        assert plain_right.area == flipped_right.area
+
+    def test_no_gap_no_overlap(self, library):
+        # area of the pair == sum of areas: overlap would shrink it
+        # (merged), a gap cannot add area, so equality pins both
+        left = library["INV_X1"].cell
+        right = library["INV_X1"].cell
+        layer = make_node(45).layers.metal1
+        for flip in (False, True):
+            pair = abut_cells(left, right, flip_right=flip)
+            assert (
+                pair.region(layer).area == 2 * left.region(layer).area
+            ), f"flip_right={flip}"
+
+    def test_empty_cell_rejected(self, library):
+        from repro.layout import Cell
+
+        with pytest.raises(ValueError):
+            abut_cells(Cell("EMPTY"), library["INV_X1"].cell)
+
+
+class TestScenarioIdentity:
+    def test_enumeration_is_deterministic(self):
+        first = enumerate_scenarios(SMALL)
+        second = enumerate_scenarios(SMALL)
+        assert [s.sid for s in first] == [s.sid for s in second]
+        assert [s.key for s in first] == [s.key for s in second]
+
+    def test_sids_unique_keys_shared(self):
+        scenarios = enumerate_scenarios(SMALL)
+        sids = [s.sid for s in scenarios]
+        assert len(set(sids)) == len(sids)
+        # geometric twins => strictly fewer distinct keys than rows
+        assert len({s.key for s in scenarios}) < len(scenarios)
+
+    def test_ids_stable_across_hash_seeds(self):
+        script = (
+            "from repro.matrix import MatrixSpec, enumerate_scenarios\n"
+            "spec = MatrixSpec(nodes=(45,), cells=('INV_X1', 'INV_X2', "
+            "'NAND2_X1'), corners=1)\n"
+            "print('\\n'.join(s.sid for s in enumerate_scenarios(spec)))\n"
+        )
+        outputs = []
+        for seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = str(REPO_ROOT / "src")
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=REPO_ROOT,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        assert outputs[0].strip() == "\n".join(s.sid for s in enumerate_scenarios(SMALL))
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(ValueError, match="unknown cells"):
+            enumerate_scenarios(MatrixSpec(cells=("NO_SUCH_CELL",)))
+
+    def test_bad_check_rejected(self):
+        with pytest.raises(ValueError, match="unknown checks"):
+            MatrixSpec(checks=("litho", "mystery"))
+
+
+class TestRunMatrix:
+    def test_report_shape_and_dedup_accounting(self):
+        report = run_matrix(SMALL)
+        assert isinstance(report, LibraryComplianceReport)
+        assert report.scenario_count == len(enumerate_scenarios(SMALL))
+        assert report.deduped > 0  # the twins guarantee shared windows
+        assert report.unique_windows + report.deduped == report.scenario_count
+        assert set(report.cell_verdicts) == set(SMALL.cells)
+        for verdict in report.cell_verdicts.values():
+            assert {"standalone_ok", "abutment_ok"} <= set(verdict)
+        # weak pairs are unordered, ranked by findings descending
+        finding_counts = [p["findings"] for p in report.weak_pairs]
+        assert finding_counts == sorted(finding_counts, reverse=True)
+        for pair in report.weak_pairs:
+            assert pair["pair"] == sorted(pair["pair"])
+        assert report.to_dict()["report"] == "LibraryComplianceReport"
+
+    def test_path_independence(self):
+        """The acceptance bar: identical report at jobs=1, jobs=4, and
+        through a batched service submit (in-process and over a real
+        socket)."""
+        baseline = run_matrix(SMALL, jobs=1).comparable()
+        assert run_matrix(SMALL, jobs=4).comparable() == baseline
+
+        with VerificationService(jobs=1) as service:
+            via_local = run_matrix(SMALL, client=ServiceClient(service))
+        assert via_local.comparable() == baseline
+
+        server = ServiceDaemon(VerificationService(jobs=1))
+        thread = threading.Thread(target=server.serve_until_shutdown, daemon=True)
+        thread.start()
+        try:
+            host, port = server.address
+            with SocketClient(host, port) as client:
+                via_socket = run_matrix(SMALL, client=client)
+            assert via_socket.comparable() == baseline
+        finally:
+            SocketClient(*server.address).shutdown()
+            thread.join(timeout=60)
+
+    def test_report_json_round_trip(self):
+        report = run_matrix(SMALL)
+        doc = json.loads(report.to_json())
+        assert doc["ok"] == report.ok
+        assert doc["findings_count"] == report.findings_count
+        assert doc["scenario_count"] == report.scenario_count
+
+    def test_api_facade(self):
+        from repro import api
+
+        report = api.run_compliance_matrix(
+            nodes=[45], cells=["INV_X1"], corners=1, checks=["dpt"]
+        )
+        assert isinstance(report, LibraryComplianceReport)
+        assert report.scenario_count == 3  # standalone + self-pair x 2 flips

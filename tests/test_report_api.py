@@ -153,13 +153,17 @@ class TestApiFacade:
 
         assert api.__all__ == [
             "run_drc", "scan_full_chip", "decompose", "scorecard", "make_service",
+            "run_compliance_matrix",
         ]
         for name in api.__all__:
             assert callable(getattr(api, name))
 
     @pytest.mark.parametrize(
         "name",
-        ["run_drc", "scan_full_chip", "decompose", "scorecard", "make_service"],
+        [
+            "run_drc", "scan_full_chip", "decompose", "scorecard", "make_service",
+            "run_compliance_matrix",
+        ],
     )
     def test_options_are_keyword_only(self, name):
         from repro import api

@@ -336,6 +336,92 @@ class TestRL006:
 
 
 # ---------------------------------------------------------------------------
+# RL007 — keyword-only client surface (opt-in via the client-api marker)
+
+CLIENT = "# repro-lint: client-api\n"
+
+
+class TestRL007:
+    def test_method_positional_default_flagged(self, tmp_path):
+        src = CLIENT + (
+            "class SocketClient:\n"
+            "    def submit(self, kind, wait=True):\n"
+            "        pass\n"
+        )
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL007"}
+        assert "wait" in result.violations[0].message
+
+    def test_init_positional_default_flagged(self, tmp_path):
+        src = CLIENT + (
+            "class SocketClient:\n"
+            "    def __init__(self, host, timeout=None):\n"
+            "        pass\n"
+        )
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL007"}
+
+    def test_module_function_flagged_in_client_file(self, tmp_path):
+        src = CLIENT + "def connect(host, timeout=None):\n    pass\n"
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL007"}
+
+    def test_classmethod_positional_default_flagged(self, tmp_path):
+        src = CLIENT + (
+            "class SocketClient:\n"
+            "    @classmethod\n"
+            "    def from_state_file(cls, path='x.json'):\n"
+            "        pass\n"
+        )
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL007"}
+
+    def test_keyword_only_is_clean(self, tmp_path):
+        src = CLIENT + (
+            "class SocketClient:\n"
+            "    def __init__(self, host, port, *, timeout=None):\n"
+            "        pass\n"
+            "    def submit(self, kind, params, *, wait=True):\n"
+            "        pass\n"
+            "    @property\n"
+            "    def connected(self):\n"
+            "        return True\n"
+            "    def _read(self, limit=1):\n"
+            "        pass\n"
+        )
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+    def test_methods_of_public_classes_in_api_files(self, tmp_path):
+        # RL007 extends RL006 into class bodies of public-api files too
+        src = PUBLIC + (
+            "class Facade:\n"
+            "    def run(self, cell, jobs=1):\n"
+            "        pass\n"
+        )
+        result = lint_source(tmp_path, src)
+        assert rules_hit(result) == {"RL007"}
+
+    def test_private_class_ignored(self, tmp_path):
+        src = CLIENT + (
+            "class _Internal:\n"
+            "    def submit(self, kind, wait=True):\n"
+            "        pass\n"
+        )
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+    def test_non_client_file_ignored(self, tmp_path):
+        src = (
+            "class SocketClient:\n"
+            "    def submit(self, kind, wait=True):\n"
+            "        pass\n"
+        )
+        result = lint_source(tmp_path, src)
+        assert result.ok
+
+
+# ---------------------------------------------------------------------------
 # engine behavior: pragmas, config, output, exit codes
 
 
@@ -390,7 +476,7 @@ class TestEngine:
         assert violation["line"] == 1
 
     def test_every_rule_has_fixture_coverage(self):
-        tested = {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006"}
+        tested = {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"}
         assert set(RULES) == tested
 
 
@@ -441,5 +527,7 @@ class TestCli:
     def test_list_rules(self):
         proc = run_cli("--list-rules")
         assert proc.returncode == 0
-        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        for rule_id in (
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"
+        ):
             assert rule_id in proc.stdout

@@ -437,7 +437,7 @@ class TestDaemonSocket:
         thread = threading.Thread(target=daemon.serve_until_shutdown, daemon=True)
         thread.start()
         try:
-            client = SocketClient.from_state_file(state_file)
+            client = SocketClient.from_state_file(path=state_file)
             pong = client.ping()
             assert pong["pong"] and pong["version"]
             job = client.submit(
@@ -462,7 +462,7 @@ class TestDaemonSocket:
 
     def test_unreachable_daemon_is_typed(self, tmp_path):
         with pytest.raises(DaemonUnreachableError):
-            SocketClient.from_state_file(str(tmp_path / "absent.json"))
+            SocketClient.from_state_file(path=str(tmp_path / "absent.json"))
         probe = socket.socket()
         probe.bind(("127.0.0.1", 0))
         port = probe.getsockname()[1]

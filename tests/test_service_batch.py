@@ -1,0 +1,156 @@
+"""Tests for the batched service surface (PR 8's api redesign).
+
+Covers ``VerificationService.submit_batch`` partial-failure semantics,
+the ``batch-submit`` / ``stream-results`` wire ops over a live daemon,
+connection reuse on :class:`SocketClient` (context-manager lifecycle
+plus the legacy one-shot path), and the equivalence of the in-process
+and socket batch event streams.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.matrix import MatrixSpec, enumerate_scenarios
+from repro.service import (
+    BadRequestError,
+    Job,
+    Priority,
+    QueueFullError,
+    ServiceClient,
+    ServiceDaemon,
+    SocketClient,
+    VerificationService,
+)
+
+
+def _matrix_items(count=3):
+    """Cheap real job payloads: small DPT-only matrix scenarios."""
+    spec = MatrixSpec(nodes=(45,), cells=("INV_X1",), corners=1, checks=("dpt",))
+    scenarios = enumerate_scenarios(spec)
+    assert len(scenarios) >= count
+    return [
+        {"kind": "matrix", "params": s.item()} for s in scenarios[:count]
+    ]
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    state_file = str(tmp_path / "svc.json")
+    server = ServiceDaemon(VerificationService(jobs=1), state_file=state_file)
+    thread = threading.Thread(target=server.serve_until_shutdown, daemon=True)
+    thread.start()
+    yield server, state_file
+    SocketClient.from_state_file(path=state_file).shutdown()
+    thread.join(timeout=60)
+    assert not thread.is_alive()
+
+
+class TestInProcessBatch:
+    def test_partial_failure_returns_errors_as_values(self):
+        items = _matrix_items(2)
+        items.insert(1, {"kind": "nope", "params": {}})
+        items.append("not even a dict")
+        with VerificationService(jobs=1) as service:
+            entries = service.submit_batch(items)
+            assert len(entries) == len(items)
+            assert isinstance(entries[0], Job)
+            assert isinstance(entries[1], BadRequestError)
+            assert isinstance(entries[2], Job)
+            assert isinstance(entries[3], BadRequestError)
+            for entry in entries:
+                if isinstance(entry, Job):
+                    service.wait(entry, timeout=60)
+                    assert entry.snapshot()["state"] == "done"
+
+    def test_shed_mid_batch_never_aborts_the_rest(self):
+        items = _matrix_items(3)
+        with VerificationService(jobs=1, max_depth=1, autostart=False) as service:
+            entries = service.submit_batch(items)
+            assert isinstance(entries[0], Job)
+            assert isinstance(entries[1], QueueFullError)
+            assert isinstance(entries[2], QueueFullError)
+
+    def test_service_client_batch_events(self):
+        items = _matrix_items(2)
+        items.insert(1, {"kind": "nope", "params": {}})
+        with VerificationService(jobs=1) as service:
+            events = list(ServiceClient(service).submit_batch(items))
+        assert [e["index"] for e in events] == [0, 1, 2]
+        assert events[0]["job"]["state"] == "done"
+        assert events[0]["job"]["result"]["scenario"]["check"] == "dpt"
+        assert events[1]["error"]["code"] == "bad-request"
+        assert events[2]["job"]["state"] == "done"
+
+    def test_batch_jobs_run_on_the_background_band(self):
+        with VerificationService(jobs=1, autostart=False) as service:
+            entries = service.submit_batch(_matrix_items(1))
+            assert entries[0].priority is Priority.BACKGROUND
+
+
+class TestDaemonBatch:
+    def test_batch_submit_streams_results_in_index_order(self, daemon):
+        _, state_file = daemon
+        items = _matrix_items(3)
+        items.insert(1, {"kind": "nope", "params": {}})
+        with SocketClient.from_state_file(path=state_file) as client:
+            events = list(client.submit_batch(items))
+        assert [e["index"] for e in events] == [0, 1, 2, 3]
+        assert events[1]["error"]["code"] == "bad-request"
+        for event in (events[0], events[2], events[3]):
+            assert event["job"]["state"] == "done"
+            assert event["job"]["result"]["scenario"]["check"] == "dpt"
+
+    def test_socket_and_in_process_batches_emit_identical_events(self, daemon):
+        server, state_file = daemon
+        items = _matrix_items(2)
+        with SocketClient.from_state_file(path=state_file) as client:
+            wire = list(client.submit_batch(items))
+        local = list(ServiceClient(server.service).submit_batch(items))
+
+        def comparable(events):
+            return [
+                (e["index"], e["job"]["state"], e["job"]["result"]["scenario"])
+                for e in events
+            ]
+
+        assert comparable(wire) == comparable(local)
+
+    def test_stream_results_after_nowait_submits(self, daemon):
+        _, state_file = daemon
+        with SocketClient.from_state_file(path=state_file) as client:
+            ids = [
+                client.submit("matrix", item["params"], wait=False)["id"]
+                for item in _matrix_items(2)
+            ]
+            events = list(client.stream_results([*ids, 10**9]))
+        assert [e["index"] for e in events] == [0, 1, 2]
+        for event in events[:2]:
+            assert event["job"]["state"] == "done"
+        assert events[2]["error"]["code"] == "unknown-job"
+
+    def test_connection_reuse_and_one_shot(self, daemon):
+        _, state_file = daemon
+        # context-managed client: many exchanges over one socket
+        with SocketClient.from_state_file(path=state_file) as client:
+            assert client.connected
+            first = client.ping()
+            sock = client._sock
+            second = client.ping()
+            assert client._sock is sock  # same connection, no re-dial
+            assert first["pong"] and second["pong"]
+        assert not client.connected  # __exit__ closed it
+        # legacy one-shot path: no connect() call, closed after each use
+        one_shot = SocketClient.from_state_file(path=state_file)
+        assert one_shot.ping()["pong"]
+        assert not one_shot.connected
+        assert one_shot.metrics()["jobs"] is not None
+        assert not one_shot.connected
+
+    def test_empty_batch_is_a_protocol_error(self, daemon):
+        _, state_file = daemon
+        with SocketClient.from_state_file(path=state_file) as client:
+            with pytest.raises(BadRequestError):
+                list(client.submit_batch([]))

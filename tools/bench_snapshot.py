@@ -33,6 +33,7 @@ REPO = Path(__file__).resolve().parent.parent
 DEFAULT_BENCHES = (
     "benchmarks/bench_fullchip_scan.py",
     "benchmarks/bench_service.py",
+    "benchmarks/bench_matrix.py",
 )
 
 

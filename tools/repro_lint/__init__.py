@@ -35,7 +35,7 @@ from tools.repro_lint.engine import (
     parse_pragmas,
     register,
 )
-from tools.repro_lint import rules as _rules  # noqa: F401  (registers RL001-RL006)
+from tools.repro_lint import rules as _rules  # noqa: F401  (registers RL001-RL007)
 
 __all__ = [
     "PARSE_ERROR_ID",

@@ -9,7 +9,8 @@ It owns everything rule-independent:
 * **Pragmas** — ``# repro-lint: disable=RL001,RL002`` suppresses those
   rules on that line; ``disable-file=...`` suppresses for the whole
   file; ``disable=all`` works in both forms.  Bare words are *markers*
-  (``worker-code``, ``public-api``) that opt a file into path-scoped
+  (``worker-code``, ``public-api``, ``client-api``) that opt a file
+  into path-scoped
   rules; see :mod:`tools.repro_lint.rules`.
 * **Rule registry** — rules self-register via :func:`register`; the
   config's ``enable``/``disable`` sets select which ones run.
@@ -126,10 +127,10 @@ class LintConfig:
     """What to check and how strictly.
 
     ``enable=None`` means every registered rule; ``disable`` always
-    wins.  ``worker_paths``/``public_api_paths`` are path *substrings*
-    (posix form) that opt files into the path-scoped rules; the
-    ``worker-code`` / ``public-api`` file markers do the same
-    per-file.
+    wins.  ``worker_paths``/``public_api_paths``/``client_api_paths``
+    are path *substrings* (posix form) that opt files into the
+    path-scoped rules; the ``worker-code`` / ``public-api`` /
+    ``client-api`` file markers do the same per-file.
     """
 
     enable: frozenset[str] | None = None
@@ -140,6 +141,7 @@ class LintConfig:
         "repro/drc/",
     )
     public_api_paths: tuple[str, ...] = ("repro/api.py",)
+    client_api_paths: tuple[str, ...] = ("repro/service/client.py",)
     # RL003's registry; filled by the runner from repro/obs/names.py
     metric_names: frozenset[str] | None = None
     metric_helpers: frozenset[str] = frozenset()
@@ -171,6 +173,11 @@ class FileContext:
         if "public-api" in self.pragmas.markers:
             return True
         return any(self.rel.endswith(part) for part in self.config.public_api_paths)
+
+    def is_client_api(self) -> bool:
+        if "client-api" in self.pragmas.markers:
+            return True
+        return any(self.rel.endswith(part) for part in self.config.client_api_paths)
 
 
 class Rule:

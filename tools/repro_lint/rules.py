@@ -1,4 +1,4 @@
-"""The repo's domain invariants as lint rules (RL001–RL006).
+"""The repo's domain invariants as lint rules (RL001–RL007).
 
 Each rule encodes something the dimensional checkers (ruff, pytest)
 cannot express — the unwritten contracts PRs 1–4 introduced:
@@ -18,6 +18,10 @@ cannot express — the unwritten contracts PRs 1–4 introduced:
   never re-introduce the deprecated field spellings.
 * **RL006** — ``repro.api`` entry-point options are keyword-only, so
   new options can be added without breaking positional callers.
+* **RL007** — the same contract extended to every public callable on
+  the client surface: methods of public classes in ``repro.api`` and
+  ``repro.service.client`` (plus module-level functions in the
+  latter) take options keyword-only.
 
 Rules are heuristic by design: they know this codebase's idioms, not
 Python in general.  A deliberate exception to any rule gets a
@@ -588,3 +592,70 @@ class KeywordOnlyApiRule(Rule):
                     f"option {param.arg!r} on public entry point "
                     f"{node.name}() must be keyword-only (move it behind *)",
                 )
+
+
+# ---------------------------------------------------------------------------
+# RL007 — keyword-only options across the whole client surface
+
+
+@register
+class KeywordOnlyClientRule(Rule):
+    id = "RL007"
+    name = "client-keyword-only"
+    summary = (
+        "options (defaulted parameters) on every public callable of the "
+        "client surface — repro.api and repro.service.client, including "
+        "methods of public classes — must be keyword-only"
+    )
+
+    SKIP_DECORATORS = frozenset({"property", "cached_property"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        public_api = ctx.is_public_api()
+        client_api = ctx.is_client_api()
+        if not (public_api or client_api):
+            return
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # module-level functions in repro.api are RL006's job;
+                # RL007 extends the contract to the client module
+                if client_api and not node.name.startswith("_"):
+                    yield from self._check_callable(ctx, node, method=False)
+            elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext, node: ast.ClassDef) -> Iterator[Violation]:
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name.startswith("_") and item.name != "__init__":
+                continue
+            decorators = {
+                deco.id if isinstance(deco, ast.Name) else _call_name(deco)
+                if isinstance(deco, ast.Call)
+                else deco.attr if isinstance(deco, ast.Attribute) else None
+                for deco in item.decorator_list
+            }
+            if decorators & self.SKIP_DECORATORS:
+                continue
+            yield from self._check_callable(
+                ctx, item, method="staticmethod" not in decorators
+            )
+
+    def _check_callable(
+        self,
+        ctx: FileContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        method: bool,
+    ) -> Iterator[Violation]:
+        args = node.args
+        defaulted = args.args[len(args.args) - len(args.defaults) :]
+        for param in defaulted:
+            if method and args.args and param is args.args[0]:
+                continue  # self/cls can never be defaulted anyway
+            yield self.violation(
+                ctx,
+                param,
+                f"option {param.arg!r} on client-surface callable "
+                f"{node.name}() must be keyword-only (move it behind *)",
+            )
