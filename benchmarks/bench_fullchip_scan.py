@@ -328,6 +328,115 @@ def test_a3z_payload_bytes(benchmark, tech45, stdlib45, obs_registry):
     assert bytes_by_mode["shm_x1"] < bytes_by_mode["pickled_x1"]
 
 
+def test_a4_out_of_core_rss(benchmark, tech45, tmp_path):
+    """A4 — out-of-core substrate: peak RSS and payload bytes vs chip area.
+
+    The acceptance row for the layout store: scanning a fixed window of
+    a growing SRAM array, the in-RAM path (parse + flatten the whole
+    chip to build the drawn region) grows its peak RSS ~linearly with
+    chip area, while the store-backed path (mmap the ingested store,
+    window the rects per tile) grows sublinearly — and its per-worker
+    payload stays ~constant because workers receive a ``(path, offset,
+    count)`` handle instead of geometry.  Both paths must print the
+    identical scan summary at every scale.
+
+    ``ru_maxrss`` is a per-process high-water mark, so each (scale,
+    mode) runs as its own CLI subprocess and reports through its
+    ``--metrics-out`` manifest.
+    """
+    import json
+    import subprocess
+    import sys
+
+    from repro.designgen.arrays import generate_sram_array
+    from repro.gdsii import write_gds
+
+    scales = {"x1": (128, 128), "x2": (128, 256), "x4": (256, 256)}
+    extent = "0,0,6000,6000"
+
+    def _scan(gds, out, store=None):
+        cmd = [sys.executable, "-m", "repro", "scan", gds,
+               "--extent", extent, "--jobs", "2", "--limit", "0",
+               "--no-fail", "--metrics-out", out]
+        if store is not None:
+            cmd += ["--store", store]
+        proc = subprocess.run(
+            cmd, check=True, capture_output=True, text=True
+        )
+        gauges = json.loads(open(out).read())["gauges"]
+        return proc.stdout.splitlines()[0], gauges
+
+    def _run():
+        rss: dict = {}
+        payload: dict = {}
+        area: dict = {}
+        for label, (rows, cols) in scales.items():
+            lib = generate_sram_array(tech45, rows=rows, cols=cols)
+            area[label] = lib.top_cell().bbox.area
+            gds = str(tmp_path / f"sram_{label}.gds")
+            write_gds(lib, gds)
+            store = str(tmp_path / f"sram_{label}.lstore")
+            subprocess.run(
+                [sys.executable, "-m", "repro", "ingest", gds, "--out", store],
+                check=True, capture_output=True,
+            )
+            ram_summary, ram = _scan(gds, str(tmp_path / f"ram_{label}.json"))
+            store_summary, stored = _scan(
+                gds, str(tmp_path / f"store_{label}.json"), store=store
+            )
+            assert store_summary == ram_summary  # identical populations
+            rss[f"ram_{label}"] = ram["run.peak_rss_bytes"]
+            rss[f"store_{label}"] = stored["run.peak_rss_bytes"]
+            payload[f"ram_{label}"] = ram["pool.payload_bytes"]
+            payload[f"store_{label}"] = stored["pool.payload_bytes"]
+        return rss, payload, area
+
+    rss, payload, area = run_once(benchmark, _run)
+
+    table = Table(
+        "A4: fixed-window scan of a growing chip, jobs=2",
+        ["chip", "area (um^2)", "ram RSS (MB)", "store RSS (MB)", "store payload (B)"],
+    )
+    for label in scales:
+        table.add_row(
+            label,
+            area[label] / 1e6,
+            rss[f"ram_{label}"] / 1e6,
+            rss[f"store_{label}"] / 1e6,
+            payload[f"store_{label}"],
+        )
+    print()
+    print(table.render())
+
+    ram_growth = rss["ram_x4"] / rss["ram_x1"]
+    store_growth = rss["store_x4"] / rss["store_x1"]
+    benchmark.extra_info["rss_bytes"] = {k: float(v) for k, v in rss.items()}
+    benchmark.extra_info["payload_bytes"] = {k: float(v) for k, v in payload.items()}
+    benchmark.extra_info["ram_rss_growth_x4"] = round(ram_growth, 3)
+    benchmark.extra_info["store_rss_growth_x4"] = round(store_growth, 3)
+
+    record = ExperimentRecord("A4", "store scan RSS is sublinear in chip area")
+    record.record("area_growth", area["x4"] / area["x1"])
+    record.record("ram_rss_growth", ram_growth)
+    record.record("store_rss_growth", store_growth)
+    record.record("store_rss_over_ram_x4", rss["store_x4"] / rss["ram_x4"])
+    holds = (
+        store_growth < ram_growth
+        and rss["store_x4"] < 0.5 * rss["ram_x4"]
+        and payload["store_x4"] <= 2 * payload["store_x1"]
+    )
+    record.conclude(holds)
+    print(record.render())
+
+    # the chip really grows 4x while the store handle payload stays put
+    assert area["x4"] >= 4 * area["x1"]
+    assert payload["store_x4"] <= 2 * payload["store_x1"]
+    # the out-of-core acceptance bar: sublinear growth, < half the
+    # in-RAM peak at the largest chip
+    assert store_growth < ram_growth
+    assert rss["store_x4"] < 0.5 * rss["ram_x4"]
+
+
 def test_a3p_parallel_speedup(benchmark, tech45, stdlib45):
     """Parallel speedup on a block wide enough to fill a 4-worker pool
     at the 6000 nm tiling (the acceptance row for the parallel engine)."""

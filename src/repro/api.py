@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.drc.violations import DrcReport
     from repro.geometry import Rect, Region
     from repro.layout import Cell
+    from repro.layout.store import StoreLayer, StoreView
     from repro.litho.fullchip import FullChipScanReport
     from repro.matrix import LibraryComplianceReport
     from repro.litho.process import ProcessWindow
@@ -50,13 +51,14 @@ __all__ = [
     "scan_full_chip",
     "decompose",
     "scorecard",
+    "ingest_store",
     "make_service",
     "run_compliance_matrix",
 ]
 
 
 def run_drc(
-    cell: "Cell",
+    cell: "Cell | None",
     deck: "RuleDeck",
     *,
     window: "Rect | None" = None,
@@ -69,6 +71,7 @@ def run_drc(
     checkpoint_file: str | None = None,
     resume: bool = False,
     executor: "TileExecutor | None" = None,
+    store: "StoreView | None" = None,
 ) -> "DrcReport":
     """Run every rule in ``deck`` against ``cell``.
 
@@ -82,6 +85,12 @@ def run_drc(
     supply its own — typically persistent — tile executor whose warm
     worker pool is reused across calls; results are identical either
     way.
+
+    ``store`` (see :func:`ingest_store`) runs the deck out-of-core
+    against an mmapped layout store instead of flattening ``cell``
+    (which may then be ``None``): workers window their tile's rects
+    straight from the file, and the report and cache keys stay
+    bit-identical to the in-RAM run.
     """
     return _run_drc(
         cell,
@@ -96,12 +105,13 @@ def run_drc(
         checkpoint_file=checkpoint_file,
         resume=resume,
         executor=executor,
+        store=store,
     )
 
 
 def scan_full_chip(
     model: "LithoModel | Technology",
-    drawn: "Region",
+    drawn: "Region | StoreLayer",
     *,
     extent: "Rect | None" = None,
     tile_nm: int = 4000,
@@ -131,6 +141,12 @@ def scan_full_chip(
     supply its own — typically persistent — tile executor whose warm
     worker pool is reused across calls; results are identical either
     way.
+
+    ``drawn`` also accepts a :class:`~repro.layout.store.StoreLayer`
+    (one layer of an :func:`ingest_store` store): the scan then runs
+    out-of-core — workers mmap the store read-only and window each
+    tile's rects on demand — with bit-identical hotspots and cache
+    keys.
     """
     if not isinstance(model, LithoModel):
         model = LithoModel(model.litho)
@@ -246,6 +262,30 @@ def run_compliance_matrix(
     return run_matrix(spec, jobs=jobs, client=client, store=store)
 
 
+def ingest_store(
+    gds_path: str,
+    store_path: str,
+    *,
+    cell: str | None = None,
+    force: bool = False,
+) -> "StoreView":
+    """Stream a GDSII into an out-of-core layout store and map it.
+
+    Parses record-by-record — the hierarchy is never materialized — and
+    writes each layer's canonical rects to ``store_path`` as an
+    mmap-able flat-quad file, reusing an existing file when it already
+    matches this exact GDSII version (``force`` rebuilds
+    unconditionally).  The returned
+    :class:`~repro.layout.store.StoreView` serves whole layers
+    (:meth:`~repro.layout.store.StoreView.layer`) or windowed rect
+    queries without touching cold pages, and plugs into
+    :func:`scan_full_chip` and :func:`run_drc`.
+    """
+    from repro.layout.store import ensure_store
+
+    return ensure_store(gds_path, store_path, cell=cell, force=force)
+
+
 def make_service(
     *,
     jobs: int = 1,
@@ -253,6 +293,7 @@ def make_service(
     max_depth: int = 256,
     max_sessions: int = 4,
     store_entries: int = 100_000,
+    session_store_dir: str | None = None,
 ) -> "VerificationService":
     """A long-lived in-process verification service.
 
@@ -262,6 +303,11 @@ def make_service(
     Drive it through :class:`repro.service.ServiceClient` (or serve it
     over a socket with ``repro serve``), and ``close()`` it — it is a
     context manager — when done.
+
+    ``session_store_dir`` switches sessions to cached out-of-core
+    layout stores (see :func:`ingest_store`): requests mmap the store
+    file instead of parsing the GDSII, and because the files live on
+    disk, sessions survive service restarts.
     """
     from repro.service import VerificationService
 
@@ -271,4 +317,5 @@ def make_service(
         max_depth=max_depth,
         max_sessions=max_sessions,
         store_entries=store_entries,
+        session_store_dir=session_store_dir,
     )

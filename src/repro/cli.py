@@ -4,6 +4,7 @@ Commands:
 
 * ``generate``  — write a synthetic logic block to GDSII
 * ``info``      — summarize a GDSII library
+* ``ingest``    — stream a GDSII into an out-of-core layout store
 * ``drc``       — run minimum-rule DRC on a GDSII cell
 * ``scan``      — tiled full-chip litho hotspot scan
 * ``dpt``       — double-patterning decomposition of one layer
@@ -162,6 +163,38 @@ def _resolve_cell(layout, name: str | None):
     return layout.top_cell()
 
 
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", metavar="FILE", default=None,
+        help="run out-of-core from this layout store file (built from the "
+             "GDSII on first use, reused while the GDSII is unchanged)",
+    )
+
+
+def _open_store(args):
+    """Build-or-map the layout store named by ``--store``."""
+    from repro.layout.store import LayoutStoreError
+
+    try:
+        return api.ingest_store(args.gds, args.store, cell=args.cell or None)
+    except LayoutStoreError as exc:
+        raise SystemExit(f"layout store error: {exc}") from exc
+
+
+def _parse_extent(text: str | None):
+    if text is None:
+        return None
+    from repro.geometry import Rect
+
+    try:
+        x0, y0, x1, y1 = (int(v) for v in text.split(","))
+        return Rect(x0, y0, x1, y1)
+    except ValueError as exc:
+        raise SystemExit(
+            f"bad --extent {text!r} (expected x0,y0,x1,y1 in nm)"
+        ) from exc
+
+
 def _resolve_layer(tech, name: str) -> Layer:
     from dataclasses import fields
 
@@ -209,8 +242,13 @@ def cmd_info(args) -> int:
 
 def cmd_drc(args) -> int:
     tech = make_node(args.node)
-    layout = read_gds(args.gds)
-    cell = _resolve_cell(layout, args.cell)
+    if args.store:
+        store = _open_store(args)
+        cell = None
+    else:
+        store = None
+        layout = read_gds(args.gds)
+        cell = _resolve_cell(layout, args.cell)
     deck = tech.rules.minimum()
     cache = _load_cache(args)
     checkpoint_file = _checkpoint_file(args)
@@ -230,6 +268,7 @@ def cmd_drc(args) -> int:
         max_retries=args.max_retries,
         checkpoint_file=checkpoint_file,
         resume=args.resume,
+        store=store,
     )
     print(report.summary())
     _finish_cache(args, cache, report)
@@ -239,14 +278,22 @@ def cmd_drc(args) -> int:
 
 def cmd_scan(args) -> int:
     tech = make_node(args.node)
-    layout = read_gds(args.gds)
-    cell = _resolve_cell(layout, args.cell)
     layer = _resolve_layer(tech, args.layer)
-    region = cell.region(layer)
+    if args.store:
+        store = _open_store(args)
+        store_layer = store.layer_for(layer)
+        # an empty layer has no rect runs to window; its (empty) region
+        # scans identically through the in-RAM path
+        region = store_layer if not store_layer.is_empty else store_layer.region()
+    else:
+        layout = read_gds(args.gds)
+        cell = _resolve_cell(layout, args.cell)
+        region = cell.region(layer)
     cache = _load_cache(args)
     report = api.scan_full_chip(
         tech,
         region,
+        extent=_parse_extent(args.extent),
         tile_nm=args.tile,
         pinch_limit=tech.metal_width // 2,
         jobs=args.jobs,
@@ -292,6 +339,23 @@ def cmd_dpt(args) -> int:
     return _findings_rc(args, not result.ok)
 
 
+def cmd_ingest(args) -> int:
+    from repro.layout.store import LayoutStoreError
+
+    out = args.out or (args.gds + ".lstore")
+    try:
+        view = api.ingest_store(args.gds, out, cell=args.cell, force=args.force)
+    except LayoutStoreError as exc:
+        raise SystemExit(f"layout store error: {exc}") from exc
+    extent = view.extent.as_tuple() if view.extent is not None else None
+    print(
+        f"store {out}: cell {view.cell_name!r}, "
+        f"{len(view.layer_keys)} layers, {view.total_rects} rects, "
+        f"extent {extent}"
+    )
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.service import ServiceDaemon, VerificationService
 
@@ -301,6 +365,7 @@ def cmd_serve(args) -> int:
         max_depth=args.max_depth,
         max_sessions=args.max_sessions,
         store_entries=args.store_entries,
+        session_store_dir=args.session_store_dir,
     )
     daemon = ServiceDaemon(
         service, host=args.host, port=args.port, state_file=args.state_file
@@ -505,12 +570,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs(p)
     p.set_defaults(func=cmd_info)
 
+    p = sub.add_parser(
+        "ingest", help="stream a GDSII into an out-of-core layout store"
+    )
+    p.add_argument("gds")
+    p.add_argument("--out", default=None,
+                   help="store file to write (default: GDS path + .lstore)")
+    p.add_argument("--cell",
+                   help="cell to flatten (default: the single top cell)")
+    p.add_argument("--force", action="store_true",
+                   help="rebuild even when an up-to-date store exists")
+    _add_obs(p)
+    p.set_defaults(func=cmd_ingest)
+
     p = sub.add_parser("drc", help="run minimum-rule DRC on a cell")
     _add_node(p)
     p.add_argument("gds")
     p.add_argument("--cell")
     p.add_argument("--tile", type=int, default=4000,
                    help="tile size (nm) for the parallel/incremental engine")
+    _add_store(p)
     _add_parallel(p, ".repro_drc_cache.pkl")
     _add_faults(p, ".repro_drc_ckpt.pkl")
     _add_obs(p)
@@ -525,6 +604,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tile", type=int, default=4000)
     p.add_argument("--limit", type=int, default=10,
                    help="hotspots to list (0 = summary only)")
+    p.add_argument("--extent", default=None, metavar="X0,Y0,X1,Y1",
+                   help="scan extent in nm (default: the drawn bbox)")
+    _add_store(p)
     _add_parallel(p, ".repro_scan_cache.pkl")
     _add_faults(p, ".repro_scan_ckpt.pkl")
     _add_obs(p)
@@ -559,6 +641,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resident layouts kept loaded (LRU beyond this)")
     p.add_argument("--store-entries", type=int, default=100000,
                    help="tile results kept in the shared store (LRU beyond this)")
+    p.add_argument("--session-store-dir", default=None, metavar="DIR",
+                   help="back sessions with cached out-of-core layout stores "
+                        "in DIR (they survive daemon restarts)")
     _add_obs(p)
     p.set_defaults(func=cmd_serve)
 
@@ -663,6 +748,11 @@ def main(argv: list[str] | None = None) -> int:
         if trace:
             print(tracer.render())
         if metrics_out:
+            from repro.obs import sample_peak_rss
+
+            # one whole-process high-water mark per manifest: this is
+            # the number the out-of-core path is judged by
+            sample_peak_rss(registry)
             manifest = RunManifest.collect(
                 command=args.command,
                 argv=list(argv) if argv is not None else sys.argv[1:],

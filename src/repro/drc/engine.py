@@ -30,6 +30,7 @@ from repro.drc import checks
 from repro.drc.violations import DrcReport, Violation
 from repro.geometry import Rect, Region
 from repro.layout import Cell, Layer
+from repro.layout.store import StoreRects, StoreView
 from repro.obs import get_registry, names, span
 from repro.parallel import (
     Checkpoint,
@@ -59,6 +60,7 @@ from repro.tech.rules import (
 _LOCAL_KINDS = (WidthRule, SpacingRule, ExtensionRule)
 
 _EMPTY = Region()
+_EMPTY_DIGEST = _EMPTY.digest()
 
 
 def _rule_layers(rule: Rule) -> list[Layer]:
@@ -102,7 +104,7 @@ def _check_rule(
 
 
 def run_drc(
-    cell: Cell,
+    cell: Cell | None,
     deck: RuleDeck,
     window: Rect | None = None,
     *,
@@ -117,6 +119,7 @@ def run_drc(
     region_source: Callable[[Layer, Rect | None], Region] | None = None,
     executor: TileExecutor | None = None,
     sharer: "Callable[[_DrcPayload], SharedPayload | None] | None" = None,
+    store: StoreView | None = None,
 ) -> DrcReport:
     """Flatten ``cell`` per layer and run every rule in ``deck``.
 
@@ -139,14 +142,43 @@ def run_drc(
     :class:`TileExecutor`, and ``sharer`` serves a pre-packed shared-
     memory payload instead of packing a fresh arena per run.  All three
     leave results and cache keys byte-identical.
+
+    ``store`` runs the deck against an out-of-core layout store instead
+    of flattening ``cell`` (which may then be ``None``): tile tasks
+    window their rects straight out of the mmapped file, workers get
+    ``(path, offset, count)`` handles instead of geometry, and the
+    report, cache keys and checkpoint signature stay bit-identical to
+    the in-RAM run over the same layout.
     """
+    if cell is None and store is None:
+        raise ValueError("run_drc needs a cell or a store")
+    if store is not None and region_source is not None:
+        raise ValueError("store and region_source are mutually exclusive")
     layers_needed: set[Layer] = set()
     for rule in deck:
         layers_needed.update(_rule_layers(rule))
-    source = region_source if region_source is not None else cell.region
-    with span("drc.flatten"):
-        regions = {layer: source(layer, window) for layer in layers_needed}
-    extent = window or cell.bbox or Rect(0, 0, 1, 1)
+    regions: "dict[Layer, Region] | _StoreLayerRegions"
+    if store is not None:
+        store_regions = _StoreLayerRegions.from_view(store, layers_needed)
+        if window is None:
+            # no up-front flatten: tile tasks window rects straight out
+            # of the store; global rules materialize their layers lazily
+            regions = store_regions
+        else:
+            with span("drc.flatten"):
+                regions = {
+                    layer: store_regions.clipped(layer, window)
+                    for layer in layers_needed
+                }
+    else:
+        source = region_source if region_source is not None else cell.region
+        with span("drc.flatten"):
+            regions = {layer: source(layer, window) for layer in layers_needed}
+    if window is not None:
+        extent = window
+    else:
+        bbox = cell.bbox if cell is not None else store.extent
+        extent = bbox or Rect(0, 0, 1, 1)
     fault_tolerant = (
         timeout is not None
         or fault_plan is not None
@@ -178,7 +210,7 @@ def run_drc(
                 executor=executor,
                 sharer=sharer,
             )
-    report.cell_name = cell.name
+    report.cell_name = cell.name if cell is not None else store.cell_name
     registry = get_registry()
     registry.inc(names.DRC_RUNS)
     registry.inc(names.DRC_RULES_RUN, report.rules_run)
@@ -187,7 +219,9 @@ def run_drc(
 
 
 def run_drc_regions(
-    regions: dict[Layer, Region], deck: RuleDeck, extent: Rect
+    regions: "dict[Layer, Region] | _StoreLayerRegions",
+    deck: RuleDeck,
+    extent: Rect,
 ) -> DrcReport:
     """Run a deck against pre-extracted per-layer regions (single pass)."""
     report = DrcReport(rules_run=len(deck))
@@ -240,17 +274,125 @@ class _SharedLayerRegions:
         return region
 
 
+class _StoreLayerRegions:
+    """Layer→Region mapping backed by an out-of-core layout store.
+
+    The store-file twin of :class:`_SharedLayerRegions`: it pickles as
+    ``{layer: StoreRects}`` handles (three scalars each) plus the
+    per-layer digests recorded at ingest, and workers mmap the store
+    read-only instead of reattaching a shm segment.  Tile tasks go
+    through :meth:`clipped`, which materializes only the rects whose
+    bbox touches the tile window — a worker's resident geometry is
+    bounded by its tile, not the chip.  ``get`` (full materialization)
+    is kept for global rules and the single-pass engine.
+
+    Digests come from the store directory, where they were computed
+    slab-by-slab during ingest with the exact ``Region.digest()``
+    packing — cache keys and checkpoint signatures are interchangeable
+    with the in-RAM path.
+    """
+
+    __slots__ = ("_handles", "_digests", "_regions")
+
+    def __init__(
+        self, handles: dict[Layer, StoreRects], digests: dict[Layer, str]
+    ) -> None:
+        self._handles = handles
+        self._digests = digests
+        self._regions: dict[Layer, Region] = {}
+
+    @classmethod
+    def from_view(cls, view: StoreView, layers: "set[Layer]") -> "_StoreLayerRegions":
+        handles: dict[Layer, StoreRects] = {}
+        digests: dict[Layer, str] = {}
+        for layer in layers:
+            store_layer = view.layer_for(layer)
+            digests[layer] = store_layer.digest()
+            if not store_layer.is_empty:
+                handles[layer] = store_layer.handle()
+        return cls(handles, digests)
+
+    def __getstate__(self) -> tuple[dict[Layer, StoreRects], dict[Layer, str]]:
+        return (self._handles, self._digests)
+
+    def __setstate__(
+        self, state: tuple[dict[Layer, StoreRects], dict[Layer, str]]
+    ) -> None:
+        self._handles, self._digests = state
+        self._regions = {}
+
+    def get(self, layer: Layer, default: Region | None = None) -> Region | None:
+        region = self._regions.get(layer)
+        if region is None:
+            handle = self._handles.get(layer)
+            if handle is None:
+                return default if layer not in self._digests else _EMPTY
+            region = Region.from_canonical_rects(handle.rects())
+            self._regions[layer] = region
+        return region
+
+    def clipped(self, layer: Layer, window: Rect) -> Region:
+        """``full_layer & Region(window)`` from windowed candidates only.
+
+        Exact: canonical rects not touching the window contribute
+        nothing to the intersection, and the candidates arrive in
+        canonical order, so the clipped region (hence its digest) is
+        bit-identical to intersecting the materialized layer.
+        """
+        handle = self._handles.get(layer)
+        if handle is None:
+            return _EMPTY
+        local = Region.from_canonical_rects(handle.window(window))
+        return local & Region(window)
+
+    def digest(self, layer: Layer) -> str:
+        """``Region.digest()`` of the full layer, from the directory."""
+        return self._digests.get(layer, _EMPTY_DIGEST)
+
+    def signature_items(self) -> tuple[tuple[Layer, str], ...]:
+        """(layer, digest) pairs in the checkpoint-signature order."""
+        return tuple(
+            (layer, self._digests[layer])
+            for layer in sorted(self._digests, key=repr)
+        )
+
+
+def _clip_layer(
+    regions: "dict[Layer, Region] | _SharedLayerRegions | _StoreLayerRegions",
+    layer: Layer,
+    window: Rect,
+) -> Region:
+    """One layer clipped to a tile window, whatever backs the mapping."""
+    if isinstance(regions, _StoreLayerRegions):
+        return regions.clipped(layer, window)
+    return regions.get(layer, _EMPTY) & Region(window)
+
+
+def _layer_digest(
+    regions: "dict[Layer, Region] | _SharedLayerRegions | _StoreLayerRegions",
+    layer: Layer,
+) -> str:
+    """Full-layer digest without materializing store-backed layers."""
+    if isinstance(regions, _StoreLayerRegions):
+        return regions.digest(layer)
+    region = regions.get(layer, _EMPTY)
+    return region.digest()
+
+
 @dataclass(frozen=True)
 class _DrcPayload:
     """Read-only per-run state shipped to each worker once.
 
-    ``regions`` is the plain per-layer dict, or — on pooled runs, via
-    :func:`_share_drc_payload` — a :class:`_SharedLayerRegions` store
-    whose geometry travels through shared memory instead of the pickle
-    wire.  Both expose the same ``get`` access the tasks use.
+    ``regions`` is one of: the plain per-layer dict; a
+    :class:`_SharedLayerRegions` store (pooled runs, via
+    :func:`_share_drc_payload`) whose geometry travels through shared
+    memory instead of the pickle wire; or a :class:`_StoreLayerRegions`
+    mapping (store-backed runs) that serves windowed clips straight
+    from the mmapped layout store.  All expose the same ``get`` access
+    the tasks use.
     """
 
-    regions: "dict[Layer, Region] | _SharedLayerRegions"
+    regions: "dict[Layer, Region] | _SharedLayerRegions | _StoreLayerRegions"
     local_rules: tuple[Rule, ...]
     global_rules: tuple[Rule, ...]
     extent: Rect
@@ -284,12 +426,11 @@ def _drc_task(payload: _DrcPayload, task: _Task) -> tuple[list[Violation], float
     tag, obj = task
     if tag == "tile":
         tile: Tile = obj
-        clip = Region(tile.window)
         clipped: dict[Layer, Region] = {}
 
         def get(layer: Layer) -> Region:
             if layer not in clipped:
-                clipped[layer] = payload.regions.get(layer, _EMPTY) & clip
+                clipped[layer] = _clip_layer(payload.regions, layer, tile.window)
             return clipped[layer]
 
         found: list[Violation] = []
@@ -313,7 +454,6 @@ def _task_key(payload: _DrcPayload, task: _Task) -> str:
     tag, obj = task
     if tag == "tile":
         tile: Tile = obj
-        clip = Region(tile.window)
         layers = sorted(
             {l for rule in payload.local_rules for l in _rule_layers(rule)},
             key=repr,
@@ -325,21 +465,22 @@ def _task_key(payload: _DrcPayload, task: _Task) -> str:
             tile.window.as_tuple(),
             tile.x_edge,
             tile.y_edge,
-            tuple((payload.regions.get(l, _EMPTY) & clip).digest() for l in layers),
+            tuple(
+                _clip_layer(payload.regions, l, tile.window).digest()
+                for l in layers
+            ),
         )
     rule = payload.global_rules[obj]
     return digest_parts(
         "drc-rule-v1",
         repr(rule),
         payload.extent.as_tuple(),
-        tuple(
-            payload.regions.get(l, _EMPTY).digest() for l in _rule_layers(rule)
-        ),
+        tuple(_layer_digest(payload.regions, l) for l in _rule_layers(rule)),
     )
 
 
 def run_drc_tiled(
-    regions: dict[Layer, Region],
+    regions: "dict[Layer, Region] | _StoreLayerRegions",
     deck: RuleDeck,
     extent: Rect,
     *,
@@ -396,15 +537,19 @@ def run_drc_tiled(
 
     checkpoint: Checkpoint | None = None
     if checkpoint_file is not None:
+        if isinstance(regions, _StoreLayerRegions):
+            digest_items = regions.signature_items()
+        else:
+            digest_items = tuple(
+                (layer, region.digest())
+                for layer, region in sorted(regions.items(), key=lambda kv: repr(kv[0]))
+            )
         signature = digest_parts(
             "drc-ckpt-v1",
             tuple(repr(r) for r in deck),
             extent.as_tuple(),
             tile_nm,
-            tuple(
-                (layer, region.digest())
-                for layer, region in sorted(regions.items(), key=lambda kv: repr(kv[0]))
-            ),
+            digest_items,
         )
         checkpoint = Checkpoint.open(checkpoint_file, signature, resume=resume)
 
@@ -414,7 +559,13 @@ def run_drc_tiled(
         # above were computed from the plain payload and are identical
         tile_executor = executor if executor is not None else TileExecutor(jobs)
         exec_payload: _DrcPayload | SharedPayload = payload
-        if pending and (tile_executor.jobs > 1 or timeout is not None):
+        if (
+            pending
+            # store-backed payloads already pickle as (path, offset, count)
+            # handles; no shm arena needed
+            and not isinstance(regions, _StoreLayerRegions)
+            and (tile_executor.jobs > 1 or timeout is not None)
+        ):
             shared = (sharer or _share_drc_payload)(payload)
             if shared is not None:
                 exec_payload = shared

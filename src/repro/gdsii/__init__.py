@@ -9,5 +9,6 @@ library/structure framing); texts, paths and node records are out of scope.
 
 from repro.gdsii.io import read_gds, write_gds
 from repro.gdsii.jsonio import read_json, write_json
+from repro.gdsii.stream import scan_gds
 
-__all__ = ["read_gds", "write_gds", "read_json", "write_json"]
+__all__ = ["read_gds", "write_gds", "read_json", "write_json", "scan_gds"]

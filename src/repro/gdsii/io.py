@@ -34,27 +34,37 @@ _EPOCH = [1970, 1, 1, 0, 0, 0]  # fixed timestamps keep output deterministic
 
 
 def write_gds(layout: Layout, path: str | os.PathLike) -> None:
-    """Serialize a layout library to a GDSII stream file."""
-    chunks: list[bytes] = [
-        rec.rec_int2(rec.HEADER, [600]),
-        rec.rec_int2(rec.BGNLIB, _EPOCH + _EPOCH),
-        rec.rec_ascii(rec.LIBNAME, layout.name),
-        # UNITS: dbu in user units (um), dbu in metres
-        rec.rec_real8(rec.UNITS, [layout.dbu_nm * 1e-3, layout.dbu_nm * 1e-9]),
-    ]
-    for cell in _bottom_up(layout):
-        chunks.append(rec.rec_int2(rec.BGNSTR, _EPOCH + _EPOCH))
-        chunks.append(rec.rec_ascii(rec.STRNAME, cell.name))
-        for layer in sorted(cell.layers, key=lambda l: (l.gds_layer, l.gds_datatype)):
-            for shape in cell.shapes(layer):
-                poly = Polygon.from_rect(shape) if isinstance(shape, Rect) else shape
-                chunks.append(_boundary(layer, poly))
-        for ref in cell.references:
-            chunks.append(_reference(ref))
-        chunks.append(rec.rec_empty(rec.ENDSTR))
-    chunks.append(rec.rec_empty(rec.ENDLIB))
+    """Serialize a layout library to a GDSII stream file.
+
+    Records are flushed to the file handle one cell at a time, so writer
+    memory stays O(largest cell) rather than O(whole library).
+    """
     with open(path, "wb") as f:
-        f.write(b"".join(chunks))
+        f.write(
+            b"".join(
+                [
+                    rec.rec_int2(rec.HEADER, [600]),
+                    rec.rec_int2(rec.BGNLIB, _EPOCH + _EPOCH),
+                    rec.rec_ascii(rec.LIBNAME, layout.name),
+                    # UNITS: dbu in user units (um), dbu in metres
+                    rec.rec_real8(rec.UNITS, [layout.dbu_nm * 1e-3, layout.dbu_nm * 1e-9]),
+                ]
+            )
+        )
+        for cell in _bottom_up(layout):
+            chunks: list[bytes] = [
+                rec.rec_int2(rec.BGNSTR, _EPOCH + _EPOCH),
+                rec.rec_ascii(rec.STRNAME, cell.name),
+            ]
+            for layer in sorted(cell.layers, key=lambda l: (l.gds_layer, l.gds_datatype)):
+                for shape in cell.shapes(layer):
+                    poly = Polygon.from_rect(shape) if isinstance(shape, Rect) else shape
+                    chunks.append(_boundary(layer, poly))
+            for ref in cell.references:
+                chunks.append(_reference(ref))
+            chunks.append(rec.rec_empty(rec.ENDSTR))
+            f.write(b"".join(chunks))
+        f.write(rec.rec_empty(rec.ENDLIB))
 
 
 def _bottom_up(layout: Layout) -> list[Cell]:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterator
+from typing import BinaryIO, Iterator
 
 # record types
 HEADER = 0x00
@@ -152,3 +152,40 @@ def iter_records(data: bytes) -> Iterator[Record]:
             return
     if pos != n:
         raise GdsFormatError("trailing bytes after last record")
+
+
+def iter_file_records(fh: BinaryIO, chunk_size: int = 1 << 16) -> Iterator[Record]:
+    """Parse records from a binary file handle without reading it whole.
+
+    Same contract as :func:`iter_records` — stops at ENDLIB, raises on a
+    record extending past the end of the stream, rejects 1–3 trailing
+    bytes, and returns silently when the stream ends on a clean record
+    boundary — but holds only one buffered chunk (plus the record being
+    assembled) in memory, so multi-gigabyte streams never materialize.
+    """
+    buf = b""
+    pos = 0
+    base = 0  # absolute file offset of buf[0]
+    while True:
+        if len(buf) - pos < 4:
+            base += pos
+            buf = buf[pos:] + fh.read(chunk_size)
+            pos = 0
+            if len(buf) < 4:
+                if buf:
+                    raise GdsFormatError("trailing bytes after last record")
+                return
+        length, rtype, dtype = struct.unpack(">HBB", buf[pos : pos + 4])
+        if length < 4:
+            raise GdsFormatError(f"bad record length {length} at offset {base + pos}")
+        while len(buf) - pos < length:
+            chunk = fh.read(chunk_size)
+            if not chunk:
+                raise GdsFormatError(
+                    f"bad record length {length} at offset {base + pos}"
+                )
+            buf += chunk
+        yield Record(rtype, dtype, buf[pos + 4 : pos + length])
+        pos += length
+        if rtype == ENDLIB:
+            return

@@ -1,0 +1,234 @@
+"""Streaming GDSII scan and on-the-fly flatten (no ``Layout`` built).
+
+``scan_gds`` walks a stream file record-by-record (via
+:func:`repro.gdsii.records.iter_file_records`) and keeps one compact
+``_StreamCell`` per structure: local rect quads per (gds_layer,
+gds_datatype) pair in ``array('q')`` storage, plus reference
+placements.  ``flatten`` then walks the hierarchy with composed
+lattice transforms and emits every flattened rect through a callback —
+the substrate :mod:`repro.layout.store` ingests into sorted canonical
+runs.
+
+The emitted rect population is identical to ``read_gds`` followed by
+``Cell.rects`` by construction: polygons are decomposed into their
+canonical horizontal-slab rects in local coordinates at parse time
+(``Polygon.to_region().rects()``, exactly what ``Cell.rects`` does),
+and references compose placements with ``Transform.then`` in the same
+column-major order as ``CellReference.placements``.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Callable
+
+from repro.gdsii import records as rec
+
+# (mirrored, angle) -> Orientation; shared with read_gds so the two
+# parsers can never drift on orientation decoding.
+from repro.gdsii.io import _GDS_TO_ORIENT
+from repro.gdsii.records import GdsFormatError
+from repro.geometry import Point, Polygon, Transform
+from repro.geometry.transform import _MATRICES
+
+LayerKey = tuple[int, int]
+EmitFn = Callable[[LayerKey, int, int, int, int], None]
+
+_QUAD = 4
+
+
+class _StreamCell:
+    """One GDSII structure: local rect quads per layer plus references."""
+
+    __slots__ = ("name", "quads", "refs")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.quads: dict[LayerKey, array] = {}
+        # (child name, dx, dy, orientation, cols, rows, step_dx, step_dy)
+        self.refs: list[tuple] = []
+
+    def add_quad(self, key: LayerKey, x0: int, y0: int, x1: int, y1: int) -> None:
+        if x0 >= x1 or y0 >= y1:
+            raise GdsFormatError(f"degenerate rect on layer {key} in {self.name!r}")
+        quads = self.quads.get(key)
+        if quads is None:
+            quads = self.quads[key] = array("q")
+        quads.extend((x0, y0, x1, y1))
+
+
+class StreamLibrary:
+    """Scanned library: cell table + metadata, never a full ``Layout``."""
+
+    __slots__ = ("name", "dbu_nm", "cells")
+
+    def __init__(self, name: str, dbu_nm: float, cells: dict[str, _StreamCell]) -> None:
+        self.name = name
+        self.dbu_nm = dbu_nm
+        self.cells = cells
+
+    def top_cell_name(self) -> str:
+        """The unique unreferenced cell (same rule as ``Layout.top_cell``)."""
+        referenced = {ref[0] for cell in self.cells.values() for ref in cell.refs}
+        tops = [name for name in self.cells if name not in referenced]
+        if len(tops) != 1:
+            raise GdsFormatError(
+                f"expected exactly one top cell, found {sorted(tops)!r}"
+            )
+        return tops[0]
+
+
+def scan_gds(path: str | os.PathLike) -> StreamLibrary:
+    """Scan a GDSII file into compact per-cell quad tables.
+
+    Validation matches :func:`repro.gdsii.io.read_gds`: Manhattan-only
+    angles, axis-parallel AREF steps, known reference targets.
+    """
+    layout_name: str | None = None
+    dbu_nm = 1.0
+    cells: dict[str, _StreamCell] = {}
+    current: _StreamCell | None = None
+    element: rec.Record | None = None
+    el_kind = ""
+    el_layer = 0
+    el_datatype = 0
+    el_sname = ""
+    el_mirrored = False
+    el_angle = 0.0
+    el_colrow = (1, 1)
+    el_xy: list[int] = []
+
+    with open(path, "rb") as fh:
+        for record in rec.iter_file_records(fh):
+            t = record.rtype
+            if t == rec.HEADER or t == rec.BGNLIB or t == rec.BGNSTR:
+                continue
+            if t == rec.LIBNAME:
+                layout_name = record.ascii()
+            elif t == rec.UNITS:
+                _, metres_per_dbu = record.real8()
+                if layout_name is None:
+                    raise GdsFormatError("UNITS before LIBNAME")
+                dbu_nm = metres_per_dbu * 1e9
+            elif t == rec.STRNAME:
+                current = _StreamCell(record.ascii())
+                cells[current.name] = current
+            elif t == rec.ENDSTR:
+                current = None
+            elif t in (rec.BOUNDARY, rec.SREF, rec.AREF):
+                element = record
+                el_kind = record.name
+                el_layer = el_datatype = 0
+                el_sname = ""
+                el_mirrored = False
+                el_angle = 0.0
+                el_colrow = (1, 1)
+                el_xy = []
+            elif element is not None and t == rec.LAYER:
+                el_layer = record.int2()[0]
+            elif element is not None and t == rec.DATATYPE:
+                el_datatype = record.int2()[0]
+            elif element is not None and t == rec.SNAME:
+                el_sname = record.ascii()
+            elif element is not None and t == rec.STRANS:
+                el_mirrored = bool(record.data[0] & 0x80)
+            elif element is not None and t == rec.ANGLE:
+                el_angle = record.real8()[0]
+            elif element is not None and t == rec.COLROW:
+                cols, rows = record.int2()
+                el_colrow = (cols, rows)
+            elif element is not None and t == rec.XY:
+                el_xy = record.int4()
+            elif t == rec.ENDEL:
+                if current is None or element is None:
+                    raise GdsFormatError("element outside structure")
+                if el_kind == "BOUNDARY":
+                    pts = [
+                        Point(el_xy[i], el_xy[i + 1]) for i in range(0, len(el_xy), 2)
+                    ]
+                    poly = Polygon(pts)
+                    key = (el_layer, el_datatype)
+                    if poly.is_rect:
+                        box = poly.bbox
+                        current.add_quad(key, box.x0, box.y0, box.x1, box.y1)
+                    else:
+                        for r in poly.to_region().rects():
+                            current.add_quad(key, r.x0, r.y0, r.x1, r.y1)
+                else:
+                    okey = (el_mirrored, el_angle % 360.0)
+                    if okey not in _GDS_TO_ORIENT:
+                        raise GdsFormatError(
+                            f"unsupported angle {el_angle} (Manhattan database)"
+                        )
+                    orient = _GDS_TO_ORIENT[okey]
+                    if el_kind == "SREF":
+                        current.refs.append(
+                            (el_sname, el_xy[0], el_xy[1], orient, 1, 1, 0, 0)
+                        )
+                    else:  # AREF
+                        cols, rows = el_colrow
+                        x0, y0, xc, yc, xr, yr = el_xy[:6]
+                        if yc != y0 or xr != x0:
+                            raise GdsFormatError(
+                                "only axis-parallel AREF steps are supported"
+                            )
+                        dx = (xc - x0) // cols if cols else 0
+                        dy = (yr - y0) // rows if rows else 0
+                        current.refs.append(
+                            (el_sname, x0, y0, orient, cols, rows, dx, dy)
+                        )
+                element = None
+            elif t == rec.ENDLIB:
+                break
+
+    if layout_name is None:
+        raise GdsFormatError("missing LIBNAME")
+    for cell in cells.values():
+        for ref in cell.refs:
+            if ref[0] not in cells:
+                raise GdsFormatError(f"reference to unknown cell {ref[0]!r}")
+    return StreamLibrary(layout_name, dbu_nm, cells)
+
+
+def flatten(lib: StreamLibrary, cell: str | None, emit: EmitFn) -> None:
+    """Emit every flattened rect of ``cell`` (default: the top cell).
+
+    Quads are transformed corner-by-corner with the orientation matrix
+    and min/max-normalized — exactly ``Transform.apply_rect`` — and
+    reference placements compose through ``Transform.then`` in the same
+    column-major order as ``CellReference.placements``, so the emitted
+    population matches ``Cell.rects`` on the materialized layout.
+    """
+    name = cell if cell is not None else lib.top_cell_name()
+    root = lib.cells.get(name)
+    if root is None:
+        raise GdsFormatError(f"unknown cell {name!r}")
+    _emit_cell(lib, root, Transform.IDENTITY, emit)
+
+
+def _emit_cell(
+    lib: StreamLibrary, cell: _StreamCell, transform: Transform, emit: EmitFn
+) -> None:
+    a, b, c, d = _MATRICES[transform.orientation]
+    tx, ty = transform.dx, transform.dy
+    for key, quads in cell.quads.items():
+        for i in range(0, len(quads), _QUAD):
+            x0, y0, x1, y1 = quads[i : i + _QUAD]
+            ax0 = a * x0 + b * y0 + tx
+            ay0 = c * x0 + d * y0 + ty
+            ax1 = a * x1 + b * y1 + tx
+            ay1 = c * x1 + d * y1 + ty
+            if ax0 > ax1:
+                ax0, ax1 = ax1, ax0
+            if ay0 > ay1:
+                ay0, ay1 = ay1, ay0
+            emit(key, ax0, ay0, ax1, ay1)
+    for sname, dx, dy, orient, cols, rows, step_dx, step_dy in cell.refs:
+        child = lib.cells[sname]
+        for col in range(cols):
+            for row in range(rows):
+                place = Transform(
+                    dx + col * step_dx, dy + row * step_dy, orient
+                )
+                _emit_cell(lib, child, place.then(transform), emit)

@@ -27,6 +27,7 @@ from typing import Callable
 
 from repro.core.report import BaseReport, deprecated_alias
 from repro.geometry import GridIndex, Rect, Region
+from repro.layout.store import StoreLayer, StoreRects
 from repro.litho.hotspots import Hotspot, _merge_across_corners, find_hotspots
 from repro.litho.model import LithoModel
 from repro.litho.process import ProcessWindow
@@ -104,18 +105,25 @@ class _ScanGeometry:
     touches only the geometry near the tile instead of sweeping the
     full chip.
 
-    The rect source is either the flat list itself or — after
-    :meth:`shared` repacks it for a pooled run — a
-    :class:`~repro.parallel.ShmRects` handle, which pickles as a name
-    and offset and materializes the same list from shared memory on
-    first use in each worker.  Both sources preserve canonical rect
-    order, so indexes, clips, and digests are identical either way.
+    The rect source is one of three shapes: the flat list itself; a
+    :class:`~repro.parallel.ShmRects` handle (after :meth:`shared`
+    repacks it for a pooled run), which pickles as a name and offset
+    and materializes the same list from shared memory on first use in
+    each worker; or — when the scan is store-backed — a
+    :class:`~repro.layout.store.StoreRects` handle, which pickles as
+    ``(path, offset, count)`` and answers window queries straight from
+    the mmapped store without ever materializing the layer.  Every
+    source preserves canonical rect order and the closed-touches window
+    contract, so indexes, clips, and digests are identical throughout.
     """
 
     __slots__ = ("_source", "cell_nm", "_index", "_buf")
 
-    def __init__(self, region: Region, cell_nm: int = 2048):
-        self._source: list[Rect] | ShmRects = list(region.rects())
+    def __init__(self, region: "Region | StoreLayer", cell_nm: int = 2048):
+        if isinstance(region, StoreLayer):
+            self._source: list[Rect] | ShmRects | StoreRects = region.handle()
+        else:
+            self._source = list(region.rects())
         self.cell_nm = cell_nm
         self._index: GridIndex[Rect] | None = None
         self._buf: list[Rect] = []
@@ -123,9 +131,13 @@ class _ScanGeometry:
     @property
     def rects(self) -> list[Rect]:
         source = self._source
-        if isinstance(source, ShmRects):
+        if isinstance(source, (ShmRects, StoreRects)):
             return source.rects()
         return source
+
+    @property
+    def store_backed(self) -> bool:
+        return isinstance(self._source, StoreRects)
 
     def shared(self, handle: ShmRects) -> "_ScanGeometry":
         """Clone of this geometry backed by a shared-memory handle."""
@@ -146,7 +158,16 @@ class _ScanGeometry:
 
     def near(self, window: Rect) -> list[Rect]:
         """Canonical rects whose bbox touches ``window`` (a shared
-        buffer, valid until the next call in this process)."""
+        buffer, valid until the next call in this process).
+
+        A store-backed source answers from the mmapped file's sorted
+        runs instead of building an index: the candidate set is the
+        same (both apply the closed-touches contract), so counters,
+        clips, and digests downstream are unchanged.
+        """
+        source = self._source
+        if isinstance(source, StoreRects):
+            return source.window(window)
         if self._index is None:
             self._index = GridIndex(cell_size=self.cell_nm)
             for r in self.rects:
@@ -307,12 +328,12 @@ def _scan_params(payload: _ScanPayload, pinch_limit: int | None, grid: int | Non
 
 def scan_full_chip(
     model: LithoModel,
-    drawn: Region,
+    drawn: "Region | StoreLayer",
     extent: Rect | None = None,
     tile_nm: int = 4000,
     process: ProcessWindow | None = None,
     pinch_limit: int | None = None,
-    mask: Region | None = None,
+    mask: "Region | StoreLayer | None" = None,
     grid: int | None = None,
     overlap_nm: int = 200,
     jobs: int = 1,
@@ -366,9 +387,24 @@ def scan_full_chip(
     default packs (and unlinks) a fresh arena per run, while a
     resident-layout session serves a pre-packed, session-owned one.
     Both hooks leave results and cache keys byte-identical.
+
+    ``drawn`` (and ``mask``) may be a
+    :class:`~repro.layout.store.StoreLayer` instead of a region: the
+    scan then runs out of core — workers mmap the layout store
+    read-only and window it per tile, the shm sharer is skipped (the
+    payload is already a constant-size handle), and hotspots, counters,
+    and tile-cache keys are bit-identical to the in-RAM path because
+    the store serves the same canonical rects and digests.
     """
     t_start = time.perf_counter()
     report = FullChipScanReport()
+    if not fast_path:
+        # the legacy whole-chip-sweep baseline works on materialized
+        # regions only; a store input is hydrated once up front
+        if isinstance(drawn, StoreLayer):
+            drawn = drawn.region()
+        if isinstance(mask, StoreLayer):
+            mask = mask.region()
     if extent is None:
         bb = drawn.bbox
         if bb is None:
@@ -434,9 +470,15 @@ def scan_full_chip(
         # are bit-identical either way.
         tile_executor = executor if executor is not None else TileExecutor(jobs)
         exec_payload: _ScanPayload | SharedPayload = payload
+        store_backed = (
+            fast_path
+            and payload.drawn.store_backed
+            and (payload.mask is None or payload.mask.store_backed)
+        )
         if (
             pending
             and fast_path
+            and not store_backed  # store handles already pickle tiny
             and (tile_executor.jobs > 1 or timeout is not None)
         ):
             shared = (sharer or _share_payload)(payload)

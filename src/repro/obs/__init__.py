@@ -23,6 +23,7 @@ The accounting layer under the hit-or-hype question — a DFM step is a
 
 from repro.obs import names
 from repro.obs.manifest import RunManifest
+from repro.obs.process import peak_rss_bytes, sample_peak_rss
 from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
@@ -44,4 +45,6 @@ __all__ = [
     "get_tracer",
     "span",
     "RunManifest",
+    "peak_rss_bytes",
+    "sample_peak_rss",
 ]

@@ -69,6 +69,21 @@ STORE_MISSES = "store.misses"
 STORE_EVICTIONS = "store.evictions"
 STORE_VERSION_MISMATCH = "store.version_mismatch"
 
+# -- out-of-core layout store (repro.layout.store) --------------------
+LAYOUTSTORE_INGESTS = "layoutstore.ingests"
+LAYOUTSTORE_REUSED = "layoutstore.reused"
+LAYOUTSTORE_VERSION_MISMATCH = "layoutstore.version_mismatch"
+# Counted when a store was requested but could not be built or mapped
+# and the caller fell back to the in-RAM parse path.
+LAYOUTSTORE_FALLBACK = "layoutstore.fallback"
+LAYOUTSTORE_RECTS = "layoutstore.rects"
+LAYOUTSTORE_BYTES = "layoutstore.bytes"
+
+# -- whole-process run accounting (repro.obs.process) -----------------
+# Peak resident set size of the driving process, sampled once just
+# before the run manifest is collected.
+RUN_PEAK_RSS_BYTES = "run.peak_rss_bytes"
+
 # -- full-chip litho scan (repro.litho.fullchip) ----------------------
 SCAN_RUNS = "scan.runs"
 SCAN_TILES = "scan.tiles"

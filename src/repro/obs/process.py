@@ -1,0 +1,49 @@
+"""Whole-process resource accounting.
+
+Peak resident set size is the one number the out-of-core work is
+judged by: the mmap-backed store path must hold RSS roughly flat while
+the chip area grows, where the in-RAM path grows linearly.  The gauge
+is sampled once, just before the run manifest is collected, so every
+``--metrics-out`` manifest (and every bench ``extra_info``) carries it.
+
+``ru_maxrss`` is a high-water mark for the whole process lifetime —
+comparisons between code paths must run each path in its own process
+(the benches and the CI smoke drive the CLI as subprocesses for exactly
+this reason).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs import names
+from repro.obs.registry import MetricsRegistry, get_registry
+
+
+def peak_rss_bytes() -> int | None:
+    """Peak resident set size of this process, in bytes.
+
+    Backed by the stdlib ``resource`` module, whose ``ru_maxrss`` unit
+    is kilobytes on Linux and bytes on macOS.  Returns ``None`` where
+    ``resource`` is unavailable (non-POSIX platforms).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX only
+        return None
+    peak = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return peak
+    return peak * 1024
+
+
+def sample_peak_rss(registry: MetricsRegistry | None = None) -> int | None:
+    """Gauge this process's peak RSS into the registry.
+
+    Returns the sampled value (bytes), or ``None`` — and gauges
+    nothing — on platforms without ``resource``.
+    """
+    peak = peak_rss_bytes()
+    if peak is not None:
+        (registry or get_registry()).gauge(names.RUN_PEAK_RSS_BYTES, peak)
+    return peak

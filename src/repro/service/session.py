@@ -17,10 +17,20 @@ Staleness is stat-based: :class:`SessionManager` re-stats the file per
 request and reloads when size or mtime changed — an edited layout gets
 a fresh session (and fresh arenas, hence new cache keys for dirty
 tiles) on its next request.
+
+With a ``store_dir``, a session is backed by an out-of-core layout
+store instead (:mod:`repro.layout.store`): the GDSII is streamed once
+into a cached ``.lstore`` file, requests window rects straight out of
+the mmap, and the session never materializes the layout at all.  The
+store file outlives the daemon, so a restarted service re-maps it —
+``layoutstore.reused`` — instead of re-parsing and re-packing.  Any
+failure to build or map the store falls back to the classic in-RAM
+parse (``layoutstore.fallback``), with identical results.
 """
 
 from __future__ import annotations
 
+import hashlib
 import logging
 import os
 import threading
@@ -30,9 +40,12 @@ from typing import Any, Callable
 
 from repro.drc.engine import _DrcPayload, _SharedLayerRegions, _share_drc_payload
 from repro.gdsii import read_gds
+from repro.gdsii.records import GdsFormatError
 from repro.geometry import Rect, Region
 from repro.layout import Layer
 from repro.layout.cell import Cell
+from repro.layout.library import Layout
+from repro.layout.store import LayoutStoreError, StoreView, ensure_store
 from repro.litho.fullchip import _ScanGeometry, _ScanPayload, _share_payload
 from repro.obs import get_registry, names
 from repro.parallel.shm import ShmArena, SharedPayload
@@ -75,14 +88,74 @@ class LayoutSession:
     session (arenas included) when the file changes.
     """
 
-    def __init__(self, key: SessionKey) -> None:
+    def __init__(self, key: SessionKey, store_dir: str | None = None) -> None:
         self.key = key
-        self.layout = read_gds(key.path)
         self._lock = threading.Lock()
         self._regions: dict[tuple[str, str, str], Region] = {}
         # (kind, cell, discriminator) -> (arena, parent-side shared object)
         self._arenas: dict[tuple[str, ...], tuple[ShmArena, Any]] = {}
         self._closed = False
+        self._layout: Layout | None = None
+        self.store_view: StoreView | None = None
+        if store_dir is not None:
+            self.store_view = self._open_store(store_dir)
+        if self.store_view is None:
+            # classic eager parse: first-request latency stays where it
+            # always was when no store is in play
+            self._layout = read_gds(key.path)
+
+    def _open_store(self, store_dir: str) -> StoreView | None:
+        """Map (building if needed) this layout's cached store file.
+
+        The file name is a hash of the absolute path, so a re-ingested
+        layout overwrites its own store in place and a restarted daemon
+        finds the previous run's file.  Any failure — unreadable dir,
+        malformed GDSII, foreign or stale store that cannot be rebuilt —
+        drops to the in-RAM path rather than failing the session.
+        """
+        digest = hashlib.sha256(self.key.path.encode("utf-8")).hexdigest()[:16]
+        store_path = os.path.join(store_dir, f"{digest}.lstore")
+        try:
+            os.makedirs(store_dir, exist_ok=True)
+            return ensure_store(self.key.path, store_path)
+        except (LayoutStoreError, GdsFormatError, OSError) as exc:
+            get_registry().inc(names.LAYOUTSTORE_FALLBACK)
+            log.warning(
+                "layout store unusable for %s (%s); falling back to in-RAM parse",
+                self.key.path,
+                exc,
+            )
+            return None
+
+    @property
+    def layout(self) -> Layout:
+        """The parsed layout, materialized on first use.
+
+        Store-backed sessions serve requests without ever touching this;
+        it parses lazily only when a request needs the hierarchy (an
+        explicit non-top cell, or a store that went unusable).
+        """
+        layout = self._layout
+        if layout is None:
+            with self._lock:
+                if self._layout is None:
+                    self._layout = read_gds(self.key.path)
+                layout = self._layout
+        return layout
+
+    def store_for(self, cell_name: str | None) -> StoreView | None:
+        """The session's store view, if it covers this cell selection.
+
+        The store is ingested for the top cell; a request naming any
+        other cell (or naming the top cell of a store that failed to
+        map) gets ``None`` and takes the in-RAM path.
+        """
+        view = self.store_view
+        if view is None:
+            return None
+        if cell_name is not None and cell_name != view.cell_name:
+            return None
+        return view
 
     def cell(self, name: str | None = None) -> Cell:
         try:
@@ -208,12 +281,18 @@ class LayoutSession:
 
 
 class SessionManager:
-    """LRU-bounded pool of resident sessions with stat-based reload."""
+    """LRU-bounded pool of resident sessions with stat-based reload.
 
-    def __init__(self, max_sessions: int = 4) -> None:
+    ``store_dir`` switches new sessions to the out-of-core layout store
+    (see :class:`LayoutSession`); store files live there keyed by a hash
+    of the layout path and survive manager — and daemon — restarts.
+    """
+
+    def __init__(self, max_sessions: int = 4, store_dir: str | None = None) -> None:
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
         self.max_sessions = max_sessions
+        self.store_dir = store_dir
         self._sessions: OrderedDict[str, LayoutSession] = OrderedDict()
         self._lock = threading.Lock()
 
@@ -238,7 +317,7 @@ class SessionManager:
         else:
             registry.inc(names.SERVICE_SESSIONS_LOADED)
             log.info("loading layout %s", key.path)
-        session = LayoutSession(key)
+        session = LayoutSession(key, store_dir=self.store_dir)
         evicted: list[LayoutSession] = []
         with self._lock:
             self._sessions[key.path] = session

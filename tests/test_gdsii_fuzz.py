@@ -1,9 +1,16 @@
 """Property-based fuzzing: random layouts round-trip through GDSII and
-JSON byte-for-byte in geometry."""
+JSON byte-for-byte in geometry — and the two GDSII parsers (the in-RAM
+:func:`read_gds` and the streaming :func:`scan_gds`) agree on every
+flattened rect."""
 
+from collections import defaultdict
+
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.gdsii import read_gds, read_json, write_gds, write_json
+from repro.gdsii import read_gds, read_json, scan_gds, write_gds, write_json
+from repro.gdsii.records import GdsFormatError
+from repro.gdsii.stream import flatten
 from repro.geometry import Orientation, Rect, Transform
 from repro.layout import Layer, Layout
 
@@ -77,3 +84,100 @@ def test_gds_deterministic_bytes(tmp_path_factory, lib):
     write_gds(lib, p1)
     write_gds(lib, p2)
     assert p1.read_bytes() == p2.read_bytes()
+
+
+# -- both parsers, one truth ---------------------------------------------
+
+
+def _stream_rects(path, cell_name):
+    """Flattened rects per layer from the streaming parser."""
+    stream_lib = scan_gds(path)
+    out: dict[tuple[int, int], list[Rect]] = defaultdict(list)
+
+    def emit(key, x0, y0, x1, y1):
+        out[key].append(Rect(x0, y0, x1, y1))
+
+    flatten(stream_lib, cell_name, emit)
+    return out
+
+
+def _assert_parsers_agree(path, cell_name, layers=LAYERS):
+    """Identical flattened rect populations from both parsers."""
+    loaded = read_gds(path)
+    cell = loaded.cell(cell_name)
+    streamed = _stream_rects(path, cell_name)
+    for layer in layers:
+        key = (layer.gds_layer, layer.gds_datatype)
+        assert sorted(
+            r.as_tuple() for r in streamed.get(key, [])
+        ) == sorted(r.as_tuple() for r in cell.rects(layer))
+
+
+@given(layout_strategy())
+@settings(max_examples=30, deadline=None)
+def test_both_parsers_same_rect_population(tmp_path_factory, lib):
+    path = tmp_path_factory.mktemp("fuzz") / "f.gds"
+    write_gds(lib, path)
+    _assert_parsers_agree(path, "TOP")
+
+
+def test_both_parsers_deep_sref_nesting(tmp_path):
+    """A 40-deep SREF chain with mixed orientations flattens the same
+    through composed transforms (read_gds) and the streaming emitter."""
+    lib = Layout("DEEP")
+    layer = Layer(10, 0, "M1")
+    orients = list(Orientation)
+    leaf = lib.new_cell("LEAF")
+    leaf.add_rect(layer, Rect(5, -3, 40, 11))
+    below = leaf
+    for i in range(40):
+        cell = lib.new_cell(f"LVL{i}")
+        cell.add_rect(layer, Rect(0, 0, 7 + i, 9))
+        cell.add_ref(below, Transform(13 * i - 60, 17 - 5 * i, orients[i % 8]))
+        below = cell
+    path = tmp_path / "deep.gds"
+    write_gds(lib, path)
+    _assert_parsers_agree(path, below.name, [layer])
+
+
+@pytest.mark.parametrize("orient", list(Orientation))
+def test_both_parsers_aref_lattice_all_orientations(tmp_path, orient):
+    """A large AREF lattice under each of the eight placement
+    orientations produces the same rect population from both parsers."""
+    lib = Layout("LATTICE")
+    layer = Layer(12, 0, "M2")
+    bit = lib.new_cell("BIT")
+    bit.add_rect(layer, Rect(2, 1, 30, 19))
+    bit.add_rect(layer, Rect(10, -6, 18, 25))
+    top = lib.new_cell("TOP")
+    top.add_ref(
+        bit, Transform(-45, 67, orient), columns=12, rows=9, dx=55, dy=40
+    )
+    path = tmp_path / "aref.gds"
+    write_gds(lib, path)
+    _assert_parsers_agree(path, "TOP", [layer])
+    # the lattice really is 12 x 9 placements of 2 rects
+    assert len(_stream_rects(path, "TOP")[(12, 0)]) == 12 * 9 * 2
+
+
+def test_both_parsers_reject_truncated_records(tmp_path):
+    """Cutting the byte stream mid-record is a format error in both the
+    in-RAM and the streaming parser, never a silent partial parse."""
+    lib = Layout("TRUNC")
+    layer = Layer(10, 0, "M1")
+    child = lib.new_cell("CHILD")
+    child.add_rect(layer, Rect(0, 0, 100, 50))
+    top = lib.new_cell("TOP")
+    top.add_ref(child, Transform(10, 20, Orientation.R90), columns=2, rows=2, dx=200, dy=100)
+    whole = tmp_path / "whole.gds"
+    write_gds(lib, whole)
+    data = whole.read_bytes()
+    # GDSII records are even-length, so any odd cut lands mid-record:
+    # inside the first header, inside a mid-file payload, shy of ENDLIB
+    for cut in (5, (len(data) // 2) | 1, len(data) - 3):
+        clipped = tmp_path / f"cut{cut}.gds"
+        clipped.write_bytes(data[:cut])
+        with pytest.raises(GdsFormatError):
+            read_gds(clipped)
+        with pytest.raises(GdsFormatError):
+            scan_gds(clipped)

@@ -1,0 +1,331 @@
+"""Out-of-core layout store: streaming ingest, mmapped windows, parity.
+
+The tentpole contract: a scan or DRC fed rects from the mmapped
+``layoutstore-v1`` file produces bit-identical reports and
+interchangeable tile-cache entries vs. the in-RAM flatten, at
+``jobs=1`` and ``jobs=4``; worker payloads shrink to ``(path, offset,
+count)`` handles; and service sessions backed by a store directory
+survive restarts without re-parsing the GDSII.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+
+import pytest
+
+from repro.designgen import LogicBlockSpec, generate_logic_block
+from repro.gdsii import write_gds
+from repro.geometry import Rect, Region
+from repro.layout.store import (
+    LayoutStoreError,
+    LayoutStoreVersionError,
+    StoreRects,
+    ensure_store,
+    ingest,
+    open_store,
+)
+from repro.litho import LithoModel, scan_full_chip
+from repro.obs import MetricsRegistry, names, sample_peak_rss, set_registry
+from repro.parallel import TileCache
+from repro.parallel import shm as shm_mod
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry(enabled=True)
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+@pytest.fixture(scope="module")
+def store_setup(tmp_path_factory, tech45, stdlib45):
+    """A routed block on disk as GDSII plus its ingested store."""
+    spec = LogicBlockSpec(rows=1, row_width_nm=5000, net_count=5, seed=11, weak_spots=4)
+    block = generate_logic_block(tech45, spec, stdlib45)
+    d = tmp_path_factory.mktemp("store")
+    gds = str(d / "block.gds")
+    write_gds(block.layout, gds)
+    view = ensure_store(gds, str(d / "block.lstore"))
+    return block, gds, view
+
+
+class TestStoreRoundTrip:
+    def test_layers_match_in_ram_flatten(self, store_setup, tech45):
+        block, _, view = store_setup
+        for layer in (tech45.layers.metal1, tech45.layers.poly):
+            ram = block.top.region(layer)
+            stored = view.layer_for(layer)
+            assert stored.rects() == list(ram.rects())
+            assert stored.region() == ram
+            assert stored.digest() == ram.digest()
+            assert stored.bbox == ram.bbox
+
+    def test_extent_is_top_cell_bbox(self, store_setup):
+        block, _, view = store_setup
+        assert view.extent == block.top.bbox
+
+    def test_absent_layer_digest_matches_empty_region(self, store_setup):
+        _, _, view = store_setup
+        missing = view.layer(240, 0)
+        assert missing.is_empty
+        assert missing.digest() == Region().digest()
+        assert missing.region() == Region()
+
+    def test_window_matches_brute_force(self, store_setup, tech45):
+        block, _, view = store_setup
+        layer = tech45.layers.metal1
+        rects = list(block.top.region(layer).rects())
+        stored = view.layer_for(layer)
+        bbox = view.extent
+        windows = [
+            Rect(bbox.x0, bbox.y0, (bbox.x0 + bbox.x1) // 2, (bbox.y0 + bbox.y1) // 2),
+            Rect(bbox.x1 // 3, bbox.y0, bbox.x1 // 2, bbox.y1),
+            Rect(bbox.x1 + 10, bbox.y1 + 10, bbox.x1 + 500, bbox.y1 + 500),
+            bbox,
+        ]
+        for window in windows:
+            expect = [r for r in rects if r.touches(window)]
+            assert stored.window(window) == expect
+
+    def test_handle_pickles_as_three_scalars(self, store_setup, tech45):
+        _, _, view = store_setup
+        handle = view.layer_for(tech45.layers.metal1).handle()
+        wire = pickle.dumps(handle)
+        assert len(wire) < 200  # path + two ints, not geometry
+        clone = pickle.loads(wire)
+        assert isinstance(clone, StoreRects)
+        assert clone.rects() == handle.rects()
+        assert clone.digest() == handle.digest()
+
+
+class TestStoreFile:
+    def test_reuse_without_reingest(self, store_setup, registry, tmp_path):
+        _, gds, _ = store_setup
+        path = str(tmp_path / "reuse.lstore")
+        ingest(gds, path)
+        registry.reset()
+        ensure_store(gds, path)
+        assert registry.counter(names.LAYOUTSTORE_REUSED) == 1
+
+    def test_stale_source_triggers_reingest(self, store_setup, registry, tmp_path):
+        _, gds, _ = store_setup
+        src = str(tmp_path / "copy.gds")
+        with open(gds, "rb") as f:
+            data = f.read()
+        with open(src, "wb") as f:
+            f.write(data)
+        path = str(tmp_path / "stale.lstore")
+        ensure_store(src, path)
+        os.utime(src, ns=(1, 1))  # same bytes, different stat signature
+        registry.reset()
+        ensure_store(src, path)
+        assert registry.counter(names.LAYOUTSTORE_INGESTS) == 1
+
+    def test_version_sentinel_round_trip(self, store_setup, registry, tmp_path):
+        """A future-versioned store is a typed version error, and
+        ensure_store counts the mismatch and rebuilds in place."""
+        _, gds, _ = store_setup
+        path = str(tmp_path / "ver.lstore")
+        before = ingest(gds, path)
+        digests = {k: before.layer(*k).digest() for k in before.layer_keys}
+        with open(path, "r+b") as f:
+            f.write(b"layoutstore-v9\n\x00")
+        with pytest.raises(LayoutStoreVersionError):
+            open_store(path, refresh=True)
+        registry.reset()
+        after = ensure_store(gds, path)
+        assert registry.counter(names.LAYOUTSTORE_VERSION_MISMATCH) == 1
+        assert {k: after.layer(*k).digest() for k in after.layer_keys} == digests
+
+    def test_not_a_store_is_an_error(self, tmp_path):
+        path = str(tmp_path / "noise.lstore")
+        with open(path, "wb") as f:
+            f.write(b"\x00" * 256)
+        with pytest.raises(LayoutStoreError):
+            open_store(path, refresh=True)
+
+    def test_truncated_store_is_an_error(self, store_setup, tmp_path):
+        _, gds, _ = store_setup
+        path = str(tmp_path / "trunc.lstore")
+        ingest(gds, path)
+        with open(path, "rb") as f:
+            data = f.read()
+        with open(path, "wb") as f:
+            f.write(data[: len(data) - 64])
+        with pytest.raises(LayoutStoreError):
+            open_store(path, refresh=True)
+
+
+class TestScanEquivalence:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_store_matches_in_ram(self, store_setup, tech45, jobs):
+        block, _, view = store_setup
+        model = LithoModel(tech45.litho)
+        layer = tech45.layers.metal1
+        limit = tech45.metal_width // 2
+        kwargs = dict(tile_nm=1500, pinch_limit=limit, jobs=jobs)
+        ram = scan_full_chip(model, block.top.region(layer), **kwargs)
+        stored = scan_full_chip(model, view.layer_for(layer), **kwargs)
+        assert stored.hotspots == ram.hotspots
+        assert stored.tiles == ram.tiles
+
+    @pytest.mark.parametrize("writer_store", [True, False])
+    def test_tile_caches_are_interchangeable(self, store_setup, tech45, writer_store):
+        block, _, view = store_setup
+        model = LithoModel(tech45.litho)
+        layer = tech45.layers.metal1
+        limit = tech45.metal_width // 2
+        kwargs = dict(tile_nm=1500, pinch_limit=limit, jobs=2)
+        sources = [view.layer_for(layer), block.top.region(layer)]
+        if not writer_store:
+            sources.reverse()
+        cache = TileCache()
+        first = scan_full_chip(model, sources[0], cache=cache, **kwargs)
+        second = scan_full_chip(model, sources[1], cache=cache, **kwargs)
+        assert first.tiles_computed == first.tiles
+        assert second.tiles_computed == 0
+        assert second.cache_hit_rate == 1.0
+        assert second.hotspots == first.hotspots
+
+    def test_store_payload_is_tiny(self, store_setup, tech45, registry, monkeypatch):
+        block, _, view = store_setup
+        model = LithoModel(tech45.litho)
+        layer = tech45.layers.metal1
+        limit = tech45.metal_width // 2
+        kwargs = dict(tile_nm=1500, pinch_limit=limit, jobs=2)
+        scan_full_chip(model, view.layer_for(layer), **kwargs)
+        store_bytes = registry.gauge_value(names.POOL_PAYLOAD_BYTES)
+        registry.reset()
+        monkeypatch.setenv(shm_mod.ENV_DISABLE, "1")
+        scan_full_chip(model, block.top.region(layer), **kwargs)
+        pickled_bytes = registry.gauge_value(names.POOL_PAYLOAD_BYTES)
+        assert store_bytes is not None and pickled_bytes is not None
+        # the whole wire payload is a handle and scan params, not rects
+        assert store_bytes < 2048
+        assert store_bytes < pickled_bytes
+
+
+class TestDrcEquivalence:
+    @pytest.fixture(scope="class")
+    def drc_setup(self, tmp_path_factory, small_block, tech45):
+        d = tmp_path_factory.mktemp("drcstore")
+        gds = str(d / "block.gds")
+        write_gds(small_block.layout, gds)
+        view = ensure_store(gds, str(d / "block.lstore"))
+        return small_block, tech45.rules.minimum(), view
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_store_matches_in_ram(self, drc_setup, jobs):
+        from repro.drc import run_drc
+
+        block, deck, view = drc_setup
+        ram = run_drc(block.top, deck, jobs=jobs, tile_nm=2500)
+        stored = run_drc(None, deck, jobs=jobs, tile_nm=2500, store=view)
+        assert stored.violations == ram.violations
+        assert stored.tiles == ram.tiles
+        assert stored.cell_name == ram.cell_name
+
+    def test_single_pass_matches_in_ram(self, drc_setup):
+        from repro.drc import run_drc
+
+        block, deck, view = drc_setup
+        ram = run_drc(block.top, deck)
+        stored = run_drc(None, deck, store=view)
+        assert stored.violations == ram.violations
+
+    def test_windowed_matches_in_ram(self, drc_setup):
+        from repro.drc import run_drc
+
+        block, deck, view = drc_setup
+        bbox = block.top.bbox
+        window = Rect(bbox.x0, bbox.y0, (bbox.x0 + bbox.x1) // 2, bbox.y1)
+        ram = run_drc(block.top, deck, window)
+        stored = run_drc(None, deck, window, store=view)
+        assert stored.violations == ram.violations
+
+    def test_tile_caches_are_interchangeable(self, drc_setup):
+        from repro.drc import run_drc
+
+        block, deck, view = drc_setup
+        cache = TileCache()
+        first = run_drc(block.top, deck, jobs=2, tile_nm=2500, cache=cache)
+        second = run_drc(None, deck, jobs=2, tile_nm=2500, cache=cache, store=view)
+        assert first.tiles_computed == first.tiles
+        assert second.tiles_computed == 0
+        assert second.violations == first.violations
+
+    def test_cell_and_store_both_missing_is_an_error(self, drc_setup):
+        from repro.drc import run_drc
+
+        _, deck, _ = drc_setup
+        with pytest.raises(ValueError):
+            run_drc(None, deck)
+
+
+class TestServiceSessions:
+    def _run(self, service, kind, gds):
+        from repro.service.jobs import JobState
+
+        params = {"gds": gds}
+        if kind == "scan":
+            params["layer"] = "M1"
+        job = service.wait(service.submit(kind, params), timeout=120)
+        assert job.state is JobState.DONE
+        return job.result
+
+    @pytest.mark.parametrize("kind", ["scan", "drc"])
+    def test_store_backed_session_matches_in_ram(
+        self, store_setup, tmp_path, kind
+    ):
+        from repro.service import VerificationService
+
+        _, gds, _ = store_setup
+        with VerificationService(jobs=1) as plain:
+            expect = self._run(plain, kind, gds)
+        with VerificationService(
+            jobs=1, session_store_dir=str(tmp_path / "stores")
+        ) as backed:
+            assert self._run(backed, kind, gds) == expect
+
+    def test_sessions_survive_restart(self, store_setup, registry, tmp_path):
+        from repro.service import VerificationService
+
+        _, gds, _ = store_setup
+        store_dir = str(tmp_path / "stores")
+        with VerificationService(jobs=1, session_store_dir=store_dir) as first:
+            before = self._run(first, "drc", gds)
+        registry.reset()
+        # a fresh service (daemon restart) maps the same store file:
+        # no GDSII parse, no re-ingest
+        with VerificationService(jobs=1, session_store_dir=store_dir) as second:
+            assert self._run(second, "drc", gds) == before
+        assert registry.counter(names.LAYOUTSTORE_REUSED) == 1
+        assert registry.counter(names.LAYOUTSTORE_INGESTS) == 0
+
+    def test_unusable_store_falls_back_in_ram(self, store_setup, registry, tmp_path):
+        from repro.service import VerificationService
+
+        _, gds, _ = store_setup
+        store_dir = tmp_path / "stores"
+        store_dir.mkdir()
+        name = hashlib.sha256(
+            os.path.abspath(gds).encode("utf-8")
+        ).hexdigest()[:16]
+        # a directory where the store file should go: ingest cannot win
+        (store_dir / f"{name}.lstore").mkdir()
+        with VerificationService(jobs=1) as plain:
+            expect = self._run(plain, "drc", gds)
+        with VerificationService(jobs=1, session_store_dir=str(store_dir)) as svc:
+            assert self._run(svc, "drc", gds) == expect
+        assert registry.counter(names.LAYOUTSTORE_FALLBACK) == 1
+
+
+class TestPeakRss:
+    def test_sample_gauges_a_plausible_value(self, registry):
+        peak = sample_peak_rss(registry)
+        assert peak is not None and peak > 1 << 20  # a real process > 1 MiB
+        assert registry.gauge_value(names.RUN_PEAK_RSS_BYTES) == peak

@@ -152,8 +152,8 @@ class TestApiFacade:
         from repro import api
 
         assert api.__all__ == [
-            "run_drc", "scan_full_chip", "decompose", "scorecard", "make_service",
-            "run_compliance_matrix",
+            "run_drc", "scan_full_chip", "decompose", "scorecard", "ingest_store",
+            "make_service", "run_compliance_matrix",
         ]
         for name in api.__all__:
             assert callable(getattr(api, name))
@@ -161,8 +161,8 @@ class TestApiFacade:
     @pytest.mark.parametrize(
         "name",
         [
-            "run_drc", "scan_full_chip", "decompose", "scorecard", "make_service",
-            "run_compliance_matrix",
+            "run_drc", "scan_full_chip", "decompose", "scorecard", "ingest_store",
+            "make_service", "run_compliance_matrix",
         ],
     )
     def test_options_are_keyword_only(self, name):
