@@ -65,7 +65,10 @@ class GridIndex(Generic[T]):
         out: list[T] = []
         for cell in self._cells(window):
             for bbox, _, item in self._buckets.get(cell, ()):
-                if id(item) not in seen and bbox.touches(window):
+                # identity dedup is deterministic here: the ids never
+                # leave this call and the output keeps insertion order,
+                # so the result is identical in every worker process
+                if id(item) not in seen and bbox.touches(window):  # repro-lint: disable=RL010
                     seen.add(id(item))
                     out.append(item)
         return out

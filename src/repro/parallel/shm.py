@@ -178,6 +178,7 @@ class ShmArena:
         except OverflowError:
             return cls._fallback("coordinates exceed int32")
         data = flat.tobytes()
+        segment = None
         try:
             assert _shared_memory is not None
             segment = _shared_memory.SharedMemory(
@@ -187,6 +188,14 @@ class ShmArena:
         # any failure here (ENOSPC on /dev/shm, sandbox EPERM, missing
         # posixshmem) means "no shared memory on this host": fall back
         except Exception as exc:  # repro-lint: disable=RL004
+            if segment is not None:
+                # the segment was created but the copy failed: without
+                # this, the kernel object lingers in /dev/shm forever
+                try:
+                    segment.close()
+                    segment.unlink()
+                except OSError:
+                    pass
             return cls._fallback(f"{type(exc).__name__}: {exc}")
         handles = [
             ShmRects(segment.name, offset, count, rects=list(rects))

@@ -19,6 +19,7 @@ Entry points:
 * :class:`SocketClient` — programmatic access to a running daemon.
 """
 
+from repro.service import errors
 from repro.service.client import (
     DEFAULT_STATE_FILE,
     DaemonUnreachableError,
@@ -56,6 +57,7 @@ __all__ = [
     "ServiceClosedError",
     "ServiceDaemon",
     "ServiceError",
+    "errors",
     "SessionKey",
     "SessionManager",
     "SocketClient",

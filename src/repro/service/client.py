@@ -30,7 +30,7 @@ import json
 import socket
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
-from repro.service import protocol
+from repro.service import errors, protocol
 from repro.service.jobs import (
     BadRequestError,
     Job,
@@ -55,7 +55,7 @@ PROMPT_OP_TIMEOUT = 30.0
 class DaemonUnreachableError(ServiceError):
     """No daemon is listening at the resolved address."""
 
-    code = "unreachable"
+    code = errors.UNREACHABLE
 
 
 _ERRORS_BY_CODE: dict[str, type[ServiceError]] = {

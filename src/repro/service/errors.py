@@ -1,0 +1,47 @@
+"""The service error-code registry: one constant per wire code.
+
+Error codes are wire contract — the daemon serializes them into error
+responses and :mod:`repro.service.client` maps them back to typed
+exceptions by exact string match — so both ends must agree on the
+spelling forever.  Like :mod:`repro.obs.names` for metric names, this
+module is the single place a code may be defined; exception classes
+reference the constant (``code = errors.QUEUE_FULL``), never a string
+literal.  ``repro-lint`` RL011 enforces that, checks this registry for
+duplicates, and requires every code here to be documented in
+``docs/SERVICE.md``.
+
+Stability contract: codes are append-only.  Renaming or removing one
+breaks deployed clients mid-flight; add a new code and keep the old one
+until nothing on the wire can emit it.
+"""
+
+from __future__ import annotations
+
+#: catch-all for unexpected daemon-side failures (HTTP-500 analogue)
+SERVICE_ERROR = "service-error"
+
+#: the bounded job queue is full; resubmit after draining results
+QUEUE_FULL = "queue-full"
+
+#: the referenced job id is unknown to this daemon instance
+UNKNOWN_JOB = "unknown-job"
+
+#: the request was malformed or referenced something that cannot exist
+BAD_REQUEST = "bad-request"
+
+#: the service is shutting down and no longer accepts work
+SERVICE_CLOSED = "service-closed"
+
+#: client-side only: the daemon could not be reached at all
+UNREACHABLE = "unreachable"
+
+
+def all_codes() -> tuple[str, ...]:
+    """Every registered code, sorted — for docs and exhaustive tests."""
+    return tuple(
+        sorted(
+            value
+            for name, value in globals().items()
+            if name.isupper() and isinstance(value, str)
+        )
+    )

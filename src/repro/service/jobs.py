@@ -18,6 +18,7 @@ from enum import Enum, IntEnum
 from typing import Any
 
 from repro.core.report import BaseReport
+from repro.service import errors
 
 
 class ServiceError(Exception):
@@ -27,7 +28,7 @@ class ServiceError(Exception):
     message is human-readable detail.
     """
 
-    code = "service-error"
+    code = errors.SERVICE_ERROR
 
     def to_dict(self) -> dict[str, str]:
         return {"code": self.code, "message": str(self)}
@@ -36,25 +37,25 @@ class ServiceError(Exception):
 class QueueFullError(ServiceError):
     """The job queue is at capacity: the request was shed, not queued."""
 
-    code = "queue-full"
+    code = errors.QUEUE_FULL
 
 
 class UnknownJobError(ServiceError):
     """No job with the requested id exists on this daemon."""
 
-    code = "unknown-job"
+    code = errors.UNKNOWN_JOB
 
 
 class BadRequestError(ServiceError):
     """The request is malformed: unknown kind, missing parameter, ..."""
 
-    code = "bad-request"
+    code = errors.BAD_REQUEST
 
 
 class ServiceClosedError(ServiceError):
     """The service is shutting down and no longer accepts work."""
 
-    code = "service-closed"
+    code = errors.SERVICE_CLOSED
 
 
 class Priority(IntEnum):

@@ -62,7 +62,13 @@ STREAM_OPS = ("batch-submit", "stream-results")
 
 
 def encode(message: dict[str, Any]) -> bytes:
-    """One wire line: compact JSON, schema-stamped, newline-terminated."""
+    """One wire line: compact JSON, schema-stamped, newline-terminated.
+
+    The schema stamp goes on a copy: callers retain (and sometimes
+    resend or log) the dict they pass in, and mutating it here leaked
+    the stamp back into client-owned params dicts.
+    """
+    message = dict(message)
     message.setdefault("schema", SCHEMA)
     return json.dumps(message, sort_keys=True, separators=(",", ":")).encode() + b"\n"
 

@@ -135,7 +135,10 @@ class LayoutSession:
         it parses lazily only when a request needs the hierarchy (an
         explicit non-top cell, or a store that went unusable).
         """
-        layout = self._layout
+        # double-checked locking: the unlocked read is deliberate — the
+        # reference is written exactly once (under the lock below) and
+        # never torn; after that, every request skips the lock entirely
+        layout = self._layout  # repro-lint: disable=RL008
         if layout is None:
             with self._lock:
                 if self._layout is None:

@@ -56,8 +56,13 @@ class ResultStore:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        # snapshot both counters under the lock: reading them free-running
+        # can pair a pre-increment hits with a post-increment misses and
+        # report a rate that was never true
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        total = hits + misses
+        return hits / total if total else 0.0
 
     @staticmethod
     def namespace(*parts: Any) -> str:

@@ -192,6 +192,26 @@ class TestProtocol:
         assert message["op"] == "ping"
         assert message["schema"] == protocol.SCHEMA
 
+    def test_encode_does_not_mutate_caller_dict(self):
+        # clients retain (and may resend or log) the message dict; the
+        # schema stamp must land on a copy, not leak back into it
+        message = {"op": "submit", "params": {"gds": "chip.gds"}}
+        retained = dict(message)
+        line = protocol.encode(message)
+        assert message == retained
+        assert protocol.decode(line)["schema"] == protocol.SCHEMA
+
+    def test_error_codes_come_from_registry(self):
+        # every typed exception's code is a registry constant, and the
+        # registry enumerates exactly the codes the wire can carry
+        from repro.service import errors
+        from repro.service.client import DaemonUnreachableError
+
+        assert ServiceError.code == errors.SERVICE_ERROR
+        assert DaemonUnreachableError.code == errors.UNREACHABLE
+        assert BadRequestError.code in errors.all_codes()
+        assert len(set(errors.all_codes())) == len(errors.all_codes())
+
     def test_decode_rejects_bad_input(self):
         with pytest.raises(BadRequestError):
             protocol.decode(b"not json\n")

@@ -3,14 +3,24 @@
 The dimensional checkers (ruff, pytest) verify Python; ``repro-lint``
 verifies *this codebase's physics*: integer-nm geometry, deterministic
 worker code, registered metric names, the quarantine discipline, the
-``BaseReport`` contract, and the keyword-only public API — the DRC-Plus
-idea (check patterns the basic rule deck cannot express) pointed at the
-code instead of the layout.
+``BaseReport`` contract, the keyword-only public API, lock discipline,
+resource lifecycles, and the wire-protocol contract — the DRC-Plus idea
+(check patterns the basic rule deck cannot express) pointed at the code
+instead of the layout.
+
+Rules come in two shapes.  *File rules* (RL001–RL009) see one AST at a
+time; *project rules* (RL008's deadlock half, RL010, RL011) run over a
+cross-module index of per-file facts — call graph, lock summaries, wire
+ops — built by :mod:`tools.repro_lint.project`.  Facts are serializable
+so the content-hash cache (``--cache``) can skip parsing unchanged
+files while project rules still see the whole project.
 
 Run it as a module::
 
     python -m tools.repro_lint src/            # human output
     python -m tools.repro_lint src/ --format json
+    python -m tools.repro_lint src/ --cache .repro-lint-cache.json
+    python -m tools.repro_lint src/ --changed-only
     python -m tools.repro_lint --list-rules
 
 Exit codes follow the ``repro`` CLI contract: ``0`` clean, ``1``
@@ -24,30 +34,46 @@ markers.  See ``docs/LINTING.md`` for the full rule catalogue.
 from tools.repro_lint.engine import (
     PARSE_ERROR_ID,
     FileContext,
+    LintCache,
     LintConfig,
     LintResult,
     Pragmas,
+    ProjectRule,
     Rule,
+    PROJECT_RULES,
     RULES,
     Violation,
+    all_rule_ids,
     iter_python_files,
     lint_paths,
     parse_pragmas,
     register,
+    register_project,
+    ruleset_signature,
 )
 from tools.repro_lint import rules as _rules  # noqa: F401  (registers RL001-RL007)
+from tools.repro_lint import rules_lock as _rules_lock  # noqa: F401  (RL008)
+from tools.repro_lint import rules_lifecycle as _rules_lifecycle  # noqa: F401  (RL009)
+from tools.repro_lint import rules_interproc as _rules_interproc  # noqa: F401  (RL010)
+from tools.repro_lint import rules_protocol as _rules_protocol  # noqa: F401  (RL011)
 
 __all__ = [
     "PARSE_ERROR_ID",
     "FileContext",
+    "LintCache",
     "LintConfig",
     "LintResult",
     "Pragmas",
+    "ProjectRule",
+    "PROJECT_RULES",
     "Rule",
     "RULES",
     "Violation",
+    "all_rule_ids",
     "iter_python_files",
     "lint_paths",
     "parse_pragmas",
     "register",
+    "register_project",
+    "ruleset_signature",
 ]

@@ -3,10 +3,18 @@
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
+from pathlib import Path
 from typing import Sequence
 
-from tools.repro_lint import RULES, LintConfig, lint_paths
+from tools.repro_lint import (
+    PROJECT_RULES,
+    RULES,
+    LintConfig,
+    all_rule_ids,
+    lint_paths,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -16,7 +24,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "AST-based checks for the repo's domain invariants "
             "(integer-nm geometry, worker determinism, metric-name "
             "registry, quarantine discipline, report contract, "
-            "keyword-only API)."
+            "keyword-only API, lock discipline, resource lifecycle, "
+            "wire-protocol consistency)."
         ),
     )
     parser.add_argument(
@@ -42,6 +51,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        help=(
+            "content-hash cache file: unchanged files replay their cached "
+            "violations and facts instead of re-parsing (invalidated "
+            "automatically when the rule set or config changes)"
+        ),
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "report findings only for files changed relative to git HEAD "
+            "(plus untracked files); discovery still covers every path so "
+            "project-wide rules stay correct"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -58,13 +85,39 @@ def _parse_rule_list(spec: str | None, parser: argparse.ArgumentParser) -> froze
     if spec is None:
         return None
     ids = frozenset(part.strip() for part in spec.split(",") if part.strip())
-    unknown = ids - set(RULES)
+    known = all_rule_ids()
+    unknown = ids - known
     if unknown:
         parser.error(
             f"unknown rule id(s): {', '.join(sorted(unknown))} "
-            f"(registered: {', '.join(sorted(RULES))})"
+            f"(registered: {', '.join(sorted(known))})"
         )
     return ids
+
+
+def _changed_files(parser: argparse.ArgumentParser) -> set[Path]:
+    """Files changed vs HEAD plus untracked files, as resolved paths."""
+    out: set[Path] = set()
+    try:
+        root = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        for args in (
+            ["git", "diff", "--name-only", "HEAD"],
+            ["git", "ls-files", "--others", "--exclude-standard"],
+        ):
+            proc = subprocess.run(
+                args, capture_output=True, text=True, check=True
+            )
+            for line in proc.stdout.splitlines():
+                if line.strip():
+                    out.add((Path(root) / line.strip()).resolve())
+    except (OSError, subprocess.CalledProcessError) as exc:
+        parser.error(f"--changed-only needs a working git checkout: {exc}")
+    return out
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -72,20 +125,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule_id in sorted(RULES):
-            rule = RULES[rule_id]
-            print(f"{rule_id}  {rule.name}")
-            print(f"       {rule.summary}")
+        for rule_id in sorted(all_rule_ids()):
+            for registry in (RULES, PROJECT_RULES):
+                rule = registry.get(rule_id)
+                if rule is None:
+                    continue
+                print(f"{rule_id}  {rule.name}")
+                print(f"       {rule.summary}")
         return 0
 
     config = LintConfig(
         enable=_parse_rule_list(args.enable, parser),
         disable=_parse_rule_list(args.disable, parser) or frozenset(),
     )
+    changed: set[Path] | None = None
+    if args.changed_only:
+        changed = _changed_files(parser)
     try:
-        result = lint_paths(args.paths, config)
+        result = lint_paths(args.paths, config, cache_path=args.cache)
     except FileNotFoundError as exc:
         parser.error(str(exc))  # exits 2
+    if changed is not None:
+        result = result.filtered(changed)
 
     if args.format == "json":
         print(result.to_json())
@@ -98,9 +159,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             if counts
             else "clean"
         )
+        cache_note = (
+            f", cache {result.cache_hits} hit(s) / {result.cache_misses} miss(es)"
+            if args.cache
+            else ""
+        )
         print(
             f"repro-lint: {result.files_checked} files checked, "
-            f"{len(result.violations)} finding(s) ({tally})"
+            f"{len(result.violations)} finding(s) ({tally}){cache_note}"
         )
     if args.no_fail:
         return 0

@@ -17,6 +17,15 @@ It owns everything rule-independent:
 * **Metric-name registry loading** — RL003 checks emission sites
   against ``repro/obs/names.py``; the engine locates and AST-parses it
   (never imports it) so linting works without the package installed.
+* **Project rules** — rules that need the whole project (call graph,
+  wire protocol, cross-class lock order) register via
+  :func:`register_project` and run once per lint over the
+  :class:`~tools.repro_lint.project.ProjectIndex` the runner assembles
+  from per-file facts.
+* **Content-hash cache** — per-file violations *and* facts are cached
+  keyed by the file's content digest and a rule-set signature (a digest
+  of the linter's own sources plus the effective config), so a warm run
+  re-parses nothing yet still evaluates every project rule.
 * **Output** — human one-line-per-finding or a versioned JSON document,
   and the exit-code contract shared with the ``repro`` CLI: ``0`` clean,
   ``1`` findings, ``2`` usage error.
@@ -25,6 +34,7 @@ It owns everything rule-independent:
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import json
 import re
@@ -33,7 +43,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
 
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
+
+CACHE_VERSION = 1
 
 #: Rule id used for files that fail to parse at all.
 PARSE_ERROR_ID = "RL000"
@@ -78,6 +90,26 @@ class Pragmas:
             return True
         on_line = self.line_disabled.get(line, ())
         return "all" in on_line or rule_id in on_line
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "file_disabled": sorted(self.file_disabled),
+            "line_disabled": {
+                str(line): sorted(ids)
+                for line, ids in self.line_disabled.items()
+            },
+            "markers": sorted(self.markers),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Pragmas":
+        return cls(
+            file_disabled=set(d["file_disabled"]),
+            line_disabled={
+                int(line): set(ids) for line, ids in d["line_disabled"].items()
+            },
+            markers=set(d["markers"]),
+        )
 
 
 def parse_pragmas(text: str) -> Pragmas:
@@ -204,7 +236,29 @@ class Rule:
         )
 
 
+class ProjectRule:
+    """Base class for rules that need the whole project at once.
+
+    ``check`` receives the assembled
+    :class:`~tools.repro_lint.project.ProjectIndex`; the runner applies
+    each violation's own file's pragmas afterwards, so line-level
+    ``disable=`` suppression works exactly as for file rules.
+    """
+
+    id: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, project: Any) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, rel: str, line: int, col: int, message: str) -> Violation:
+        return Violation(rule=self.id, path=rel, line=line, col=col, message=message)
+
+
 RULES: dict[str, type[Rule]] = {}
+
+PROJECT_RULES: dict[str, type[ProjectRule]] = {}
 
 
 def register(cls: type[Rule]) -> type[Rule]:
@@ -216,12 +270,30 @@ def register(cls: type[Rule]) -> type[Rule]:
     return cls
 
 
+def register_project(cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Register a project-wide rule.  An id may exist in *both*
+    registries (RL008 has a per-class part and a cross-class deadlock
+    part); ``enable``/``disable`` select both halves together."""
+    if not _RULE_ID_RE.match(cls.id):
+        raise ValueError(f"rule id {cls.id!r} must match RLnnn")
+    if cls.id in PROJECT_RULES:
+        raise ValueError(f"duplicate project rule id {cls.id}")
+    PROJECT_RULES[cls.id] = cls
+    return cls
+
+
+def all_rule_ids() -> frozenset[str]:
+    return frozenset(RULES) | frozenset(PROJECT_RULES)
+
+
 @dataclass
 class LintResult:
     """The outcome of one lint run over a set of paths."""
 
     violations: list[Violation]
     files_checked: int
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -238,12 +310,30 @@ class LintResult:
             "version": JSON_SCHEMA_VERSION,
             "ok": self.ok,
             "files_checked": self.files_checked,
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
             "counts": self.counts(),
             "violations": [v.to_dict() for v in self.violations],
         }
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def filtered(self, keep: set[Path]) -> "LintResult":
+        """The same result restricted to violations in ``keep`` files.
+
+        ``keep`` holds resolved paths; discovery (and therefore the
+        project index) is unaffected — only the *reported* findings
+        narrow, which is what ``--changed-only`` wants.
+        """
+        kept = [
+            v for v in self.violations if Path(v.path).resolve() in keep
+        ]
+        return LintResult(
+            violations=kept,
+            files_checked=self.files_checked,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+        )
 
 
 def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
@@ -329,22 +419,125 @@ def load_metric_registry(
     return frozenset(names), frozenset(exports), prefixes
 
 
-def lint_file(path: Path, rel: str, config: LintConfig) -> list[Violation]:
-    """Lint one file with every selected rule, applying pragmas."""
+def _import_rule_modules() -> None:
+    # rules register on import; defer to avoid a circular import at
+    # package load time
+    from tools.repro_lint import rules  # noqa: F401
+    from tools.repro_lint import rules_interproc  # noqa: F401
+    from tools.repro_lint import rules_lifecycle  # noqa: F401
+    from tools.repro_lint import rules_lock  # noqa: F401
+    from tools.repro_lint import rules_protocol  # noqa: F401
+
+
+def ruleset_signature(config: LintConfig) -> str:
+    """A digest of everything that can change a file's lint outcome
+    besides the file itself: the linter's own sources and the effective
+    configuration.  Editing any rule (or this engine) invalidates every
+    cache entry at once."""
+    h = hashlib.sha256()
+    package_dir = Path(__file__).parent
+    for source in sorted(package_dir.glob("*.py")):
+        h.update(source.name.encode("utf-8"))
+        h.update(source.read_bytes())
+    h.update(
+        repr(
+            (
+                CACHE_VERSION,
+                sorted(config.enable) if config.enable is not None else None,
+                sorted(config.disable),
+                config.worker_paths,
+                config.public_api_paths,
+                config.client_api_paths,
+                sorted(config.metric_names) if config.metric_names is not None else None,
+                sorted(config.metric_helpers),
+                config.metric_prefixes,
+            )
+        ).encode("utf-8")
+    )
+    return h.hexdigest()
+
+
+class LintCache:
+    """Per-file violations + facts keyed by content digest.
+
+    The on-disk document carries the rule-set signature; a cache written
+    by a different linter version (or config) is discarded wholesale
+    rather than partially trusted.  Unreadable or corrupt caches are
+    treated as empty — the cache can only ever make a run faster, never
+    change its outcome.
+    """
+
+    def __init__(self, path: Path, signature: str) -> None:
+        self.path = path
+        self.signature = signature
+        self.entries: dict[str, dict[str, Any]] = {}
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            isinstance(doc, dict)
+            and doc.get("version") == CACHE_VERSION
+            and doc.get("ruleset") == signature
+            and isinstance(doc.get("files"), dict)
+        ):
+            self.entries = doc["files"]
+
+    def get(self, rel: str, digest: str) -> dict[str, Any] | None:
+        entry = self.entries.get(rel)
+        if entry is not None and entry.get("digest") == digest:
+            return entry
+        return None
+
+    def put(
+        self,
+        rel: str,
+        digest: str,
+        violations: list[Violation],
+        facts: dict[str, Any],
+        pragmas: Pragmas,
+    ) -> None:
+        self.entries[rel] = {
+            "digest": digest,
+            "violations": [v.to_dict() for v in violations],
+            "facts": facts,
+            "pragmas": pragmas.to_dict(),
+        }
+
+    def save(self) -> None:
+        doc = {
+            "version": CACHE_VERSION,
+            "ruleset": self.signature,
+            "files": self.entries,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(
+                json.dumps(doc, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # a cache that cannot persist is just a cold cache
+
+
+def _lint_one(
+    path: Path, rel: str, config: LintConfig
+) -> tuple[list[Violation], Any, Pragmas]:
+    """Parse and lint one file: (violations, FileFacts, pragmas)."""
+    from tools.repro_lint import project as _project
+
     try:
         text = path.read_text(encoding="utf-8")
         tree = ast.parse(text, filename=str(path))
     except (OSError, SyntaxError, ValueError) as exc:
         line = getattr(exc, "lineno", None) or 1
-        return [
-            Violation(
-                rule=PARSE_ERROR_ID,
-                path=rel,
-                line=int(line),
-                col=1,
-                message=f"file does not parse: {exc}",
-            )
-        ]
+        violation = Violation(
+            rule=PARSE_ERROR_ID,
+            path=rel,
+            line=int(line),
+            col=1,
+            message=f"file does not parse: {exc}",
+        )
+        return [violation], _project.FileFacts(rel=rel), Pragmas()
     ctx = FileContext(
         path=path,
         rel=rel,
@@ -360,14 +553,31 @@ def lint_file(path: Path, rel: str, config: LintConfig) -> list[Violation]:
         for violation in RULES[rule_id]().check(ctx):
             if not ctx.pragmas.suppresses(violation.rule, violation.line):
                 out.append(violation)
-    return out
+    return out, _project.extract_file_facts(ctx), ctx.pragmas
 
 
-def lint_paths(paths: Sequence[str | Path], config: LintConfig | None = None) -> LintResult:
-    """Lint every Python file under ``paths`` and aggregate the findings."""
-    # rules register on import; defer to avoid a circular import at
-    # package load time
-    from tools.repro_lint import rules as _rules  # noqa: F401
+def lint_file(path: Path, rel: str, config: LintConfig) -> list[Violation]:
+    """Lint one file with every selected *file* rule, applying pragmas."""
+    _import_rule_modules()
+    violations, _, _ = _lint_one(path, rel, config)
+    return violations
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    config: LintConfig | None = None,
+    *,
+    cache_path: str | Path | None = None,
+) -> LintResult:
+    """Lint every Python file under ``paths`` and aggregate the findings.
+
+    File rules run per file (or replay from the cache when the file and
+    the rule set are unchanged); project rules then run once over the
+    assembled facts.  With ``cache_path`` the cache is loaded before and
+    written back after the run.
+    """
+    _import_rule_modules()
+    from tools.repro_lint import project as _project
 
     config = config or LintConfig()
     if config.metric_names is None:
@@ -376,9 +586,54 @@ def lint_paths(paths: Sequence[str | Path], config: LintConfig | None = None) ->
         config.metric_helpers = helpers
         config.metric_prefixes = prefixes
     files = iter_python_files(paths)
+
+    cache: LintCache | None = None
+    if cache_path is not None:
+        cache = LintCache(Path(cache_path), ruleset_signature(config))
+
     violations: list[Violation] = []
+    all_facts: list[Any] = []
+    pragmas_by_rel: dict[str, Pragmas] = {}
+    hits = misses = 0
     for path in files:
         rel = path.as_posix()
-        violations.extend(lint_file(path, rel, config))
+        entry = None
+        digest = ""
+        if cache is not None:
+            try:
+                digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            except OSError:
+                digest = ""
+            entry = cache.get(rel, digest) if digest else None
+        if entry is not None:
+            hits += 1
+            file_violations = [Violation(**v) for v in entry["violations"]]
+            facts = _project.FileFacts.from_dict(entry["facts"])
+            pragmas = Pragmas.from_dict(entry["pragmas"])
+        else:
+            misses += 1
+            file_violations, facts, pragmas = _lint_one(path, rel, config)
+            if cache is not None and digest:
+                cache.put(rel, digest, file_violations, facts.to_dict(), pragmas)
+        violations.extend(file_violations)
+        all_facts.append(facts)
+        pragmas_by_rel[rel] = pragmas
+
+    index = _project.build_project(all_facts, pragmas_by_rel)
+    for rule_id in sorted(PROJECT_RULES):
+        if not config.selects(rule_id):
+            continue
+        for violation in PROJECT_RULES[rule_id]().check(index):
+            pragmas = pragmas_by_rel.get(violation.path, Pragmas())
+            if not pragmas.suppresses(violation.rule, violation.line):
+                violations.append(violation)
+
+    if cache is not None:
+        cache.save()
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
-    return LintResult(violations=violations, files_checked=len(files))
+    return LintResult(
+        violations=violations,
+        files_checked=len(files),
+        cache_hits=hits,
+        cache_misses=misses,
+    )

@@ -1,0 +1,609 @@
+"""Project-wide facts: symbol index, call graph, per-file summaries.
+
+The per-file rules see one AST at a time; the concurrency and protocol
+invariants (RL008's deadlock check, RL010, RL011) need the whole
+project.  This module extracts a *serializable* summary — functions,
+calls, determinism taints, lock-owning classes, wire-protocol ops and
+error codes — from each parsed file, and assembles the summaries into a
+:class:`ProjectIndex` with enough name resolution to walk calls across
+modules.
+
+Serializability is the point: the content-hash cache stores each file's
+facts next to its violations, so a warm run never re-parses unchanged
+files yet the project rules still see the full picture.
+
+Resolution is deliberately suffix-based: an import of
+``repro.geometry.index`` matches any linted file whose dotted path ends
+with that module string, so the same logic works for ``src/``-rooted
+trees and test fixtures alike.  Like the engine, nothing here imports
+the analyzed code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from tools.repro_lint import dataflow
+from tools.repro_lint.engine import FileContext, Pragmas
+
+FACTS_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# facts model (all JSON round-trippable)
+
+
+@dataclass(frozen=True)
+class TaintFact:
+    """One determinism hazard inside a function body."""
+
+    line: int
+    col: int
+    kind: str
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "kind": self.kind,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "TaintFact":
+        return cls(d["line"], d["col"], d["kind"], d["message"])
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call, pre-classified for cross-module resolution.
+
+    kind: ``name`` (``f()``), ``self`` (``self.m()``), ``selfattr``
+    (``self.x.m()``, ``attr`` is the x), ``typed`` (``v.m()`` with a
+    locally constructed ``v``, ``attr`` is the class name), ``dotted``
+    (``recv.f()``, ``attr`` is the receiver name).
+    """
+
+    kind: str
+    target: str
+    attr: str
+    line: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "attr": self.attr,
+            "line": self.line,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "CallSite":
+        return cls(d["kind"], d["target"], d["attr"], d["line"])
+
+
+@dataclass
+class FunctionFacts:
+    """Summary of one top-level function or method."""
+
+    qualname: str  # "func" or "Class.method"
+    line: int
+    taints: list[TaintFact] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "taints": [t.to_dict() for t in self.taints],
+            "calls": [c.to_dict() for c in self.calls],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "FunctionFacts":
+        return cls(
+            qualname=d["qualname"],
+            line=d["line"],
+            taints=[TaintFact.from_dict(t) for t in d["taints"]],
+            calls=[CallSite.from_dict(c) for c in d["calls"]],
+        )
+
+
+@dataclass
+class ClassFacts:
+    """The lock-relevant summary of one class (empty lock set = none)."""
+
+    name: str
+    line: int
+    lock_attrs: list[str] = field(default_factory=list)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: methods whose body acquires one of this class's own locks
+    locking_methods: list[str] = field(default_factory=list)
+    #: calls made while holding this class's lock
+    locked_calls: list[CallSite] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "lock_attrs": self.lock_attrs,
+            "attr_types": self.attr_types,
+            "locking_methods": self.locking_methods,
+            "locked_calls": [c.to_dict() for c in self.locked_calls],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "ClassFacts":
+        return cls(
+            name=d["name"],
+            line=d["line"],
+            lock_attrs=list(d["lock_attrs"]),
+            attr_types=dict(d["attr_types"]),
+            locking_methods=list(d["locking_methods"]),
+            locked_calls=[CallSite.from_dict(c) for c in d["locked_calls"]],
+        )
+
+
+@dataclass
+class WireFacts:
+    """Wire-protocol surface of one file, for RL011."""
+
+    #: ("op", line) sent via request("op", ...) or {"op": "..."} literals
+    ops_sent: list[tuple[str, int]] = field(default_factory=list)
+    #: op strings this file compares an ``op`` variable against
+    ops_handled: list[str] = field(default_factory=list)
+    #: (op, line) members of a top-level OPS / STREAM_OPS tuple
+    ops_declared: list[tuple[str, int]] = field(default_factory=list)
+    #: class-level ``code = "literal"`` assignments: (class, code, line)
+    code_literals: list[tuple[str, str, int]] = field(default_factory=list)
+    #: class-level ``code = CONST`` references: (class, const, line)
+    code_refs: list[tuple[str, str, int]] = field(default_factory=list)
+    #: top-level UPPER_CASE string constants: name -> (value, line)
+    constants: dict[str, tuple[str, int]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ops_sent": [list(t) for t in self.ops_sent],
+            "ops_handled": self.ops_handled,
+            "ops_declared": [list(t) for t in self.ops_declared],
+            "code_literals": [list(t) for t in self.code_literals],
+            "code_refs": [list(t) for t in self.code_refs],
+            "constants": {k: list(v) for k, v in self.constants.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "WireFacts":
+        return cls(
+            ops_sent=[(t[0], t[1]) for t in d["ops_sent"]],
+            ops_handled=list(d["ops_handled"]),
+            ops_declared=[(t[0], t[1]) for t in d["ops_declared"]],
+            code_literals=[(t[0], t[1], t[2]) for t in d["code_literals"]],
+            code_refs=[(t[0], t[1], t[2]) for t in d["code_refs"]],
+            constants={k: (v[0], v[1]) for k, v in d["constants"].items()},
+        )
+
+
+@dataclass
+class FileFacts:
+    """Everything the project rules need to know about one file."""
+
+    rel: str
+    is_worker: bool = False
+    #: local name -> "module" or "module:symbol" (from-imports)
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: list[FunctionFacts] = field(default_factory=list)
+    classes: list[ClassFacts] = field(default_factory=list)
+    wire: WireFacts = field(default_factory=WireFacts)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": FACTS_VERSION,
+            "rel": self.rel,
+            "is_worker": self.is_worker,
+            "imports": self.imports,
+            "functions": [f.to_dict() for f in self.functions],
+            "classes": [c.to_dict() for c in self.classes],
+            "wire": self.wire.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "FileFacts":
+        return cls(
+            rel=d["rel"],
+            is_worker=d["is_worker"],
+            imports=dict(d["imports"]),
+            functions=[FunctionFacts.from_dict(f) for f in d["functions"]],
+            classes=[ClassFacts.from_dict(c) for c in d["classes"]],
+            wire=WireFacts.from_dict(d["wire"]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# extraction
+
+
+def extract_file_facts(ctx: FileContext) -> FileFacts:
+    """Summarize one parsed file into serializable facts."""
+    facts = FileFacts(rel=ctx.rel, is_worker=ctx.is_worker_code())
+    tree = ctx.tree
+    _extract_imports(tree, facts)
+    random_imports = dataflow.names_imported_from(tree, "random")
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            facts.functions.append(
+                _function_facts(node, node.name, random_imports)
+            )
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    facts.functions.append(
+                        _function_facts(
+                            item, f"{node.name}.{item.name}", random_imports
+                        )
+                    )
+            facts.classes.append(_class_facts(node))
+            _extract_code_fields(node, facts.wire)
+
+    _extract_wire(tree, facts.wire)
+    return facts
+
+
+def _extract_imports(tree: ast.Module, facts: FileFacts) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports: same package, handled locally
+            for alias in node.names:
+                facts.imports[alias.asname or alias.name] = (
+                    f"{node.module}:{alias.name}"
+                )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    facts.imports[alias.asname] = alias.name
+                else:
+                    facts.imports[alias.name.split(".")[0]] = alias.name.split(".")[0]
+
+
+def _function_facts(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    qualname: str,
+    random_imports: frozenset[str],
+) -> FunctionFacts:
+    facts = FunctionFacts(qualname=qualname, line=node.lineno)
+    for taint in dataflow.iter_taints(node, random_imports):
+        facts.taints.append(
+            TaintFact(
+                line=getattr(taint.node, "lineno", node.lineno),
+                col=getattr(taint.node, "col_offset", 0) + 1,
+                kind=taint.kind,
+                message=taint.message,
+            )
+        )
+    local_types: dict[str, str] = {}
+    for sub in ast.walk(node):
+        target, value = dataflow.single_assignment(sub)
+        if isinstance(target, ast.Name):
+            cls_name = dataflow.class_name_call(value)
+            if cls_name is not None:
+                local_types[target.id] = cls_name
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            site = _classify_call(sub, local_types)
+            if site is not None:
+                facts.calls.append(site)
+    return facts
+
+
+def _classify_call(
+    node: ast.Call, local_types: dict[str, str]
+) -> CallSite | None:
+    func = node.func
+    line = node.lineno
+    if isinstance(func, ast.Name):
+        return CallSite("name", func.id, "", line)
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if isinstance(value, ast.Name):
+        if value.id == "self":
+            return CallSite("self", func.attr, "", line)
+        if value.id in local_types:
+            return CallSite("typed", func.attr, local_types[value.id], line)
+        return CallSite("dotted", func.attr, value.id, line)
+    if (
+        isinstance(value, ast.Attribute)
+        and isinstance(value.value, ast.Name)
+        and value.value.id == "self"
+    ):
+        return CallSite("selfattr", func.attr, value.attr, line)
+    return None
+
+
+def _class_facts(node: ast.ClassDef) -> ClassFacts:
+    facts = ClassFacts(name=node.name, line=node.lineno)
+    info = dataflow.analyze_class(node)
+    if info is None:
+        return facts
+    facts.lock_attrs = sorted(info.lock_attrs)
+    facts.attr_types = dict(info.attr_types)
+    facts.locking_methods = sorted(info.locking_methods)
+    for call in info.calls:
+        if call.locked and call.kind in {"selfattr", "typed", "dotted"}:
+            facts.locked_calls.append(
+                CallSite(
+                    call.kind,
+                    call.target,
+                    call.attr,
+                    getattr(call.node, "lineno", node.lineno),
+                )
+            )
+    return facts
+
+
+def _extract_code_fields(node: ast.ClassDef, wire: WireFacts) -> None:
+    """Class-level ``code = ...`` assignments (the error-code contract)."""
+    for item in node.body:
+        if not isinstance(item, ast.Assign) or len(item.targets) != 1:
+            continue
+        target = item.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == "code"):
+            continue
+        value = item.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            wire.code_literals.append((node.name, value.value, item.lineno))
+        elif isinstance(value, ast.Name):
+            wire.code_refs.append((node.name, value.id, item.lineno))
+        elif isinstance(value, ast.Attribute):
+            wire.code_refs.append((node.name, value.attr, item.lineno))
+
+
+def _extract_wire(tree: ast.Module, wire: WireFacts) -> None:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id in ("OPS", "STREAM_OPS") and isinstance(
+                node.value, (ast.Tuple, ast.List)
+            ):
+                for elt in node.value.elts:
+                    if isinstance(elt, ast.Constant) and isinstance(
+                        elt.value, str
+                    ):
+                        wire.ops_declared.append((elt.value, elt.lineno))
+            elif target.id.isupper() and isinstance(node.value, ast.Constant):
+                if isinstance(node.value.value, str):
+                    wire.constants[target.id] = (node.value.value, node.lineno)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = node.func.attr if isinstance(node.func, ast.Attribute) else (
+                node.func.id if isinstance(node.func, ast.Name) else None
+            )
+            if name == "request" and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    wire.ops_sent.append((first.value, first.lineno))
+        elif isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == "op"
+                    and isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    wire.ops_sent.append((value.value, value.lineno))
+        elif isinstance(node, ast.Compare):
+            exprs = [node.left, *node.comparators]
+            involves_op = any(
+                (isinstance(e, ast.Name) and e.id == "op")
+                or (isinstance(e, ast.Attribute) and e.attr == "op")
+                for e in exprs
+            )
+            if not involves_op:
+                continue
+            for e in exprs:
+                if isinstance(e, ast.Constant) and isinstance(e.value, str):
+                    wire.ops_handled.append(e.value)
+                elif isinstance(e, (ast.Tuple, ast.List, ast.Set)):
+                    for elt in e.elts:
+                        if isinstance(elt, ast.Constant) and isinstance(
+                            elt.value, str
+                        ):
+                            wire.ops_handled.append(elt.value)
+
+
+# ---------------------------------------------------------------------------
+# project index
+
+
+FuncId = tuple[str, str]  # (rel path, qualname)
+
+
+class ProjectIndex:
+    """The assembled project: facts per file plus name resolution."""
+
+    def __init__(
+        self, files: list[FileFacts], pragmas: dict[str, Pragmas]
+    ) -> None:
+        self.files = files
+        self.pragmas = pragmas
+        self.by_rel: dict[str, FileFacts] = {f.rel: f for f in files}
+        #: dotted module path (suffix-matchable) per rel
+        self.modules: list[tuple[str, str]] = []
+        self.functions: dict[FuncId, FunctionFacts] = {}
+        self.classes_by_name: dict[str, list[tuple[str, ClassFacts]]] = {}
+        for f in files:
+            dotted = f.rel[:-3].replace("/", ".") if f.rel.endswith(".py") else f.rel
+            if dotted.endswith(".__init__"):
+                dotted = dotted[: -len(".__init__")]
+            self.modules.append((dotted, f.rel))
+            for fn in f.functions:
+                self.functions[(f.rel, fn.qualname)] = fn
+            for cls in f.classes:
+                self.classes_by_name.setdefault(cls.name, []).append(
+                    (f.rel, cls)
+                )
+
+    # -- resolution ------------------------------------------------------
+    def resolve_module(self, module: str) -> str | None:
+        """rel path of the linted file whose dotted path ends with
+        ``module`` (exact tail on a ``.`` boundary)."""
+        for dotted, rel in self.modules:
+            if dotted == module or dotted.endswith("." + module):
+                return rel
+        return None
+
+    def _resolve_import(self, rel: str, name: str) -> tuple[str, str] | None:
+        """(target rel, symbol) for an imported local ``name``, if the
+        target module is part of this lint run."""
+        facts = self.by_rel.get(rel)
+        if facts is None:
+            return None
+        spec = facts.imports.get(name)
+        if spec is None:
+            return None
+        if ":" in spec:
+            module, symbol = spec.split(":", 1)
+            target = self.resolve_module(module)
+            if target is not None:
+                return target, symbol
+            # `from pkg import mod` — the symbol may itself be a module
+            target = self.resolve_module(f"{module}.{symbol}")
+            if target is not None:
+                return target, ""
+            return None
+        target = self.resolve_module(spec)
+        if target is not None:
+            return target, ""
+        return None
+
+    def resolve_class(self, rel: str, class_name: str) -> tuple[str, ClassFacts] | None:
+        """Find ``class_name`` from the viewpoint of file ``rel``."""
+        hit = self._resolve_import(rel, class_name)
+        if hit is not None:
+            target_rel, symbol = hit
+            for target, cls in self.classes_by_name.get(symbol or class_name, []):
+                if target == target_rel:
+                    return target, cls
+        for target, cls in self.classes_by_name.get(class_name, []):
+            if target == rel:
+                return target, cls
+        candidates = self.classes_by_name.get(class_name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def resolve_call(self, rel: str, caller: str, site: CallSite) -> FuncId | None:
+        """Resolve one call site to a function in this project, if we can.
+
+        ``caller`` is the calling function's qualname (used for
+        ``self.m()``).  Unresolvable calls — stdlib, dynamic dispatch we
+        cannot type — return None; the analysis stays sound for what it
+        *can* see and silent otherwise.
+        """
+        kind = site.kind
+        if kind == "self":
+            if "." in caller:
+                cls = caller.split(".", 1)[0]
+                fid = (rel, f"{cls}.{site.target}")
+                if fid in self.functions:
+                    return fid
+            return None
+        if kind == "name":
+            hit = self._resolve_import(rel, site.target)
+            if hit is not None:
+                target_rel, symbol = hit
+                fid = (target_rel, symbol or site.target)
+                if fid in self.functions:
+                    return fid
+                return None
+            fid = (rel, site.target)
+            if fid in self.functions:
+                return fid
+            return None
+        if kind == "selfattr":
+            if "." not in caller:
+                return None
+            cls_name = caller.split(".", 1)[0]
+            facts = self.by_rel.get(rel)
+            if facts is None:
+                return None
+            owner = next((c for c in facts.classes if c.name == cls_name), None)
+            if owner is None:
+                return None
+            attr_cls = owner.attr_types.get(site.attr)
+            if attr_cls is None:
+                return None
+            resolved = self.resolve_class(rel, attr_cls)
+            if resolved is None:
+                return None
+            target_rel, cls = resolved
+            fid = (target_rel, f"{cls.name}.{site.target}")
+            return fid if fid in self.functions else None
+        if kind == "typed":
+            resolved = self.resolve_class(rel, site.attr)
+            if resolved is None:
+                return None
+            target_rel, cls = resolved
+            fid = (target_rel, f"{cls.name}.{site.target}")
+            return fid if fid in self.functions else None
+        if kind == "dotted":
+            hit = self._resolve_import(rel, site.attr)
+            if hit is not None:
+                target_rel, symbol = hit
+                if symbol:
+                    # `from pkg import mod as recv` or a class:
+                    # try Class.method, then module-level function
+                    fid = (target_rel, f"{symbol}.{site.target}")
+                    if fid in self.functions:
+                        return fid
+                fid = (target_rel, site.target)
+                if fid in self.functions:
+                    return fid
+            return None
+        return None
+
+    # -- reachability ----------------------------------------------------
+    def worker_reachable(self) -> dict[FuncId, list[str]]:
+        """Functions reachable from worker-file code, with one call chain.
+
+        Returns ``{function: [qualname, ...]}`` mapping every reached
+        function to the chain of qualified names that reaches it,
+        starting at a worker-file function.  Seeds are every function
+        defined in a worker file; traversal is BFS in sorted order so
+        the reported chain is deterministic.
+        """
+        seeds = sorted(
+            fid for fid in self.functions if self.by_rel[fid[0]].is_worker
+        )
+        chains: dict[FuncId, list[str]] = {
+            fid: [f"{fid[0]}:{fid[1]}"] for fid in seeds
+        }
+        frontier = list(seeds)
+        while frontier:
+            next_frontier: list[FuncId] = []
+            for fid in frontier:
+                rel, qualname = fid
+                fn = self.functions[fid]
+                for site in fn.calls:
+                    callee = self.resolve_call(rel, qualname, site)
+                    if callee is None or callee in chains:
+                        continue
+                    chains[callee] = chains[fid] + [
+                        f"{callee[0]}:{callee[1]}"
+                    ]
+                    next_frontier.append(callee)
+            frontier = sorted(next_frontier)
+        return chains
+
+
+def build_project(
+    files: list[FileFacts], pragmas: dict[str, Pragmas]
+) -> ProjectIndex:
+    return ProjectIndex(files, pragmas)

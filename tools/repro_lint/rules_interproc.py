@@ -1,0 +1,57 @@
+"""RL010 — interprocedural worker determinism.
+
+RL002 checks files that *are* worker code; this rule walks the call
+graph outward from them.  A helper in a non-worker module that reads
+the wall clock or iterates a bare set is just as nondeterministic when
+a DRC check calls it from inside a tile worker — the taint catalogue is
+identical (it is literally RL002's, shared via
+:mod:`tools.repro_lint.dataflow`), only the reporting site moves to the
+helper and the message carries the call chain that makes it worker-
+reachable.  Suppressions therefore live where the hazard is, next to
+the code that owns the invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from tools.repro_lint.engine import ProjectRule, Violation, register_project
+
+
+@register_project
+class InterprocWorkerDeterminismRule(ProjectRule):
+    id = "RL010"
+    name = "interproc-worker-determinism"
+    summary = (
+        "RL002's determinism taints propagate through the call graph: "
+        "helpers reachable from worker-code files must be deterministic "
+        "too"
+    )
+
+    def check(self, project) -> Iterator[Violation]:
+        chains = project.worker_reachable()
+        seen: set[tuple[str, int, int]] = set()
+        for fid in sorted(chains):
+            rel, _qualname = fid
+            if project.by_rel[rel].is_worker:
+                continue  # the file-local RL002 already covers these
+            fn = project.functions[fid]
+            for taint in fn.taints:
+                key = (rel, taint.line, taint.col)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.violation(
+                    rel,
+                    taint.line,
+                    taint.col,
+                    f"{taint.message} [reachable from worker code: "
+                    f"{self._render_chain(chains[fid])}]",
+                )
+
+    @staticmethod
+    def _render_chain(chain: list[str]) -> str:
+        seed_rel, seed_qual = chain[0].split(":", 1)
+        rendered = [f"{seed_rel}:{seed_qual}"]
+        rendered.extend(entry.split(":", 1)[1] for entry in chain[1:])
+        return " -> ".join(rendered)

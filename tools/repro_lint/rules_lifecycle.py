@@ -1,0 +1,62 @@
+"""RL009 — resource lifecycle: acquisitions must reach release on every path.
+
+The resources this codebase leaks when it gets this wrong are not
+garbage-collected away: a ``SharedMemory`` segment outlives the process
+in ``/dev/shm`` until unlinked, an unclosed ``Pool`` leaves worker
+processes behind, an unclosed socket pins the daemon's connection slot.
+The walker (:func:`tools.repro_lint.dataflow.find_resource_leaks`)
+accepts any of the idioms the codebase actually uses — ``with``,
+release in a ``finally``, or ownership transfer to an object whose
+``close()`` takes over — and flags the rest, including the subtle case
+where the success path transfers ownership but an exception between
+acquisition and hand-off leaks the resource.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lint.dataflow import find_resource_leaks
+from tools.repro_lint.engine import FileContext, Rule, Violation, register
+
+
+@register
+class ResourceLifecycleRule(Rule):
+    id = "RL009"
+    name = "resource-lifecycle"
+    summary = (
+        "SharedMemory/mmap/socket/Pool/file acquisitions must reach "
+        "close/unlink/terminate on every path: use a context manager, a "
+        "finally, or transfer ownership"
+    )
+
+    MESSAGES = {
+        "exception-path": (
+            "{factory}() result '{var}' leaks on the exception path: a "
+            "failure after acquisition reaches a handler that never "
+            "releases it; close/unlink it in the except block or a finally"
+        ),
+        "success-path-only": (
+            "{factory}() result '{var}' is released only on the success "
+            "path; move the release into a finally or use a context manager"
+        ),
+        "never-released": (
+            "{factory}() result '{var}' never reaches a release on any "
+            "path; use a context manager, a finally, or transfer ownership "
+            "to an object that closes it"
+        ),
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for leak in find_resource_leaks(node):
+                yield self.violation(
+                    ctx,
+                    leak.node,
+                    self.MESSAGES[leak.reason].format(
+                        factory=leak.factory, var=leak.var
+                    ),
+                )

@@ -1,0 +1,171 @@
+"""RL008 — lock discipline, in two halves.
+
+The per-file half: in any class that constructs a ``threading`` lock,
+an attribute that is ever *written* under ``with self.<lock>`` is
+lock-guarded, and every other access to it — read or write, in any
+method — must also hold the lock.  Private helper methods whose every
+intra-class call site holds the lock are credited as running locked
+(the interprocedural part); ``__init__``/``__post_init__``/``__del__``
+are exempt because they run before or after the object is shared.
+Closures defined inside methods are analyzed as separate, initially
+*unlocked* contexts: a callback captured by another thread must take
+the lock itself.
+
+The project half: nested lock acquisition across classes must be
+acyclic.  Holding class A's lock while calling a method of class B that
+acquires B's lock creates an order edge A→B; a cycle in that graph is a
+deadlock waiting for the right interleaving, and is reported on one of
+the participating call sites.  Same-class nesting is exempt — a
+``Condition(self._lock)`` shares its underlying lock by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lint import dataflow
+from tools.repro_lint.engine import (
+    FileContext,
+    ProjectRule,
+    Rule,
+    Violation,
+    register,
+    register_project,
+)
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "RL008"
+    name = "lock-discipline"
+    summary = (
+        "attributes written under `with self.<lock>` are lock-guarded and "
+        "must never be accessed without the lock (helper methods called "
+        "only under the lock are credited)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = dataflow.analyze_class(node)
+            if info is None:
+                continue
+            guarded = info.guarded_attrs()
+            if not guarded:
+                continue
+            credited = info.locked_helper_methods()
+            for event in info.events:
+                if event.attr not in guarded:
+                    continue
+                if event.locked:
+                    continue
+                if event.method in dataflow.EXEMPT_METHODS:
+                    continue
+                if event.method in credited:
+                    continue
+                access = "written" if event.write else "read"
+                yield self.violation(
+                    ctx,
+                    event.node,
+                    f"self.{event.attr} is written under the {info.name} "
+                    f"lock but {access} without it in {event.method}(); "
+                    "take the lock or snapshot the value inside it",
+                )
+
+
+@register_project
+class LockOrderRule(ProjectRule):
+    id = "RL008"
+    name = "lock-order"
+    summary = (
+        "nested lock acquisition across classes must follow one global "
+        "order; a cycle (A holds its lock and calls into B, which can "
+        "call back into A under its own lock) is a latent deadlock"
+    )
+
+    def check(self, project) -> Iterator[Violation]:
+        # nodes: lock-owning classes; edges: calls made under the
+        # caller's lock into a method that acquires the callee's lock
+        edges: dict[tuple[str, str], list[tuple[str, str, str, int]]] = {}
+        for facts in project.files:
+            for cls in facts.classes:
+                if not cls.lock_attrs:
+                    continue
+                for site in cls.locked_calls:
+                    target = self._target_class(project, facts.rel, cls, site)
+                    if target is None:
+                        continue
+                    target_key, target_cls = target
+                    if target_key == (facts.rel, cls.name):
+                        continue  # same-class nesting: shared lock
+                    if not target_cls.lock_attrs:
+                        continue
+                    if site.target not in target_cls.locking_methods:
+                        continue
+                    edges.setdefault((facts.rel, cls.name), []).append(
+                        (target_key[0], target_key[1], site.target, site.line)
+                    )
+
+        graph = {
+            src: sorted({(rel, name) for rel, name, _, _ in dests})
+            for src, dests in edges.items()
+        }
+        reported: set[frozenset[tuple[str, str]]] = set()
+        for src in sorted(graph):
+            for rel, name, method, line in sorted(edges[src], key=lambda e: e[3]):
+                dest = (rel, name)
+                path = self._find_path(graph, dest, src)
+                if path is None:
+                    continue
+                cycle = frozenset([src, *path])
+                if cycle in reported:
+                    continue
+                reported.add(cycle)
+                order = " -> ".join(c[1] for c in [src, *path])
+                yield self.violation(
+                    src[0],
+                    line,
+                    1,
+                    f"lock-order cycle {order}: {src[1]} calls "
+                    f"{name}.{method}() while holding its own lock, and "
+                    f"{name} can acquire locks back along this chain; "
+                    "acquire class locks in one global order",
+                )
+
+    @staticmethod
+    def _target_class(project, rel: str, cls, site):
+        """((rel, name), ClassFacts) of the class a locked call lands in."""
+        if site.kind == "selfattr":
+            attr_cls = cls.attr_types.get(site.attr)
+            if attr_cls is None:
+                return None
+            resolved = project.resolve_class(rel, attr_cls)
+        elif site.kind == "typed":
+            resolved = project.resolve_class(rel, site.attr)
+        else:
+            return None
+        if resolved is None:
+            return None
+        target_rel, target_cls = resolved
+        return (target_rel, target_cls.name), target_cls
+
+    @staticmethod
+    def _find_path(graph, start, goal):
+        """BFS path from ``start`` to ``goal``, or None."""
+        if start == goal:
+            return [start]
+        frontier = [[start]]
+        seen = {start}
+        while frontier:
+            next_frontier = []
+            for path in frontier:
+                for nxt in graph.get(path[-1], []):
+                    if nxt == goal:
+                        return path + [nxt]
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        next_frontier.append(path + [nxt])
+            frontier = next_frontier
+        return None

@@ -1,0 +1,169 @@
+"""RL011 — wire-protocol consistency across client, daemon, and docs.
+
+The service speaks newline-delimited JSON with an ``op`` field; nothing
+but convention keeps the three parties that name ops — the client that
+sends them, the daemon that dispatches on them, ``protocol.OPS`` that
+declares them — and the fourth that explains them (``docs/SERVICE.md``)
+in agreement.  This rule makes the convention a check:
+
+* every op the client sends must be declared in ``protocol.OPS`` and
+  dispatched somewhere in the daemon;
+* every declared op must appear (backticked) in ``docs/SERVICE.md``;
+* error ``code`` strings on exception classes must reference the
+  ``repro.service.errors`` registry — one constant per code, mirroring
+  what :mod:`repro.obs.names` does for metric names — and the registry
+  itself must be duplicate-free and documented.
+
+The rule keys off path shape (``service/protocol.py`` etc.), so it
+checks any project that has a service layer and stays silent for any
+that does not.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from tools.repro_lint.engine import ProjectRule, Violation, register_project
+
+
+@register_project
+class WireProtocolRule(ProjectRule):
+    id = "RL011"
+    name = "wire-protocol-consistency"
+    summary = (
+        "client-sent ops must be declared in protocol.OPS, handled by the "
+        "daemon, and documented; error codes come from the "
+        "repro.service.errors registry"
+    )
+
+    def check(self, project) -> Iterator[Violation]:
+        protocol = self._file(project, "service/protocol.py")
+        clients = self._files(project, "service/client.py")
+        daemons = self._files(project, "service/daemon.py")
+        registry_file = self._file(project, "service/errors.py")
+
+        declared: dict[str, int] = {}
+        if protocol is not None:
+            for op, line in protocol.wire.ops_declared:
+                declared.setdefault(op, line)
+        handled: set[str] = set()
+        for daemon in daemons:
+            handled.update(daemon.wire.ops_handled)
+
+        doc_text = self._service_doc(protocol or registry_file)
+
+        for client in clients:
+            for op, line in sorted(set(client.wire.ops_sent)):
+                if protocol is not None and op not in declared:
+                    yield self.violation(
+                        client.rel,
+                        line,
+                        1,
+                        f'client sends op "{op}" that protocol.OPS does not '
+                        "declare; add it to the protocol before shipping it",
+                    )
+                elif daemons and op not in handled:
+                    yield self.violation(
+                        client.rel,
+                        line,
+                        1,
+                        f'op "{op}" is sent by the client but never '
+                        "dispatched in the daemon; wire up a handler",
+                    )
+        if protocol is not None and doc_text is not None:
+            for op, line in sorted(declared.items()):
+                if f"`{op}`" not in doc_text:
+                    yield self.violation(
+                        protocol.rel,
+                        line,
+                        1,
+                        f'op "{op}" is declared in protocol.OPS but not '
+                        "documented in docs/SERVICE.md",
+                    )
+
+        yield from self._check_error_codes(project, registry_file, doc_text)
+
+    # -- error-code registry --------------------------------------------
+    def _check_error_codes(
+        self, project, registry_file, doc_text
+    ) -> Iterator[Violation]:
+        registry: dict[str, str] = {}
+        if registry_file is not None:
+            by_value: dict[str, str] = {}
+            for name, (value, line) in sorted(registry_file.wire.constants.items()):
+                registry[name] = value
+                if value in by_value:
+                    yield self.violation(
+                        registry_file.rel,
+                        line,
+                        1,
+                        f'error code "{value}" is registered twice '
+                        f"({by_value[value]} and {name}); codes are wire "
+                        "contract and must be unique",
+                    )
+                else:
+                    by_value[value] = name
+                if doc_text is not None and f"`{value}`" not in doc_text:
+                    yield self.violation(
+                        registry_file.rel,
+                        line,
+                        1,
+                        f'error code "{value}" ({name}) is not documented '
+                        "in docs/SERVICE.md",
+                    )
+
+        for facts in project.files:
+            if "service/" not in facts.rel or facts.rel.endswith(
+                "service/errors.py"
+            ):
+                continue
+            for cls_name, code, line in facts.wire.code_literals:
+                yield self.violation(
+                    facts.rel,
+                    line,
+                    1,
+                    f'error code literal "{code}" on {cls_name}; define it '
+                    "in repro.service.errors and reference the constant so "
+                    "both ends of the wire share one registry",
+                )
+            if registry_file is None:
+                continue
+            for cls_name, const, line in facts.wire.code_refs:
+                if const not in registry:
+                    yield self.violation(
+                        facts.rel,
+                        line,
+                        1,
+                        f"{cls_name}.code references {const}, which "
+                        "repro.service.errors does not define; fix the typo "
+                        "or register it",
+                    )
+
+    # -- lookup helpers --------------------------------------------------
+    @staticmethod
+    def _file(project, suffix: str):
+        for facts in project.files:
+            if facts.rel.endswith(suffix):
+                return facts
+        return None
+
+    @staticmethod
+    def _files(project, suffix: str) -> list:
+        return [f for f in project.files if f.rel.endswith(suffix)]
+
+    @staticmethod
+    def _service_doc(anchor) -> str | None:
+        """``docs/SERVICE.md`` found by walking up from the service
+        layer's own location; None (skipping doc checks) when absent."""
+        if anchor is None:
+            return None
+        base = Path(anchor.rel).resolve().parent
+        for parent in [base, *base.parents]:
+            candidate = parent / "docs" / "SERVICE.md"
+            if candidate.is_file():
+                try:
+                    return candidate.read_text(encoding="utf-8")
+                except OSError:
+                    return None
+        return None
